@@ -1,0 +1,71 @@
+// Package abd is a production-quality Go implementation of the ABD
+// algorithm from "Sharing Memory Robustly in Message-Passing Systems"
+// (Attiya, Bar-Noy, Dolev; PODC 1990 / JACM 1995): atomic (linearizable)
+// read/write registers emulated over an asynchronous message-passing system
+// in which any minority of processors may crash.
+//
+// The package is a facade over the implementation packages:
+//
+//   - internal/core: the replica and client protocols (single-writer,
+//     multi-writer, bounded labels, generalized quorums),
+//   - internal/netsim: the simulated asynchronous network with fault
+//     injection,
+//   - internal/tcpnet: the TCP transport for real deployments,
+//   - internal/quorum, internal/timestamp: the protocol's building blocks,
+//   - internal/lincheck, internal/history: linearizability verification,
+//   - internal/snapshot, internal/bakery, internal/maxreg: shared-memory
+//     algorithms running unchanged over the emulation.
+//
+// Quick start (see examples/quickstart for the runnable version):
+//
+//	cluster, _ := abd.NewCluster(5, abd.WithSeed(1))
+//	defer cluster.Close()
+//	client := cluster.Client()
+//	_ = client.Write(ctx, "greeting", []byte("hello"))
+//	v, _ := client.Read(ctx, "greeting")
+package abd
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// Value is a register's contents; nil is the never-written initial state.
+type Value = types.Value
+
+// NodeID identifies a processor.
+type NodeID = types.NodeID
+
+// Errors re-exported for matching with errors.Is.
+var (
+	// ErrNoQuorum is returned when an operation cannot assemble a quorum
+	// before its context expires — the unavoidable outcome once a majority
+	// of replicas is unreachable.
+	ErrNoQuorum = types.ErrNoQuorum
+	// ErrClosed is returned by operations on closed clients or transports.
+	ErrClosed = types.ErrClosed
+)
+
+// Register is the emulated shared-memory object: an atomic read/write
+// register. Implementations in this module: ABD clients (via Cluster or
+// core.Client.Register), the central-server baseline, and test fakes.
+type Register interface {
+	// Read returns the register's value; nil means never written.
+	Read(ctx context.Context) (Value, error)
+	// Write replaces the register's value.
+	Write(ctx context.Context, val Value) error
+}
+
+// Client is a connection to the replica group, able to operate on any named
+// register. It is an alias for the core protocol client.
+type Client = core.Client
+
+// ReplicaStats re-exports the replica counter snapshot.
+type ReplicaStats = core.ReplicaStats
+
+// MetricsSnapshot re-exports the client counter snapshot.
+type MetricsSnapshot = core.MetricsSnapshot
+
+var _ Register = (*core.Register)(nil)

@@ -1,0 +1,289 @@
+package abd
+
+// These tests are the paper's headline theorem in executable form: wait-free
+// shared-memory algorithms (atomic snapshot, bakery mutual exclusion, max
+// register) run unchanged over the emulated registers, on a message-passing
+// system with crash failures.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bakery"
+	"repro/internal/maxreg"
+	"repro/internal/renaming"
+	"repro/internal/snapshot"
+)
+
+// snapshotRegs builds one SWMR register per process over the cluster, owned
+// by that process's single-writer client.
+func snapshotRegs(c *Cluster, n int, prefix string) ([]*Client, []snapshot.Register) {
+	clients := make([]*Client, n)
+	regs := make([]snapshot.Register, n)
+	for i := 0; i < n; i++ {
+		clients[i] = c.Writer()
+		regs[i] = clients[i].Register(fmt.Sprintf("%s/%d", prefix, i))
+	}
+	return clients, regs
+}
+
+func TestSnapshotOverEmulation(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	const n = 3
+	_, regs := snapshotRegs(cluster, n, "snap")
+
+	handles := make([]*snapshot.Snapshot, n)
+	for i := 0; i < n; i++ {
+		h, err := snapshot.New(regs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	if err := handles[0].Update(ctx, []byte("a1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles[1].Update(ctx, []byte("b1")); err != nil {
+		t.Fatal(err)
+	}
+	view, err := handles[2].Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(view[0]) != "a1" || string(view[1]) != "b1" || view[2] != nil {
+		t.Fatalf("view %q", view)
+	}
+}
+
+func TestSnapshotOverEmulationWithCrash(t *testing.T) {
+	cluster, err := NewCluster(5, WithSeed(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	const n = 3
+	_, regs := snapshotRegs(cluster, n, "snap")
+	u, err := snapshot.New(regs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := snapshot.New(regs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := u.Update(ctx, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Crash(1)
+	cluster.Crash(3)
+	if err := u.Update(ctx, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	view, err := s.Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(view[0]) != "after" {
+		t.Fatalf("view[0]=%q", view[0])
+	}
+}
+
+func TestSnapshotConcurrentOverEmulation(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(42), WithDelays(0, 500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	const n = 3
+	_, regs := snapshotRegs(cluster, n, "snap")
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		h, err := snapshot.New(regs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, h *snapshot.Snapshot) {
+			defer wg.Done()
+			for j := 1; j <= 5; j++ {
+				if err := h.Update(ctx, []byte(fmt.Sprintf("p%d-%d", i, j))); err != nil {
+					errCh <- err
+					return
+				}
+				if _, err := h.Scan(ctx); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestBakeryOverEmulation(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const n = 3
+	choosing := make([]bakery.Register, n)
+	number := make([]bakery.Register, n)
+	clients := make([]*Client, n)
+	for i := 0; i < n; i++ {
+		clients[i] = cluster.Writer()
+		choosing[i] = clients[i].Register(fmt.Sprintf("choosing/%d", i))
+		number[i] = clients[i].Register(fmt.Sprintf("number/%d", i))
+	}
+
+	var inCS atomic.Int32
+	var violations atomic.Int32
+	counter := 0
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		m, err := bakery.New(choosing, number, i, bakery.WithPollInterval(200*time.Microsecond))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(m *bakery.Mutex) {
+			defer wg.Done()
+			for r := 0; r < 5; r++ {
+				if err := m.Lock(ctx); err != nil {
+					t.Errorf("lock: %v", err)
+					violations.Add(1)
+					return
+				}
+				if inCS.Add(1) != 1 {
+					violations.Add(1)
+				}
+				counter++
+				inCS.Add(-1)
+				if err := m.Unlock(ctx); err != nil {
+					t.Errorf("unlock: %v", err)
+					violations.Add(1)
+					return
+				}
+			}
+		}(m)
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d violations", violations.Load())
+	}
+	if counter != n*5 {
+		t.Fatalf("counter=%d, want %d", counter, n*5)
+	}
+}
+
+func TestMaxRegisterOverEmulation(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(44))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	const n = 3
+	regs := make([]maxreg.Register, n)
+	for i := 0; i < n; i++ {
+		regs[i] = cluster.Writer().Register(fmt.Sprintf("max/%d", i))
+	}
+
+	a, err := maxreg.New(regs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := maxreg.New(regs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := a.WriteMax(ctx, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMax(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.ReadMax(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 7 {
+		t.Fatalf("max %d, want 7", v)
+	}
+}
+
+func TestRenamingOverEmulation(t *testing.T) {
+	// Renaming — the problem that motivated the paper — over the emulated
+	// registers: concurrent processes with large ids acquire distinct small
+	// names, across a replica crash.
+	cluster, err := NewCluster(5, WithSeed(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const n = 3
+	regs := make([]snapshot.Register, n)
+	for i := 0; i < n; i++ {
+		regs[i] = cluster.Writer().Register(fmt.Sprintf("rename/%d", i))
+	}
+
+	names := make([]int64, n)
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		r, err := renaming.New(regs, i, int64(90000+i*31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, r *renaming.Renamer) {
+			defer wg.Done()
+			name, err := r.Acquire(ctx)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			names[i] = name
+		}(i, r)
+	}
+	cluster.Crash(2) // mid-protocol crash
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := renaming.ValidateNames(names); err != nil {
+		t.Fatalf("%v (names %v)", err, names)
+	}
+}

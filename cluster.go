@@ -1,0 +1,184 @@
+package abd
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// Cluster is a local, in-process deployment of the emulation: n replicas on
+// a simulated asynchronous network, plus as many clients as the caller
+// asks for. It is the workbench the examples, tests, and benchmarks build
+// on; for a real deployment over TCP see cmd/abd-node and cmd/abd-cli.
+type Cluster struct {
+	net      *netsim.Net
+	replicas []*core.Replica
+	ids      []types.NodeID
+	clients  []*core.Client
+	nextCli  types.NodeID
+
+	cfg clusterConfig
+}
+
+type clusterConfig struct {
+	seed          int64
+	minDelay      time.Duration
+	maxDelay      time.Duration
+	dropProb      float64
+	quorum        quorum.System
+	replicaOpts   []core.ReplicaOption
+	defaultClient []core.ClientOption
+}
+
+// Option configures a Cluster.
+type Option func(*clusterConfig)
+
+// WithSeed fixes the simulation's random seed (delays, drops).
+func WithSeed(seed int64) Option {
+	return func(c *clusterConfig) { c.seed = seed }
+}
+
+// WithDelays sets the uniform one-way message delay range.
+func WithDelays(min, max time.Duration) Option {
+	return func(c *clusterConfig) { c.minDelay, c.maxDelay = min, max }
+}
+
+// WithDropProbability makes each message be lost independently with
+// probability p. The paper's model assumes reliable links (p = 0); this
+// knob exists for stress testing.
+func WithDropProbability(p float64) Option {
+	return func(c *clusterConfig) { c.dropProb = p }
+}
+
+// WithQuorumSystem replaces the default majority quorums for all clients
+// created by the cluster.
+func WithQuorumSystem(qs quorum.System) Option {
+	return func(c *clusterConfig) { c.quorum = qs }
+}
+
+// WithBoundedTimestamps switches the whole cluster (replicas and clients)
+// to the bounded cyclic label mode with liveness window l. Implies
+// single-writer clients.
+func WithBoundedTimestamps(l int64) Option {
+	return func(c *clusterConfig) {
+		c.replicaOpts = append(c.replicaOpts, core.WithReplicaBoundedWindow(l))
+		c.defaultClient = append(c.defaultClient, core.WithBoundedLabels(l))
+	}
+}
+
+// WithClientDefaults appends protocol options applied to every client the
+// cluster creates (e.g. core.WithSingleWriter()).
+func WithClientDefaults(opts ...core.ClientOption) Option {
+	return func(c *clusterConfig) { c.defaultClient = append(c.defaultClient, opts...) }
+}
+
+// NewCluster starts n replicas (node ids 0..n-1) on a fresh simulated
+// network. Close must be called to release them.
+func NewCluster(n int, opts ...Option) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("abd: cluster size %d < 1", n)
+	}
+	if n > quorum.MaxNodes {
+		return nil, fmt.Errorf("abd: cluster size %d exceeds max %d", n, quorum.MaxNodes)
+	}
+	cfg := clusterConfig{seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	cl := &Cluster{
+		net: netsim.New(netsim.Config{
+			Seed:     cfg.seed,
+			MinDelay: cfg.minDelay,
+			MaxDelay: cfg.maxDelay,
+			DropProb: cfg.dropProb,
+		}),
+		nextCli: types.NodeID(10000),
+		cfg:     cfg,
+	}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		r := core.NewReplica(id, cl.net.Node(id), cfg.replicaOpts...)
+		r.Start()
+		cl.replicas = append(cl.replicas, r)
+		cl.ids = append(cl.ids, id)
+	}
+	return cl, nil
+}
+
+// Size returns the number of replicas.
+func (c *Cluster) Size() int { return len(c.replicas) }
+
+// ReplicaIDs returns the replica node ids in quorum-index order.
+func (c *Cluster) ReplicaIDs() []NodeID {
+	return append([]NodeID(nil), c.ids...)
+}
+
+// Client creates a new client attached to the cluster. Options are applied
+// after the cluster's defaults, so they win on conflicts.
+func (c *Cluster) Client(opts ...core.ClientOption) *Client {
+	id := c.nextCli
+	c.nextCli++
+	all := make([]core.ClientOption, 0, len(c.cfg.defaultClient)+len(opts)+1)
+	if c.cfg.quorum != nil {
+		all = append(all, core.WithQuorum(c.cfg.quorum))
+	}
+	all = append(all, c.cfg.defaultClient...)
+	all = append(all, opts...)
+	cli, err := core.NewClient(id, c.net.Node(id), c.ids, all...)
+	if err != nil {
+		// The cluster controls every input that could fail validation; an
+		// error here is a misconfigured option combination, surfaced early.
+		panic(fmt.Sprintf("abd: cluster client: %v", err))
+	}
+	c.clients = append(c.clients, cli)
+	return cli
+}
+
+// Writer creates a single-writer client (the paper's SWMR writer: one round
+// trip per write, no query phase).
+func (c *Cluster) Writer(opts ...core.ClientOption) *Client {
+	return c.Client(append([]core.ClientOption{core.WithSingleWriter()}, opts...)...)
+}
+
+// Crash fail-stops replica i (by index). Matching the paper's model, there
+// is no recovery.
+func (c *Cluster) Crash(i int) {
+	c.net.Crash(c.ids[i])
+}
+
+// Partition splits the network into groups of node ids (replicas and
+// clients alike). Nodes in no group are isolated.
+func (c *Cluster) Partition(groups ...[]NodeID) {
+	c.net.Partition(groups...)
+}
+
+// Heal removes any partition.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// Net exposes the underlying simulated network for fault injection
+// (internal/failure schedules target it directly).
+func (c *Cluster) Net() *netsim.Net { return c.net }
+
+// Replica returns replica i for state inspection in tests and tools.
+func (c *Cluster) Replica(i int) *core.Replica { return c.replicas[i] }
+
+// NetStats returns the simulated network's counters.
+func (c *Cluster) NetStats() netsim.Stats { return c.net.Stats() }
+
+// ResetNetStats zeroes the network counters (between benchmark phases).
+func (c *Cluster) ResetNetStats() { c.net.ResetStats() }
+
+// Close stops all clients and replicas and shuts the network down.
+func (c *Cluster) Close() {
+	for _, cli := range c.clients {
+		cli.Close()
+	}
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	c.net.Close()
+}

@@ -1,0 +1,223 @@
+package abd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/quorum"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestClusterQuickstartFlow(t *testing.T) {
+	cluster, err := NewCluster(5, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	client := cluster.Client()
+	if err := client.Write(ctx, "greeting", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Read(ctx, "greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewCluster(100); err == nil {
+		t.Fatal("size 100 accepted")
+	}
+}
+
+func TestClusterSurvivesMinorityCrashes(t *testing.T) {
+	cluster, err := NewCluster(5, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+	client := cluster.Client()
+
+	if err := client.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cluster.Crash(0)
+	cluster.Crash(4)
+	if err := client.Write(ctx, "x", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v2" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestClusterMajorityCrashBlocks(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.Client()
+
+	cluster.Crash(0)
+	cluster.Crash(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := client.Write(ctx, "x", []byte("v")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestClusterWriterFastPath(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	w := cluster.Writer()
+	for i := 0; i < 5; i++ {
+		if err := w.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := w.Metrics(); m.Phases != m.Writes {
+		t.Fatalf("writer fast path: %d phases for %d writes", m.Phases, m.Writes)
+	}
+}
+
+func TestClusterRegisterHandleImplementsInterface(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	var reg Register = cluster.Client().Register("r")
+	if err := reg.Write(ctx, []byte("via-interface")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := reg.Read(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "via-interface" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestClusterWithGridQuorum(t *testing.T) {
+	cluster, err := NewCluster(6, WithSeed(6), WithQuorumSystem(quorum.NewGrid(2, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+	client := cluster.Client()
+
+	if err := client.Write(ctx, "x", []byte("grid")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := client.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "grid" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestClusterBoundedTimestamps(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(7), WithBoundedTimestamps(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	w := cluster.Client() // defaults include bounded single-writer mode
+	for i := 0; i < 60; i++ {
+		if err := w.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := w.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v59" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestClusterPartitionAndHeal(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.Client()
+
+	ids := cluster.ReplicaIDs()
+	cluster.Partition([]NodeID{ids[0], client.ID()}, []NodeID{ids[1], ids[2]})
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if err := client.Write(ctx, "x", []byte("v")); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("want ErrNoQuorum, got %v", err)
+	}
+
+	cluster.Heal()
+	if err := client.Write(testCtx(t), "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterNetStats(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+	w := cluster.Writer()
+
+	cluster.ResetNetStats()
+	if err := w.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Let acks land.
+	time.Sleep(10 * time.Millisecond)
+	st := cluster.NetStats()
+	// SWMR write: n updates + n acks.
+	if st.Sent != 6 {
+		t.Fatalf("write sent %d messages, want 6", st.Sent)
+	}
+	if st.ByKind[byte(core.KindWrite)] != 3 || st.ByKind[byte(core.KindWriteAck)] != 3 {
+		t.Fatalf("per-kind counts: %v", st.ByKind)
+	}
+}

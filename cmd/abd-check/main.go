@@ -1,0 +1,85 @@
+// Command abd-check decides linearizability of a recorded register history
+// (JSON lines, as produced by abd-sim -out or internal/history.WriteJSON).
+//
+// Usage:
+//
+//	abd-check -in history.json [-timeout 30s] [-witness]
+//
+// Exit status: 0 linearizable, 1 not linearizable, 2 usage error,
+// 3 undecided (budget exhausted).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/lincheck"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		in      = flag.String("in", "", "history file (JSON lines); '-' for stdin")
+		timeout = flag.Duration("timeout", 30*time.Second, "search budget")
+		witness = flag.Bool("witness", false, "print a valid linearization order when found")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "usage: abd-check -in history.json [-timeout 30s] [-witness]")
+		return 2
+	}
+
+	f := os.Stdin
+	if *in != "-" {
+		var err error
+		f, err = os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-check: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+	}
+	ops, err := history.ReadJSON(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abd-check: %v\n", err)
+		return 2
+	}
+
+	results := lincheck.CheckRegisters(ops, lincheck.Config{Timeout: *timeout})
+	outcome := lincheck.AllLinearizable(results)
+	var explored int64
+	for _, res := range results {
+		explored += res.StatesExplored
+	}
+	fmt.Printf("%d operations over %d register(s): %s (states explored: %d)\n",
+		len(ops), len(results), outcome, explored)
+	for reg, res := range results {
+		if res.Outcome != lincheck.Linearizable {
+			fmt.Printf("  register %q: %s\n", reg, res.Outcome)
+		}
+	}
+	switch outcome {
+	case lincheck.Linearizable:
+		if *witness {
+			fmt.Println("witness per register (op indexes in linearization order):")
+			for reg, res := range results {
+				fmt.Printf("  register %q:\n", reg)
+				for _, idx := range res.Witness {
+					op := ops[idx]
+					fmt.Printf("    [%d] client %d %s %q\n", idx, op.Client, op.Kind, op.Value)
+				}
+			}
+		}
+		return 0
+	case lincheck.NotLinearizable:
+		return 1
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, order, err := parsePeers("2=host2:7002, 0=host0:7000,1=host1:7001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 {
+		t.Fatalf("peers: %v", peers)
+	}
+	if peers[0] != "host0:7000" || peers[2] != "host2:7002" {
+		t.Fatalf("addresses: %v", peers)
+	}
+	// Quorum indexing order must be ascending by id regardless of input
+	// order, so every client agrees on replica indexes.
+	want := []types.NodeID{0, 1, 2}
+	for i, id := range order {
+		if id != want[i] {
+			t.Fatalf("order: %v", order)
+		}
+	}
+}
+
+func TestParsePeersErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"  ",
+		"0:addr",  // wrong separator
+		"x=addr",  // non-numeric id
+		"0=a,0=b", // duplicate id
+	}
+	for _, s := range bad {
+		if _, _, err := parsePeers(s); err == nil {
+			t.Errorf("parsePeers(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command abd-node runs one ABD replica over TCP. A replica group of n
+// nodes emulates atomic registers tolerating any ⌊(n-1)/2⌋ crashes.
+//
+// Usage:
+//
+//	abd-node -id 0 -listen 127.0.0.1:7000 [-bounded-window L]
+//
+// Replicas need no peer table: they answer clients over the connections the
+// clients opened. Stop with SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/tcpnet"
+	"repro/internal/types"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id      = flag.Int("id", 0, "this replica's node id")
+		listen  = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		bounded = flag.Int64("bounded-window", 0, "enable bounded labels with this liveness window (0 = unbounded)")
+		wal     = flag.String("wal", "", "write-ahead log path for crash-recovery (empty = in-memory only)")
+	)
+	flag.Parse()
+
+	ep, err := tcpnet.Listen(tcpnet.Config{
+		ID:         types.NodeID(*id),
+		ListenAddr: *listen,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abd-node: %v\n", err)
+		return 1
+	}
+
+	var ropts []core.ReplicaOption
+	if *bounded > 0 {
+		ropts = append(ropts, core.WithReplicaBoundedWindow(*bounded))
+	}
+	var replica *core.Replica
+	if *wal != "" {
+		replica, err = core.NewPersistentReplica(types.NodeID(*id), ep, *wal, ropts...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: %v\n", err)
+			return 1
+		}
+	} else {
+		replica = core.NewReplica(types.NodeID(*id), ep, ropts...)
+	}
+	replica.Start()
+	fmt.Printf("abd-node: replica %d serving on %s\n", *id, ep.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	replica.Stop()
+	st := replica.Stats()
+	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d)\n",
+		st.Queries, st.Updates, st.Adoptions)
+	return 0
+}

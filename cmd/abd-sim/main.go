@@ -1,0 +1,206 @@
+// Command abd-sim runs a scripted scenario on the simulated network:
+// a concurrent read/write workload against an ABD cluster, with an optional
+// fault schedule, history recording, and linearizability checking.
+//
+// Usage:
+//
+//	abd-sim -n 5 -writers 2 -readers 3 -ops 20 \
+//	        -faults "crash:0@50ms; partition:1,2|3,4@100ms; heal@200ms" \
+//	        -check -out history.json
+//
+// The fault script syntax is documented in internal/failure. Operations
+// that cannot reach a quorum during a fault window are recorded as pending
+// (crashed) and the run continues — exactly how the model treats them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		n        = flag.Int("n", 5, "replica count")
+		writers  = flag.Int("writers", 2, "concurrent writer clients")
+		readers  = flag.Int("readers", 3, "concurrent reader clients")
+		ops      = flag.Int("ops", 20, "operations per client")
+		regs     = flag.Int("regs", 1, "number of registers the workload spreads over")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		minDelay = flag.Duration("min-delay", 0, "min one-way message delay")
+		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "max one-way message delay")
+		faults   = flag.String("faults", "", "fault script (see internal/failure)")
+		mode     = flag.String("mode", "atomic", "protocol variant: atomic | skip-unanimous | regular")
+		check    = flag.Bool("check", false, "run the linearizability checker on the history")
+		out      = flag.String("out", "", "write the history as JSON lines to this file")
+		opT      = flag.Duration("op-timeout", 2*time.Second, "per-operation deadline")
+	)
+	flag.Parse()
+
+	var copts []core.ClientOption
+	switch *mode {
+	case "atomic":
+	case "skip-unanimous":
+		copts = append(copts, core.WithSkipUnanimousWriteBack())
+	case "regular":
+		copts = append(copts, core.WithUnsafeNoWriteBack())
+	default:
+		fmt.Fprintf(os.Stderr, "abd-sim: unknown mode %q\n", *mode)
+		return 2
+	}
+
+	sched, err := failure.Parse(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+		return 2
+	}
+
+	net := netsim.New(netsim.Config{Seed: *seed, MinDelay: *minDelay, MaxDelay: *maxDelay})
+	defer net.Close()
+	replicas := make([]*core.Replica, *n)
+	ids := make([]types.NodeID, *n)
+	for i := 0; i < *n; i++ {
+		ids[i] = types.NodeID(i)
+		replicas[i] = core.NewReplica(ids[i], net.Node(ids[i]))
+		replicas[i].Start()
+		defer replicas[i].Stop()
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	go func() {
+		if err := sched.Run(ctx, net); err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: fault schedule: %v\n", err)
+		}
+	}()
+
+	rec := history.NewRecorder()
+	var wg sync.WaitGroup
+	var pendingOps, okOps int64
+	var mu sync.Mutex
+
+	nextID := types.NodeID(10000)
+	mkClient := func() (*core.Client, error) {
+		id := nextID
+		nextID++
+		return core.NewClient(id, net.Node(id), ids, copts...)
+	}
+
+	start := time.Now()
+	for w := 0; w < *writers; w++ {
+		cli, err := mkClient()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		defer cli.Close()
+		wg.Add(1)
+		go func(id int, cli *core.Client) {
+			defer wg.Done()
+			for j := 0; j < *ops; j++ {
+				reg := fmt.Sprintf("x%d", j%*regs)
+				val := []byte(fmt.Sprintf("w%d-%d", id, j))
+				p := rec.BeginWriteReg(id, reg, val)
+				octx, ocancel := context.WithTimeout(ctx, *opT)
+				err := cli.Write(octx, reg, val)
+				ocancel()
+				if err != nil {
+					p.Crash()
+					mu.Lock()
+					pendingOps++
+					mu.Unlock()
+					continue
+				}
+				p.EndWrite()
+				mu.Lock()
+				okOps++
+				mu.Unlock()
+			}
+		}(w, cli)
+	}
+	for r := 0; r < *readers; r++ {
+		cli, err := mkClient()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		defer cli.Close()
+		wg.Add(1)
+		go func(id int, cli *core.Client) {
+			defer wg.Done()
+			for j := 0; j < *ops; j++ {
+				reg := fmt.Sprintf("x%d", j%*regs)
+				p := rec.BeginReadReg(id, reg)
+				octx, ocancel := context.WithTimeout(ctx, *opT)
+				v, err := cli.Read(octx, reg)
+				ocancel()
+				if err != nil {
+					p.Crash()
+					mu.Lock()
+					pendingOps++
+					mu.Unlock()
+					continue
+				}
+				p.EndRead(v)
+				mu.Lock()
+				okOps++
+				mu.Unlock()
+			}
+		}(*writers+r, cli)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := net.Stats()
+	fmt.Printf("abd-sim: %d ok, %d pending/timed-out ops in %v (%d messages sent, %d dropped)\n",
+		okOps, pendingOps, elapsed.Round(time.Millisecond), st.Sent, st.Dropped)
+
+	histOps := rec.Ops()
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		if err := history.WriteJSON(f, histOps); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("abd-sim: history (%d ops) written to %s\n", len(histOps), *out)
+	}
+
+	if *check {
+		results := lincheck.CheckRegisters(histOps, lincheck.Config{Timeout: time.Minute})
+		outcome := lincheck.AllLinearizable(results)
+		fmt.Printf("abd-sim: history of %d ops over %d register(s) is %s\n",
+			len(histOps), len(results), outcome)
+		if outcome == lincheck.NotLinearizable {
+			for reg, res := range results {
+				if res.Outcome == lincheck.NotLinearizable {
+					fmt.Printf("abd-sim: register %q NOT linearizable\n", reg)
+				}
+			}
+			return 1
+		}
+	}
+	return 0
+}

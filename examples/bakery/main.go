@@ -1,0 +1,97 @@
+// bakery: Lamport's bakery mutual exclusion running over the emulated
+// registers — distributed locking with no lock server. Four processes
+// increment a shared counter under the lock; the final count proves no
+// update was lost, even with a replica crash in the middle.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/bakery"
+)
+
+func main() {
+	cluster, err := abd.NewCluster(5, abd.WithSeed(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	const procs = 4
+	const rounds = 5
+
+	choosing := make([]bakery.Register, procs)
+	number := make([]bakery.Register, procs)
+	for i := 0; i < procs; i++ {
+		w := cluster.Writer()
+		choosing[i] = w.Register(fmt.Sprintf("choosing/%d", i))
+		number[i] = w.Register(fmt.Sprintf("number/%d", i))
+	}
+	// The protected resource: a shared register, read-modify-written only
+	// inside the critical section.
+	counterClient := cluster.Client()
+
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		m, err := bakery.New(choosing, number, i, bakery.WithPollInterval(300*time.Microsecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, m *bakery.Mutex) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := m.Lock(ctx); err != nil {
+					log.Printf("p%d lock: %v", i, err)
+					return
+				}
+				// Critical section: read-modify-write, safe only under the
+				// lock (a register is not a fetch-and-add).
+				raw, err := counterClient.Read(ctx, "counter")
+				if err != nil {
+					log.Printf("p%d read: %v", i, err)
+					return
+				}
+				cur := 0
+				if raw != nil {
+					cur, _ = strconv.Atoi(string(raw))
+				}
+				if err := counterClient.Write(ctx, "counter", []byte(strconv.Itoa(cur+1))); err != nil {
+					log.Printf("p%d write: %v", i, err)
+					return
+				}
+				if err := m.Unlock(ctx); err != nil {
+					log.Printf("p%d unlock: %v", i, err)
+					return
+				}
+			}
+			fmt.Printf("process %d finished %d lock/increment/unlock rounds\n", i, rounds)
+		}(i, m)
+	}
+
+	// Crash a replica while the locks churn.
+	time.Sleep(5 * time.Millisecond)
+	cluster.Crash(2)
+	fmt.Println("(crashed replica 2 mid-run)")
+
+	wg.Wait()
+
+	raw, err := counterClient.Read(ctx, "counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final counter: %s (want %d — no lost updates means mutual exclusion held)\n",
+		raw, procs*rounds)
+	if string(raw) != strconv.Itoa(procs*rounds) {
+		log.Fatal("counter mismatch: mutual exclusion violated")
+	}
+}

@@ -1,0 +1,63 @@
+// Quickstart: emulate atomic registers on a 5-processor message-passing
+// cluster, then crash a minority and keep going — the paper's headline
+// guarantee, in a dozen lines of client code.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// Five replicas: tolerates any 2 crashes (f < n/2).
+	cluster, err := abd.NewCluster(5, abd.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	client := cluster.Client()
+	if err := client.Write(ctx, "greeting", []byte("hello, robust shared memory")); err != nil {
+		log.Fatal(err)
+	}
+	v, err := client.Read(ctx, "greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read: %s\n", v)
+
+	// Crash two of five replicas — a minority. Everything keeps working.
+	cluster.Crash(0)
+	cluster.Crash(3)
+	fmt.Println("crashed replicas 0 and 3 (f=2, n=5)")
+
+	if err := client.Write(ctx, "greeting", []byte("still here after 2 crashes")); err != nil {
+		log.Fatal(err)
+	}
+	v, err = client.Read(ctx, "greeting")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read: %s\n", v)
+
+	// Crash one more — now a majority is gone and the paper's impossibility
+	// result bites: operations cannot terminate.
+	cluster.Crash(1)
+	fmt.Println("crashed replica 1 (f=3 >= n/2: majority lost)")
+	shortCtx, cancelShort := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer cancelShort()
+	_, err = client.Read(shortCtx, "greeting")
+	if errors.Is(err, abd.ErrNoQuorum) {
+		fmt.Println("read blocked as the theory demands: no quorum")
+	} else {
+		log.Fatalf("expected ErrNoQuorum, got %v", err)
+	}
+}

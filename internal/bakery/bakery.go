@@ -1,0 +1,176 @@
+// Package bakery implements Lamport's bakery mutual-exclusion algorithm on
+// top of atomic single-writer registers. It is the second demonstration
+// workload for the paper's thesis: a classic shared-memory algorithm runs
+// unchanged in a message-passing system once registers are emulated.
+//
+// Each process i owns two SWMR registers: choosing[i] and number[i]. To
+// lock, a process picks a ticket one larger than every number it sees, then
+// waits for every other process to either hold no ticket or hold a larger
+// (ticket, id) pair. Shared-memory busy-waiting becomes polling reads of
+// the emulated registers.
+//
+// The bakery needs only *safe* registers in shared memory; atomic registers
+// are more than strong enough.
+package bakery
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Register is the SWMR register the bakery is built from.
+type Register interface {
+	Read(ctx context.Context) (types.Value, error)
+	Write(ctx context.Context, val types.Value) error
+}
+
+// Mutex is one process's handle on the distributed lock.
+type Mutex struct {
+	choosing []Register // choosing[i] owned by process i
+	number   []Register // number[i] owned by process i
+	me       int
+	poll     time.Duration
+}
+
+// Option configures a Mutex.
+type Option func(*Mutex)
+
+// WithPollInterval sets the delay between busy-wait polls (default 1ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(m *Mutex) { m.poll = d }
+}
+
+// New creates a handle for process me. All processes must pass the same
+// register slices in the same order; choosing[i] and number[i] must be
+// written only by process i.
+func New(choosing, number []Register, me int, opts ...Option) (*Mutex, error) {
+	if len(choosing) == 0 || len(choosing) != len(number) {
+		return nil, fmt.Errorf("bakery: register arrays must be non-empty and equal length (%d, %d)",
+			len(choosing), len(number))
+	}
+	if me < 0 || me >= len(choosing) {
+		return nil, fmt.Errorf("bakery: process %d out of range [0,%d)", me, len(choosing))
+	}
+	m := &Mutex{choosing: choosing, number: number, me: me, poll: time.Millisecond}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+func encodeInt(v int64) types.Value { return []byte(strconv.FormatInt(v, 10)) }
+
+func decodeInt(raw types.Value) (int64, error) {
+	if raw == nil || len(raw) == 0 {
+		return 0, nil // initial state: no ticket
+	}
+	v, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bakery: bad register contents %q: %w", raw, err)
+	}
+	return v, nil
+}
+
+// Lock acquires the mutex, blocking (by polling) until the bakery's turn
+// order admits this process or ctx expires. On ctx expiry the ticket is
+// withdrawn on a best-effort basis.
+func (m *Mutex) Lock(ctx context.Context) error {
+	// Doorway: announce we are choosing, pick a ticket beyond every visible
+	// number, then close the doorway.
+	if err := m.choosing[m.me].Write(ctx, encodeInt(1)); err != nil {
+		return fmt.Errorf("bakery lock: %w", err)
+	}
+	max := int64(0)
+	for j := range m.number {
+		v, err := m.readInt(ctx, m.number[j])
+		if err != nil {
+			return m.abandon(err)
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if err := m.number[m.me].Write(ctx, encodeInt(max+1)); err != nil {
+		return m.abandon(err)
+	}
+	if err := m.choosing[m.me].Write(ctx, encodeInt(0)); err != nil {
+		return m.abandon(err)
+	}
+	myTicket := max + 1
+
+	// Wait for every other process to pass us in the turn order.
+	for j := range m.number {
+		if j == m.me {
+			continue
+		}
+		// First: j must not be mid-doorway.
+		if err := m.await(ctx, func() (bool, error) {
+			v, err := m.readInt(ctx, m.choosing[j])
+			return v == 0, err
+		}); err != nil {
+			return m.abandon(err)
+		}
+		// Second: j either holds no ticket or comes after us.
+		if err := m.await(ctx, func() (bool, error) {
+			v, err := m.readInt(ctx, m.number[j])
+			if err != nil {
+				return false, err
+			}
+			return v == 0 || v > myTicket || (v == myTicket && j > m.me), nil
+		}); err != nil {
+			return m.abandon(err)
+		}
+	}
+	return nil
+}
+
+// Unlock releases the mutex.
+func (m *Mutex) Unlock(ctx context.Context) error {
+	if err := m.number[m.me].Write(ctx, encodeInt(0)); err != nil {
+		return fmt.Errorf("bakery unlock: %w", err)
+	}
+	return nil
+}
+
+// abandon withdraws our ticket after a failed lock attempt so other
+// processes are not blocked forever. Best effort with a fresh, short
+// deadline because the original context may already be dead.
+func (m *Mutex) abandon(cause error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = m.number[m.me].Write(ctx, encodeInt(0))
+	_ = m.choosing[m.me].Write(ctx, encodeInt(0))
+	return fmt.Errorf("bakery lock: %w", cause)
+}
+
+func (m *Mutex) readInt(ctx context.Context, reg Register) (int64, error) {
+	raw, err := reg.Read(ctx)
+	if err != nil {
+		return 0, err
+	}
+	return decodeInt(raw)
+}
+
+// await polls cond until it holds, the poll errors, or ctx expires.
+func (m *Mutex) await(ctx context.Context, cond func() (bool, error)) error {
+	for {
+		ok, err := cond()
+		if err != nil {
+			return err
+		}
+		if ok {
+			return nil
+		}
+		timer := time.NewTimer(m.poll)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		}
+	}
+}

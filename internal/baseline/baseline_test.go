@@ -1,0 +1,240 @@
+package baseline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+func ctxT(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCentralReadWrite(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 1})
+	defer net.Close()
+
+	srv := NewCentralServer(0, net.Node(0))
+	srv.Start()
+	defer srv.Stop()
+
+	cli := NewCentralClient(100, net.Node(100), 0)
+	defer cli.Close()
+	ctx := ctxT(t)
+
+	if err := cli.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v1" {
+		t.Fatalf("read %q", v)
+	}
+	// Initial state of another register.
+	v, err = cli.Read(ctx, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Fatalf("initial read %v, want nil", v)
+	}
+}
+
+func TestCentralTwoClients(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 2})
+	defer net.Close()
+	srv := NewCentralServer(0, net.Node(0))
+	srv.Start()
+	defer srv.Stop()
+
+	a := NewCentralClient(100, net.Node(100), 0)
+	defer a.Close()
+	b := NewCentralClient(101, net.Node(101), 0)
+	defer b.Close()
+	ctx := ctxT(t)
+
+	if err := a.Write(ctx, "x", []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "from-a" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestCentralSingleCrashKillsEverything(t *testing.T) {
+	// The baseline's defining weakness: no fault tolerance at all.
+	net := netsim.New(netsim.Config{Seed: 3})
+	defer net.Close()
+	srv := NewCentralServer(0, net.Node(0))
+	srv.Start()
+	defer srv.Stop()
+	cli := NewCentralClient(100, net.Node(100), 0)
+	defer cli.Close()
+
+	if err := cli.Write(ctxT(t), "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(0)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Read(ctx, "x"); err == nil {
+		t.Fatal("read succeeded with the server crashed")
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel2()
+	if err := cli.Write(ctx2, "x", []byte("v2")); err == nil {
+		t.Fatal("write succeeded with the server crashed")
+	}
+}
+
+func newROWACluster(t *testing.T, n int) (*netsim.Net, []*core.Replica, []types.NodeID) {
+	t.Helper()
+	net := netsim.New(netsim.Config{Seed: 4})
+	var replicas []*core.Replica
+	var ids []types.NodeID
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		r := core.NewReplica(id, net.Node(id))
+		r.Start()
+		replicas = append(replicas, r)
+		ids = append(ids, id)
+	}
+	t.Cleanup(func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+		net.Close()
+	})
+	return net, replicas, ids
+}
+
+func TestROWAReadWrite(t *testing.T) {
+	net, _, ids := newROWACluster(t, 3)
+	_ = net
+	cli, err := NewROWAClient(100, net.Node(100), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := ctxT(t)
+
+	if err := cli.Write(ctx, "x", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // round-robin over all replicas
+		v, err := cli.Read(ctx, "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != "v1" {
+			t.Fatalf("read %d: %q", i, v)
+		}
+	}
+}
+
+func TestROWAReadUsesTwoMessages(t *testing.T) {
+	net, _, ids := newROWACluster(t, 5)
+	cli, err := NewROWAClient(100, net.Node(100), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx := ctxT(t)
+
+	if err := cli.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	net.ResetStats()
+	if _, err := cli.Read(ctx, "x"); err != nil {
+		t.Fatal(err)
+	}
+	// Read-one: exactly 1 query + 1 reply, regardless of group size.
+	time.Sleep(10 * time.Millisecond)
+	st := net.Stats()
+	if st.Sent != 2 {
+		t.Fatalf("ROWA read sent %d messages, want 2", st.Sent)
+	}
+}
+
+func TestROWAWriteBlocksAfterOneCrash(t *testing.T) {
+	net, _, ids := newROWACluster(t, 5)
+	cli, err := NewROWAClient(100, net.Node(100), ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.Write(ctxT(t), "x", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	net.Crash(3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	if err := cli.Write(ctx, "x", []byte("after")); !errors.Is(err, types.ErrNoQuorum) {
+		t.Fatalf("ROWA write with a crashed replica: want ErrNoQuorum, got %v", err)
+	}
+
+	// Reads keep working as long as the round-robin hits a live replica —
+	// and fail when it hits the dead one. Count both behaviours.
+	okCount, failCount := 0, 0
+	for i := 0; i < 10; i++ {
+		rctx, rcancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+		if _, err := cli.Read(rctx, "x"); err == nil {
+			okCount++
+		} else {
+			failCount++
+		}
+		rcancel()
+	}
+	if okCount == 0 {
+		t.Fatal("all ROWA reads failed; round-robin should mostly hit live replicas")
+	}
+	if failCount == 0 {
+		t.Fatal("no ROWA read hit the crashed replica in 10 rotations of 5")
+	}
+}
+
+func TestCentralManyRegisters(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 5})
+	defer net.Close()
+	srv := NewCentralServer(0, net.Node(0))
+	srv.Start()
+	defer srv.Stop()
+	cli := NewCentralClient(100, net.Node(100), 0)
+	defer cli.Close()
+	ctx := ctxT(t)
+
+	for i := 0; i < 20; i++ {
+		reg := fmt.Sprintf("r%d", i)
+		if err := cli.Write(ctx, reg, []byte(reg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		reg := fmt.Sprintf("r%d", i)
+		v, err := cli.Read(ctx, reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(v) != reg {
+			t.Fatalf("reg %s: %q", reg, v)
+		}
+	}
+}

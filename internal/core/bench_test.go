@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/timestamp"
+	"repro/internal/types"
+)
+
+func BenchmarkMessageEncode(b *testing.B) {
+	m := message{
+		Kind: KindWrite,
+		Op:   123456,
+		Reg:  "registers/benchmark",
+		Tag:  Tag{Valid: true, TS: timestamp.TS{Seq: 987654, Writer: 7}},
+		Val:  make([]byte, 256),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.encode()
+	}
+}
+
+func BenchmarkMessageDecode(b *testing.B) {
+	m := message{
+		Kind: KindWrite,
+		Op:   123456,
+		Reg:  "registers/benchmark",
+		Tag:  Tag{Valid: true, TS: timestamp.TS{Seq: 987654, Writer: 7}},
+		Val:  make([]byte, 256),
+	}
+	payload := m.encode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeMessage(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndWrite measures a full single-writer write on the
+// zero-delay simulator: encode, 2n messages, decode, adopt, collect quorum.
+func BenchmarkEndToEndWrite(b *testing.B) {
+	net := netsim.New(netsim.Config{Seed: 1})
+	defer net.Close()
+	ids := []types.NodeID{0, 1, 2}
+	for _, id := range ids {
+		r := NewReplica(id, net.Node(id))
+		r.Start()
+		defer r.Stop()
+	}
+	cli, err := NewClient(100, net.Node(100), ids, WithSingleWriter())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cli.Write(ctx, "x", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndRead measures the two-phase read on the same substrate.
+func BenchmarkEndToEndRead(b *testing.B) {
+	net := netsim.New(netsim.Config{Seed: 1})
+	defer net.Close()
+	ids := []types.NodeID{0, 1, 2}
+	for _, id := range ids {
+		r := NewReplica(id, net.Node(id))
+		r.Start()
+		defer r.Stop()
+	}
+	cli, err := NewClient(100, net.Node(100), ids)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cli.Write(ctx, "x", make([]byte, 128)); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Read(ctx, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

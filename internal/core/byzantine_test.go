@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// byzCluster wires n-1 honest replicas plus one Byzantine replica at the
+// given index.
+type byzCluster struct {
+	t       *testing.T
+	net     *netsim.Net
+	honest  []*Replica
+	liar    *ByzantineReplica
+	ids     []types.NodeID
+	clients []*Client
+	nextCli types.NodeID
+}
+
+func newByzCluster(t *testing.T, n, liarIdx int, mode ByzMode) *byzCluster {
+	t.Helper()
+	c := &byzCluster{t: t, net: netsim.New(netsim.Config{Seed: 60}), nextCli: 1000}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		c.ids = append(c.ids, id)
+		if i == liarIdx {
+			c.liar = NewByzantineReplica(id, c.net.Node(id), mode, 1)
+			c.liar.Start()
+			continue
+		}
+		r := NewReplica(id, c.net.Node(id))
+		r.Start()
+		c.honest = append(c.honest, r)
+	}
+	t.Cleanup(func() {
+		for _, cl := range c.clients {
+			cl.Close()
+		}
+		for _, r := range c.honest {
+			r.Stop()
+		}
+		c.liar.Stop()
+		c.net.Close()
+	})
+	return c
+}
+
+func (c *byzCluster) client(opts ...ClientOption) *Client {
+	c.t.Helper()
+	id := c.nextCli
+	c.nextCli++
+	cl, err := NewClient(id, c.net.Node(id), c.ids, opts...)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	c.clients = append(c.clients, cl)
+	return cl
+}
+
+func maskingOpts(n, f int) []ClientOption {
+	return []ClientOption{
+		WithQuorum(quorum.NewMasking(n, f)),
+		WithMaskingFaults(f),
+	}
+}
+
+func TestFabricatingReplicaCorruptsPlainMajorityReads(t *testing.T) {
+	// The attack the masking extension exists for: with plain majorities, a
+	// single fabricating replica wins every read that includes it, because
+	// its timestamp is enormous.
+	c := newByzCluster(t, 5, 0, ByzFabricate)
+	w := c.client(WithSingleWriter())
+	r := c.client()
+	ctx := shortCtx(t)
+
+	mustWrite(t, ctx, w, "x", "genuine")
+	corrupted := false
+	for i := 0; i < 10; i++ {
+		if got := mustRead(t, ctx, r, "x"); got == "byzantine-fabrication" {
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("the liar never corrupted a plain-majority read; attack setup is broken")
+	}
+}
+
+func TestMaskingQuorumsDefeatFabrication(t *testing.T) {
+	for _, mode := range []ByzMode{ByzFabricate, ByzStale, ByzSilent, ByzEquivocate} {
+		mode := mode
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			const n, f = 5, 1
+			c := newByzCluster(t, n, 2, mode)
+			w := c.client(append(maskingOpts(n, f), WithSingleWriter())...)
+			r := c.client(maskingOpts(n, f)...)
+			ctx := shortCtx(t)
+
+			for i := 0; i < 10; i++ {
+				want := fmt.Sprintf("genuine-%d", i)
+				mustWrite(t, ctx, w, "x", want)
+				if got := mustRead(t, ctx, r, "x"); got != want {
+					t.Fatalf("iteration %d: read %q, want %q", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestMaskingToleratesLiarPlusNothingElse(t *testing.T) {
+	// n=5, f=1 masking quorums have size 4: the system needs every honest
+	// replica when the liar goes silent, and stalls if one more crashes —
+	// the documented n >= 4f+1 resilience budget.
+	const n, f = 5, 1
+	c := newByzCluster(t, n, 0, ByzSilent)
+	cli := c.client(append(maskingOpts(n, f), WithSingleWriter())...)
+	ctx := shortCtx(t)
+
+	mustWrite(t, ctx, cli, "x", "works-with-4-honest")
+	if got := mustRead(t, ctx, cli, "x"); got != "works-with-4-honest" {
+		t.Fatalf("read %q", got)
+	}
+}
+
+func TestMaskingMultiWriterUnderAttack(t *testing.T) {
+	const n, f = 5, 1
+	c := newByzCluster(t, n, 4, ByzEquivocate)
+	ctx := shortCtx(t)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		cli := c.client(maskingOpts(n, f)...)
+		wg.Add(1)
+		go func(i int, cli *Client) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if err := cli.Write(ctx, "x", []byte(fmt.Sprintf("w%d-%d", i, j))); err != nil {
+					errCh <- err
+					return
+				}
+				v, err := cli.Read(ctx, "x")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(v) > 0 && v[0] != 'w' {
+					errCh <- fmt.Errorf("read fabricated value %q", v)
+					return
+				}
+			}
+		}(i, cli)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskingValidate(t *testing.T) {
+	if err := quorum.NewMasking(5, 1).Validate(); err != nil {
+		t.Fatalf("n=5 f=1: %v", err)
+	}
+	if err := quorum.NewMasking(4, 1).Validate(); err == nil {
+		t.Fatal("n=4 f=1 accepted (needs n >= 4f+1)")
+	}
+	if err := quorum.NewMasking(9, 2).Validate(); err != nil {
+		t.Fatalf("n=9 f=2: %v", err)
+	}
+	m := quorum.NewMasking(5, 1)
+	if m.QuorumSize() != 4 {
+		t.Fatalf("quorum size %d, want 4", m.QuorumSize())
+	}
+	if m.MinIntersection() != 3 {
+		t.Fatalf("min intersection %d, want 3 (= 2f+1)", m.MinIntersection())
+	}
+}

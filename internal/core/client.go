@@ -1,0 +1,554 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/quorum"
+	"repro/internal/timestamp"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Client is one processor's invocation side of the emulation. It issues the
+// paper's two-phase operations against a fixed replica group:
+//
+//	Write(v):  [multi-writer: query a read quorum for the max timestamp]
+//	           send (ts, v) to all, await a write quorum of acks.
+//	Read():    query all, await a read quorum, pick the max-timestamp pair,
+//	           write it back to a write quorum, return the value.
+//
+// A Client is safe for concurrent use; overlapping operations are
+// multiplexed over one endpoint by operation identifiers.
+type Client struct {
+	id       types.NodeID
+	ep       transport.Endpoint
+	replicas []types.NodeID
+	index    map[types.NodeID]int
+	qs       quorum.System
+	ord      order
+
+	// Mode flags; see options.go.
+	singleWriter  bool
+	skipUnanimous bool
+	noWriteBack   bool
+	bounded       bool
+	boundedDom    timestamp.Cyclic
+	readFanout    int
+	writeFanout   int
+	rrNext        atomic.Uint64 // round-robin cursor for partial fanout
+	retransmit    time.Duration // 0 = never (the model's reliable channels)
+	maskF         int           // Byzantine replicas tolerated (masking quorums)
+
+	// Single-writer state: the last sequence number (unbounded) or label
+	// (bounded) issued, per register.
+	swMu    sync.Mutex
+	swSeq   map[string]int64
+	swLabel map[string]int64
+	swWrote map[string]bool // whether swLabel holds a real label yet
+
+	opSeq   atomic.Uint64
+	pendMu  sync.Mutex
+	pending map[uint64]*opInbox
+
+	started atomic.Bool
+	done    chan struct{}
+
+	metrics Metrics
+}
+
+// NewClient creates a client for the given replica group. The client takes
+// ownership of the endpoint: Close closes it. The replica slice's order
+// defines quorum set indexes and must match the order used to size the
+// quorum system.
+func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, opts ...ClientOption) (*Client, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("core: empty replica group")
+	}
+	if len(replicas) > quorum.MaxNodes {
+		return nil, fmt.Errorf("core: replica group of %d exceeds max %d", len(replicas), quorum.MaxNodes)
+	}
+	c := &Client{
+		id:       id,
+		ep:       ep,
+		replicas: append([]types.NodeID(nil), replicas...),
+		index:    make(map[types.NodeID]int, len(replicas)),
+		qs:       quorum.NewMajority(len(replicas)),
+		ord:      unboundedOrder{},
+		swSeq:    make(map[string]int64),
+		swLabel:  make(map[string]int64),
+		swWrote:  make(map[string]bool),
+		pending:  make(map[uint64]*opInbox),
+		done:     make(chan struct{}),
+	}
+	for i, rid := range c.replicas {
+		if _, dup := c.index[rid]; dup {
+			return nil, fmt.Errorf("core: duplicate replica %v", rid)
+		}
+		c.index[rid] = i
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if c.qs.Size() != len(c.replicas) {
+		return nil, fmt.Errorf("core: quorum system sized for %d replicas, group has %d",
+			c.qs.Size(), len(c.replicas))
+	}
+	if c.bounded && !c.singleWriter {
+		return nil, fmt.Errorf("core: bounded labels require the single-writer mode")
+	}
+	c.start()
+	return c, nil
+}
+
+// ID returns the client's node identifier.
+func (c *Client) ID() types.NodeID { return c.id }
+
+// Metrics returns a snapshot of the client's operation counters.
+func (c *Client) Metrics() MetricsSnapshot { return c.metrics.snapshot() }
+
+func (c *Client) start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	go c.demux()
+}
+
+// Close shuts the client down, failing any in-flight operations.
+func (c *Client) Close() {
+	if c.started.CompareAndSwap(false, true) {
+		close(c.done)
+		_ = c.ep.Close()
+		return
+	}
+	_ = c.ep.Close()
+	<-c.done
+}
+
+// demux routes replies to the in-flight operation that is waiting for them.
+func (c *Client) demux() {
+	defer close(c.done)
+	for raw := range c.ep.Recv() {
+		m, err := decodeMessage(raw.Payload)
+		if err != nil {
+			c.metrics.badMsgs.Add(1)
+			continue
+		}
+		if m.Kind != KindReadReply && m.Kind != KindWriteAck {
+			c.metrics.badMsgs.Add(1)
+			continue
+		}
+		c.pendMu.Lock()
+		inbox, ok := c.pending[m.Op]
+		c.pendMu.Unlock()
+		if !ok {
+			// A straggler reply for a finished operation; the protocol
+			// discards these by design.
+			c.metrics.stragglers.Add(1)
+			continue
+		}
+		m.fromReplica = raw.From
+		inbox.put(m)
+	}
+}
+
+// opInbox buffers one in-flight operation's replies without bounds, so
+// duplicated or bursty replies can never crowd out a reply from a distinct
+// replica (the substrate may deliver at-least-once).
+type opInbox struct {
+	mu     sync.Mutex
+	buf    []message
+	notify chan struct{} // capacity 1: "buf may be non-empty"
+}
+
+func newOpInbox() *opInbox {
+	return &opInbox{notify: make(chan struct{}, 1)}
+}
+
+func (in *opInbox) put(m message) {
+	in.mu.Lock()
+	in.buf = append(in.buf, m)
+	in.mu.Unlock()
+	select {
+	case in.notify <- struct{}{}:
+	default:
+	}
+}
+
+// drain removes and returns all buffered replies.
+func (in *opInbox) drain() []message {
+	in.mu.Lock()
+	out := in.buf
+	in.buf = nil
+	in.mu.Unlock()
+	return out
+}
+
+// phase broadcasts one request to every replica and collects replies until
+// the responder set satisfies pred. It returns the replies that formed the
+// quorum (one per replica, duplicates discarded).
+func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool) ([]message, error) {
+	op := c.opSeq.Add(1)
+	req.Op = op
+	inbox := newOpInbox()
+
+	c.pendMu.Lock()
+	c.pending[op] = inbox
+	c.pendMu.Unlock()
+	defer func() {
+		c.pendMu.Lock()
+		delete(c.pending, op)
+		c.pendMu.Unlock()
+	}()
+
+	payload := req.encode()
+	targets := c.targets(req.Kind)
+	for _, rid := range targets {
+		if err := c.ep.Send(rid, payload); err != nil {
+			return nil, fmt.Errorf("send to %v: %w", rid, err)
+		}
+		c.metrics.msgsSent.Add(1)
+	}
+	c.metrics.phases.Add(1)
+
+	var retransmitCh <-chan time.Time
+	if c.retransmit > 0 {
+		ticker := time.NewTicker(c.retransmit)
+		defer ticker.Stop()
+		retransmitCh = ticker.C
+	}
+
+	var (
+		set     quorum.Set
+		seen    = make([]bool, len(c.replicas))
+		replies = make([]message, 0, len(c.replicas))
+	)
+	for {
+		select {
+		case <-inbox.notify:
+			for _, m := range inbox.drain() {
+				i, ok := c.index[m.fromReplica]
+				if !ok || seen[i] {
+					c.metrics.stragglers.Add(1)
+					continue
+				}
+				seen[i] = true
+				set = set.Add(i)
+				replies = append(replies, m)
+			}
+			if pred(set) {
+				return replies, nil
+			}
+		case <-retransmitCh:
+			// Re-send to the replicas that have not answered. Safe because
+			// every protocol message is idempotent.
+			for _, rid := range targets {
+				if i, ok := c.index[rid]; ok && seen[i] {
+					continue
+				}
+				if err := c.ep.Send(rid, payload); err != nil {
+					continue
+				}
+				c.metrics.msgsSent.Add(1)
+				c.metrics.retransmits.Add(1)
+			}
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w: %s phase got %d/%d replies: %v",
+				types.ErrNoQuorum, req.Kind, set.Count(), len(c.replicas), ctx.Err())
+		case <-c.done:
+			// The client was closed under us: no more replies can arrive.
+			return nil, fmt.Errorf("%s phase: %w", req.Kind, types.ErrClosed)
+		}
+	}
+}
+
+// targets returns the replicas a phase contacts: everyone by default, or a
+// round-robin window of the configured fanout.
+func (c *Client) targets(kind Kind) []types.NodeID {
+	fanout := c.writeFanout
+	if kind == KindReadQuery {
+		fanout = c.readFanout
+	}
+	n := len(c.replicas)
+	if fanout <= 0 || fanout >= n {
+		return c.replicas
+	}
+	start := int(c.rrNext.Add(1)-1) % n
+	out := make([]types.NodeID, 0, fanout)
+	for i := 0; i < fanout; i++ {
+		out = append(out, c.replicas[(start+i)%n])
+	}
+	return out
+}
+
+// maxTag returns the newest tag among replies along with its value. In
+// masking mode (maskF > 0) only pairs vouched for by at least maskF+1
+// replicas are eligible; ok reports whether any pair was eligible (always
+// true outside masking mode).
+func (c *Client) maxTag(replies []message) (tag Tag, val types.Value, ok bool, err error) {
+	if c.maskF > 0 {
+		replies = c.vouched(replies)
+		if len(replies) == 0 {
+			return Tag{}, nil, false, nil
+		}
+	}
+	best := Tag{}
+	for _, m := range replies {
+		cmp, err := c.ord.compare(m.Tag, best)
+		if err != nil {
+			c.metrics.orderViolations.Add(1)
+			return Tag{}, nil, false, fmt.Errorf("core: cannot order replica tags: %w", err)
+		}
+		if cmp > 0 {
+			best = m.Tag
+			val = m.Val
+		}
+	}
+	return best, val, true, nil
+}
+
+// vouched filters replies down to one representative per (tag, value) pair
+// reported identically by at least maskF+1 distinct replicas. At most maskF
+// replicas are Byzantine, so every surviving pair was reported by a correct
+// replica and is a genuine protocol value.
+func (c *Client) vouched(replies []message) []message {
+	type groupEntry struct {
+		count int
+		rep   message
+	}
+	groups := make(map[string]*groupEntry, len(replies))
+	for _, m := range replies {
+		key := fmt.Sprintf("%v|%d|%d|%v|%d|%s",
+			m.Tag.Valid, m.Tag.TS.Seq, m.Tag.TS.Writer, m.Tag.Bounded, m.Tag.Label, m.Val)
+		if g, exists := groups[key]; exists {
+			g.count++
+		} else {
+			groups[key] = &groupEntry{count: 1, rep: m}
+		}
+	}
+	out := make([]message, 0, len(groups))
+	for _, g := range groups {
+		if g.count >= c.maskF+1 {
+			out = append(out, g.rep)
+		}
+	}
+	return out
+}
+
+// Read performs the atomic read: query a read quorum, pick the newest pair,
+// write it back to a write quorum, return the value. A register that was
+// never written reads as nil.
+func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
+	var (
+		best    Tag
+		val     types.Value
+		replies []message
+	)
+	for {
+		var err error
+		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+		if err != nil {
+			return nil, fmt.Errorf("read %q: %w", reg, err)
+		}
+		var ok bool
+		best, val, ok, err = c.maxTag(replies)
+		if err != nil {
+			return nil, fmt.Errorf("read %q: %w", reg, err)
+		}
+		if ok {
+			break
+		}
+		// Masking mode: no pair had f+1 support (write concurrency split
+		// the vote); query again.
+		c.metrics.maskRetries.Add(1)
+	}
+	c.metrics.reads.Add(1)
+	if !best.Valid {
+		// Initial state everywhere: nothing to propagate.
+		return nil, nil
+	}
+
+	if c.noWriteBack {
+		c.metrics.writeBacksSkipped.Add(1)
+		return val, nil
+	}
+	if c.skipUnanimous && unanimous(replies, best) {
+		// Every member of a full read quorum already stores the pair, so
+		// any later read quorum intersects it and will see a tag >= best:
+		// the write-back would be a no-op. (Safe optimization.)
+		c.metrics.writeBacksSkipped.Add(1)
+		return val, nil
+	}
+
+	wb := message{Kind: KindWrite, Reg: reg, Tag: best, Val: val}
+	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum); err != nil {
+		return nil, fmt.Errorf("read %q write-back: %w", reg, err)
+	}
+	c.metrics.writeBacks.Add(1)
+	return val, nil
+}
+
+func unanimous(replies []message, tag Tag) bool {
+	for _, m := range replies {
+		if m.Tag != tag {
+			return false
+		}
+	}
+	return true
+}
+
+// Write performs the atomic write. In multi-writer mode (the default) it
+// first queries a read quorum to find the newest timestamp and then
+// broadcasts its successor; in single-writer mode it uses its local
+// sequence counter and needs no query phase.
+func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
+	tag, err := c.nextTag(ctx, reg)
+	if err != nil {
+		return fmt.Errorf("write %q: %w", reg, err)
+	}
+	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum); err != nil {
+		return fmt.Errorf("write %q: %w", reg, err)
+	}
+	c.metrics.writes.Add(1)
+	return nil
+}
+
+// nextTag chooses the tag for a new write.
+func (c *Client) nextTag(ctx context.Context, reg string) (Tag, error) {
+	switch {
+	case c.bounded:
+		return c.nextBoundedTag(ctx, reg)
+	case c.singleWriter:
+		// The local counter is the whole point of the single-writer fast
+		// path: no query phase, one round trip per write. A sequence number
+		// is consumed even if the write later fails — timestamps need only
+		// be monotone, not dense.
+		c.swMu.Lock()
+		c.swSeq[reg]++
+		seq := c.swSeq[reg]
+		c.swMu.Unlock()
+		return Tag{Valid: true, TS: timestamp.TS{Seq: seq, Writer: c.id}}, nil
+	default:
+		// Multi-writer: learn the newest timestamp from a read quorum, then
+		// exceed it. Write quorums must pairwise intersect for this to
+		// observe every completed write (quorum.VerifyWriteIntersection).
+		for {
+			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+			if err != nil {
+				return Tag{}, err
+			}
+			best, _, ok, err := c.maxTag(replies)
+			if err != nil {
+				return Tag{}, err
+			}
+			if !ok {
+				c.metrics.maskRetries.Add(1)
+				continue
+			}
+			return Tag{Valid: true, TS: best.TS.Next(c.id)}, nil
+		}
+	}
+}
+
+// nextBoundedTag implements the bounded-label write: collect the labels
+// live at a read quorum (plus the writer's own last label) and pick a
+// dominating label from the cyclic domain.
+func (c *Client) nextBoundedTag(ctx context.Context, reg string) (Tag, error) {
+	replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+	if err != nil {
+		return Tag{}, err
+	}
+	live := make([]int64, 0, len(replies)+1)
+	for _, m := range replies {
+		if m.Tag.Valid && m.Tag.Bounded {
+			live = append(live, m.Tag.Label)
+		}
+	}
+	c.swMu.Lock()
+	if c.swWrote[reg] {
+		live = append(live, c.swLabel[reg])
+	}
+	c.swMu.Unlock()
+
+	label, err := c.boundedDom.Dominating(live)
+	if err != nil {
+		c.metrics.orderViolations.Add(1)
+		return Tag{}, err
+	}
+	// Record the label immediately: even if the broadcast fails part-way,
+	// some replicas may have adopted it, so it is live and the next write
+	// must dominate it.
+	c.swMu.Lock()
+	c.swLabel[reg] = label
+	c.swWrote[reg] = true
+	c.swMu.Unlock()
+	return Tag{Valid: true, Bounded: true, Label: label}, nil
+}
+
+// QueryMax runs a single query phase: it returns the newest (tag, value)
+// pair found at a read quorum, without the read's write-back. It is the
+// building block internal/reconfig uses to read across configurations; a
+// bare QueryMax is only a regular read, not an atomic one.
+func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, error) {
+	for {
+		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+		if err != nil {
+			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
+		}
+		tag, val, ok, err := c.maxTag(replies)
+		if err != nil {
+			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
+		}
+		if ok {
+			return tag, val, nil
+		}
+		c.metrics.maskRetries.Add(1)
+	}
+}
+
+// Propagate installs (tag, value) at a write quorum, exactly like a read's
+// write-back phase: replicas adopt the pair iff it is newer than what they
+// store. Used for cross-configuration state transfer and repair tools.
+func (c *Client) Propagate(ctx context.Context, reg string, tag Tag, val types.Value) error {
+	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum); err != nil {
+		return fmt.Errorf("propagate %q: %w", reg, err)
+	}
+	return nil
+}
+
+// NextTagAfter returns the tag a write by this client should carry to
+// supersede observed: the successor sequence number tagged with this
+// client's id. Used by internal/reconfig to order writes that observed
+// state across several configurations.
+func (c *Client) NextTagAfter(observed Tag) Tag {
+	return Tag{Valid: true, TS: observed.TS.Next(c.id)}
+}
+
+// Register returns a handle binding this client to one named register.
+func (c *Client) Register(name string) *Register {
+	return &Register{c: c, name: name}
+}
+
+// Register is a convenience handle for a single named register.
+type Register struct {
+	c    *Client
+	name string
+}
+
+// Name returns the register's name.
+func (r *Register) Name() string { return r.name }
+
+// Read reads the register.
+func (r *Register) Read(ctx context.Context) (types.Value, error) {
+	return r.c.Read(ctx, r.name)
+}
+
+// Write writes the register.
+func (r *Register) Write(ctx context.Context, val types.Value) error {
+	return r.c.Write(ctx, r.name, val)
+}

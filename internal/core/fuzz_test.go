@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/timestamp"
+	"repro/internal/types"
+)
+
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed with valid encodings of every kind plus junk.
+	seeds := []message{
+		{Kind: KindReadQuery, Op: 1, Reg: "r"},
+		{Kind: KindReadReply, Op: 2, Reg: "x",
+			Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 3, Writer: 1}}, Val: []byte("v")},
+		{Kind: KindWrite, Op: 3, Reg: "y",
+			Tag: Tag{Valid: true, Bounded: true, Label: 7}, Val: []byte{}},
+		{Kind: KindWriteAck, Op: 4},
+	}
+	for _, m := range seeds {
+		f.Add(m.encode())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0x01, 0x02})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		m, err := decodeMessage(payload)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to something that decodes to the
+		// same message (canonicalization may differ from the fuzz input
+		// itself, e.g. non-minimal varints).
+		re, err := decodeMessage(m.encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.Kind != m.Kind || re.Op != m.Op || re.Reg != m.Reg || re.Tag != m.Tag ||
+			!bytes.Equal(re.Val, m.Val) {
+			t.Fatalf("decode not stable: %+v vs %+v", re, m)
+		}
+	})
+}
+
+func FuzzDecodeRecord(f *testing.F) {
+	valid := encodeRecord(record{reg: "x", tag: Tag{Valid: true}, val: []byte("v")})
+	f.Add(valid[4:])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return
+		}
+		enc := encodeRecord(rec)
+		re, err := decodeRecord(enc[4:])
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if re.reg != rec.reg || re.tag != rec.tag || !bytes.Equal(re.val, rec.val) {
+			t.Fatalf("record decode not stable: %+v vs %+v", re, rec)
+		}
+	})
+}
+
+func FuzzOrderComparisons(f *testing.F) {
+	f.Add(int64(0), int64(1), int64(0), int64(2), true, true)
+	f.Add(int64(5), int64(1), int64(5), int64(2), true, true)
+
+	f.Fuzz(func(t *testing.T, seqA, wA, seqB, wB int64, validA, validB bool) {
+		ord := unboundedOrder{}
+		a := Tag{Valid: validA, TS: timestamp.TS{Seq: seqA, Writer: types.NodeID(wA)}}
+		b := Tag{Valid: validB, TS: timestamp.TS{Seq: seqB, Writer: types.NodeID(wB)}}
+		ab, err := ord.compare(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := ord.compare(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ab != -ba {
+			t.Fatalf("compare not antisymmetric: %d vs %d", ab, ba)
+		}
+		aa, _ := ord.compare(a, a)
+		if aa != 0 {
+			t.Fatalf("compare not reflexive: %d", aa)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package core
+
+import "sync/atomic"
+
+// Metrics holds a client's operation counters. All fields are updated
+// atomically; read them through snapshot.
+type Metrics struct {
+	reads             atomic.Int64
+	writes            atomic.Int64
+	phases            atomic.Int64
+	msgsSent          atomic.Int64
+	writeBacks        atomic.Int64
+	writeBacksSkipped atomic.Int64
+	orderViolations   atomic.Int64
+	stragglers        atomic.Int64
+	badMsgs           atomic.Int64
+	retransmits       atomic.Int64
+	maskRetries       atomic.Int64
+}
+
+// MetricsSnapshot is a point-in-time copy of a client's counters.
+type MetricsSnapshot struct {
+	// Reads and Writes count completed operations.
+	Reads, Writes int64
+	// Phases counts broadcast-and-collect rounds; the paper's round
+	// complexity claims (T2) are checked against Phases/ops ratios.
+	Phases int64
+	// MsgsSent counts request messages sent by this client (T1 counts
+	// replies too, via the network's stats).
+	MsgsSent int64
+	// WriteBacks and WriteBacksSkipped split reads by whether the second
+	// phase ran (F5's ablation of the unanimous-read optimization).
+	WriteBacks, WriteBacksSkipped int64
+	// OrderViolations counts bounded-label comparisons that fell outside
+	// the sound window (T4).
+	OrderViolations int64
+	// Stragglers counts replies that arrived after their operation
+	// finished — the protocol's designed-for case, not an error.
+	Stragglers int64
+	// BadMsgs counts undecodable or unexpected payloads.
+	BadMsgs int64
+	// Retransmits counts re-sent requests (WithRetransmit on a lossy
+	// substrate).
+	Retransmits int64
+	// MaskRetries counts masking-mode query phases repeated because no
+	// pair had f+1 support (T6).
+	MaskRetries int64
+}
+
+func (m *Metrics) snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Reads:             m.reads.Load(),
+		Writes:            m.writes.Load(),
+		Phases:            m.phases.Load(),
+		MsgsSent:          m.msgsSent.Load(),
+		WriteBacks:        m.writeBacks.Load(),
+		WriteBacksSkipped: m.writeBacksSkipped.Load(),
+		OrderViolations:   m.orderViolations.Load(),
+		Stragglers:        m.stragglers.Load(),
+		BadMsgs:           m.badMsgs.Load(),
+		Retransmits:       m.retransmits.Load(),
+		MaskRetries:       m.maskRetries.Load(),
+	}
+}

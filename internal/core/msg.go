@@ -1,0 +1,181 @@
+// Package core implements the paper's primary contribution: emulating
+// atomic read/write registers on an asynchronous message-passing system
+// where any minority of processors may crash.
+//
+// The protocol is the one sketched in the paper (and in Attiya's account in
+// the supplied column): every processor keeps a timestamped copy of each
+// register; a write sends the new value to all and awaits a write quorum of
+// acknowledgements; a read queries all, awaits a read quorum, adopts the
+// pair with the largest timestamp, and writes that pair back to a write
+// quorum before returning. The write-back is what makes reads atomic rather
+// than merely regular.
+//
+// The package supports the single-writer protocol (local sequence numbers,
+// one round trip per write), the multi-writer extension (a query phase
+// before each write, (seq, writer) lexicographic timestamps), generalized
+// quorum systems, the unanimous-read optimization (skip the write-back when
+// a read quorum is unanimous), an intentionally unsafe no-write-back mode
+// used to demonstrate non-atomicity (experiment T3), and a bounded-label
+// mode (experiment T4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/timestamp"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Kind tags every protocol message; it is the first payload byte, which the
+// simulated network uses to meter message complexity per kind (T1).
+type Kind byte
+
+// Protocol message kinds.
+const (
+	// KindReadQuery asks a replica for its current (timestamp, value) pair.
+	// Sent in a read's first phase and in a multi-writer write's query
+	// phase.
+	KindReadQuery Kind = 0x01
+	// KindReadReply answers a KindReadQuery.
+	KindReadReply Kind = 0x02
+	// KindWrite asks a replica to adopt a (timestamp, value) pair if it is
+	// newer than the replica's. Sent by writes and by read write-backs.
+	KindWrite Kind = 0x03
+	// KindWriteAck acknowledges a KindWrite.
+	KindWriteAck Kind = 0x04
+)
+
+// String names the kind for stats output.
+func (k Kind) String() string {
+	switch k {
+	case KindReadQuery:
+		return "ReadQuery"
+	case KindReadReply:
+		return "ReadReply"
+	case KindWrite:
+		return "Write"
+	case KindWriteAck:
+		return "WriteAck"
+	default:
+		return fmt.Sprintf("Kind(%#02x)", byte(k))
+	}
+}
+
+// Tag orders the versions of a register value. In unbounded mode the TS
+// field carries the paper's (sequence, writer) timestamp. In bounded mode
+// the Label field carries a position in the cyclic bounded domain instead.
+// Valid distinguishes a written version from the initial register state,
+// which is older than everything.
+type Tag struct {
+	Valid   bool
+	TS      timestamp.TS
+	Bounded bool
+	Label   int64
+}
+
+// message is the single on-wire shape shared by all four kinds; queries and
+// acks simply leave the tag and value fields empty.
+type message struct {
+	Kind Kind
+	Op   uint64 // matches replies to the client's in-flight operation
+	Reg  string // register name; one replica group hosts many registers
+	Tag  Tag
+	Val  types.Value
+
+	// fromReplica is filled in locally on receipt (from the transport
+	// envelope); it is not part of the wire format.
+	fromReplica types.NodeID
+}
+
+// encode serializes m with the layout
+// [kind][op][reg][valid][seq][writer][bounded][label][val].
+func (m message) encode() []byte {
+	b := make([]byte, 0, 16+len(m.Reg)+len(m.Val))
+	b = append(b, byte(m.Kind))
+	b = wire.AppendUint(b, m.Op)
+	b = wire.AppendString(b, m.Reg)
+	b = wire.AppendBool(b, m.Tag.Valid)
+	b = wire.AppendInt(b, m.Tag.TS.Seq)
+	b = wire.AppendInt(b, int64(m.Tag.TS.Writer))
+	b = wire.AppendBool(b, m.Tag.Bounded)
+	b = wire.AppendInt(b, m.Tag.Label)
+	b = wire.AppendBytes(b, m.Val)
+	return b
+}
+
+// decodeMessage parses a payload produced by encode.
+func decodeMessage(payload []byte) (message, error) {
+	if len(payload) == 0 {
+		return message{}, fmt.Errorf("%w: empty payload", types.ErrBadMessage)
+	}
+	r := wire.NewReader(payload[1:])
+	m := message{Kind: Kind(payload[0])}
+	m.Op = r.Uint()
+	m.Reg = r.String()
+	m.Tag.Valid = r.Bool()
+	m.Tag.TS.Seq = r.Int()
+	m.Tag.TS.Writer = types.NodeID(r.Int())
+	m.Tag.Bounded = r.Bool()
+	m.Tag.Label = r.Int()
+	m.Val = r.Bytes()
+	if err := r.Err(); err != nil {
+		return message{}, err
+	}
+	switch m.Kind {
+	case KindReadQuery, KindReadReply, KindWrite, KindWriteAck:
+	default:
+		return message{}, fmt.Errorf("%w: unknown kind %#02x", types.ErrBadMessage, payload[0])
+	}
+	return m, nil
+}
+
+// order compares tags; the implementation depends on the timestamp mode.
+type order interface {
+	// compare returns -1/0/+1 as a is older/equal/newer than b. It fails
+	// only in bounded mode, when the two labels are outside the sound
+	// comparison window.
+	compare(a, b Tag) (int, error)
+}
+
+// unboundedOrder is the paper's simple mode: lexicographic (seq, writer).
+type unboundedOrder struct{}
+
+func (unboundedOrder) compare(a, b Tag) (int, error) {
+	switch {
+	case !a.Valid && !b.Valid:
+		return 0, nil
+	case !a.Valid:
+		return -1, nil
+	case !b.Valid:
+		return 1, nil
+	}
+	return a.TS.Compare(b.TS), nil
+}
+
+// boundedOrder compares cyclic bounded labels (single-writer only).
+type boundedOrder struct{ dom timestamp.Cyclic }
+
+// newBoundedOrder builds the bounded order for liveness window l.
+func newBoundedOrder(l int64) (boundedOrder, error) {
+	dom, err := timestamp.NewCyclic(l)
+	if err != nil {
+		return boundedOrder{}, err
+	}
+	return boundedOrder{dom: dom}, nil
+}
+
+func (o boundedOrder) compare(a, b Tag) (int, error) {
+	switch {
+	case !a.Valid && !b.Valid:
+		return 0, nil
+	case !a.Valid:
+		return -1, nil
+	case !b.Valid:
+		return 1, nil
+	}
+	if !a.Bounded || !b.Bounded {
+		return 0, fmt.Errorf("%w: unbounded tag in bounded mode", types.ErrBadMessage)
+	}
+	return o.dom.Compare(a.Label, b.Label)
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timestamp"
+	"repro/internal/types"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	tests := []message{
+		{Kind: KindReadQuery, Op: 1, Reg: "r"},
+		{Kind: KindReadReply, Op: 42, Reg: "account/balance",
+			Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 7, Writer: 3}}, Val: []byte("v7")},
+		{Kind: KindWrite, Op: 9, Reg: "x",
+			Tag: Tag{Valid: true, Bounded: true, Label: 11}, Val: []byte{}},
+		{Kind: KindWriteAck, Op: 100000, Reg: ""},
+	}
+	for _, m := range tests {
+		t.Run(m.Kind.String(), func(t *testing.T) {
+			got, err := decodeMessage(m.encode())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != m.Kind || got.Op != m.Op || got.Reg != m.Reg || got.Tag != m.Tag {
+				t.Fatalf("got %+v, want %+v", got, m)
+			}
+			if !got.Val.Equal(m.Val) {
+				t.Fatalf("val %v, want %v", got.Val, m.Val)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := decodeMessage(nil); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("nil payload: %v", err)
+	}
+	if _, err := decodeMessage([]byte{0x7F, 1, 2}); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("unknown kind: %v", err)
+	}
+	valid := (message{Kind: KindWrite, Op: 1, Reg: "r", Val: []byte("abc")}).encode()
+	if _, err := decodeMessage(valid[:len(valid)-2]); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+}
+
+func TestQuickMessageRoundTrip(t *testing.T) {
+	f := func(op uint64, reg string, seq int64, writer int32, valid, bounded bool, label int64, val []byte) bool {
+		m := message{
+			Kind: KindWrite,
+			Op:   op,
+			Reg:  reg,
+			Tag:  Tag{Valid: valid, TS: timestamp.TS{Seq: seq, Writer: types.NodeID(writer)}, Bounded: bounded, Label: label},
+			Val:  val,
+		}
+		got, err := decodeMessage(m.encode())
+		if err != nil {
+			return false
+		}
+		return got.Kind == m.Kind && got.Op == m.Op && got.Reg == m.Reg &&
+			got.Tag == m.Tag && bytes.Equal(got.Val, m.Val) && (got.Val == nil) == (val == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnboundedOrder(t *testing.T) {
+	ord := unboundedOrder{}
+	zero := Tag{}
+	one := Tag{Valid: true, TS: timestamp.TS{Seq: 1, Writer: 0}}
+	oneHigher := Tag{Valid: true, TS: timestamp.TS{Seq: 1, Writer: 5}}
+	two := Tag{Valid: true, TS: timestamp.TS{Seq: 2, Writer: 0}}
+
+	cases := []struct {
+		a, b Tag
+		want int
+	}{
+		{zero, zero, 0},
+		{zero, one, -1},
+		{one, zero, 1},
+		{one, two, -1},
+		{one, oneHigher, -1}, // writer id breaks ties
+		{two, two, 0},
+	}
+	for _, tt := range cases {
+		got, err := ord.compare(tt.a, tt.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tt.want {
+			t.Errorf("compare(%+v, %+v)=%d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestBoundedOrder(t *testing.T) {
+	ord, err := newBoundedOrder(3) // domain 9
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := Tag{}
+	l0 := Tag{Valid: true, Bounded: true, Label: 0}
+	l2 := Tag{Valid: true, Bounded: true, Label: 2}
+
+	if got, err := ord.compare(zero, l0); err != nil || got != -1 {
+		t.Fatalf("initial vs written: %d, %v", got, err)
+	}
+	if got, err := ord.compare(l2, l0); err != nil || got != 1 {
+		t.Fatalf("newer label: %d, %v", got, err)
+	}
+	// Mixing modes is a protocol error.
+	unb := Tag{Valid: true, TS: timestamp.TS{Seq: 1}}
+	if _, err := ord.compare(unb, l0); err == nil {
+		t.Fatal("unbounded tag accepted in bounded mode")
+	}
+	// Out-of-window labels are detected.
+	l4 := Tag{Valid: true, Bounded: true, Label: 4}
+	if _, err := ord.compare(l4, l0); !errors.Is(err, timestamp.ErrOutOfWindow) {
+		t.Fatalf("want ErrOutOfWindow, got %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/quorum"
+)
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithQuorum replaces the default majority system with any quorum system
+// sized for the replica group. This is the published generalization of the
+// paper's majorities. For multi-writer use, the system's write quorums must
+// pairwise intersect (see quorum.VerifyWriteIntersection).
+func WithQuorum(qs quorum.System) ClientOption {
+	return func(c *Client) { c.qs = qs }
+}
+
+// WithSingleWriter declares that this client is the only writer of every
+// register it writes. Writes then skip the query phase and use a local
+// sequence counter — the paper's SWMR protocol, one round trip per write.
+// Reads are unaffected. Violating the declaration (two single-writer
+// clients writing the same register with the same node id, or mixing with
+// multi-writer writers that observed nothing) forfeits atomicity.
+func WithSingleWriter() ClientOption {
+	return func(c *Client) { c.singleWriter = true }
+}
+
+// WithSkipUnanimousWriteBack enables the safe read optimization: when every
+// member of the read quorum returned the same timestamp, the pair is
+// already stored at a full read quorum, so the write-back phase is skipped.
+// Contended reads still pay both phases. (Experiment F5's ablation.)
+func WithSkipUnanimousWriteBack() ClientOption {
+	return func(c *Client) { c.skipUnanimous = true }
+}
+
+// WithUnsafeNoWriteBack disables the read's write-back phase entirely. The
+// result is a regular register, not an atomic one: concurrent reads can
+// observe a new value and then an older one ("new/old inversion").
+// This mode exists solely so experiment T3 can demonstrate why the paper's
+// write-back is necessary. Never use it for real workloads.
+func WithUnsafeNoWriteBack() ClientOption {
+	return func(c *Client) { c.noWriteBack = true }
+}
+
+// WithReadFanout limits how many replicas a read-side query phase contacts
+// (0 or >= group size means all, the paper's choice). Targets rotate
+// round-robin across phases. Contacting fewer replicas than the group saves
+// messages but couples the operation's liveness to the targeted replicas:
+// if one of them is crashed or slow, the phase stalls even though a quorum
+// of other replicas is healthy. k must still be able to satisfy the read
+// quorum predicate (e.g. k=1 only works with ReadOneWriteAll).
+func WithReadFanout(k int) ClientOption {
+	return func(c *Client) { c.readFanout = k }
+}
+
+// WithWriteFanout is WithReadFanout for write/update phases (including read
+// write-backs).
+func WithWriteFanout(k int) ClientOption {
+	return func(c *Client) { c.writeFanout = k }
+}
+
+// WithRetransmit makes a phase rebroadcast its request to replicas that
+// have not yet answered, every interval, until the quorum is assembled or
+// the context expires. The paper's model assumes reliable channels, so the
+// default is no retransmission; on lossy substrates (netsim with a drop
+// probability, or TCP across connection resets) this is the standard
+// engineering step that restores the reliable-channel abstraction. All
+// protocol messages are idempotent — queries are read-only and updates are
+// adopt-if-newer — so retransmission never affects safety.
+func WithRetransmit(interval time.Duration) ClientOption {
+	return func(c *Client) { c.retransmit = interval }
+}
+
+// WithMaskingFaults hardens the client against up to f Byzantine replicas,
+// following the masking-quorum generalization of the paper (Malkhi &
+// Reiter). Use together with WithQuorum(quorum.NewMasking(n, f)) — quorums
+// then intersect in >= 2f+1 replicas — and the client only trusts a
+// (timestamp, value) pair reported identically by at least f+1 replicas,
+// which at most-f liars can never fabricate.
+//
+// Semantics: reads and multi-writer timestamp queries retry their phase
+// until some pair has f+1 support. In quiescent periods the latest write
+// always does (f+1 correct replicas of any quorum intersection hold it);
+// under heavy write concurrency a phase may observe support split across
+// in-flight values and retry — the construction is obstruction-free rather
+// than wait-free, the standard trade-off for this Byzantine extension.
+func WithMaskingFaults(f int) ClientOption {
+	return func(c *Client) { c.maskF = f }
+}
+
+// WithBoundedLabels switches the client to the bounded cyclic label mode
+// with liveness window l, implying single-writer mode (the paper's bounded
+// construction is for the SWMR register). Every replica in the group must
+// be configured with the same window via WithReplicaBoundedWindow.
+//
+// The mode is sound under the bounded-staleness assumption discussed in
+// DESIGN.md: no live label lags more than l issues behind the newest.
+// Comparisons that fall outside the window are detected and surfaced as
+// order violations rather than mis-ordered.
+func WithBoundedLabels(l int64) ClientOption {
+	return func(c *Client) {
+		ord, err := newBoundedOrder(l)
+		if err != nil {
+			return
+		}
+		c.bounded = true
+		c.singleWriter = true
+		c.boundedDom = ord.dom
+		c.ord = ord
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// The paper's model is fail-stop: a crashed processor never returns, and
+// n > 2f replicas make that survivable. Real deployments want the stronger
+// crash-recovery behaviour: a replica that restarts should rejoin with its
+// last adopted state rather than count against the failure budget forever.
+// This file adds that as an engineering extension: a write-ahead log of
+// adopted (register, tag, value) records, replayed on start.
+//
+// Recovery preserves safety because the log holds exactly the state the
+// replica acknowledged: rejoining with it is indistinguishable (to the
+// protocol) from the replica having been merely slow. Records are fsynced
+// before the acknowledgement is sent, so an acked update is never lost.
+
+// persister is the append-only adoption log.
+type persister struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	sync bool
+	n    int // records since last compaction
+}
+
+const persistCompactThreshold = 4096
+
+func openPersister(path string, syncEach bool) (*persister, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("core: open persistence log: %w", err)
+	}
+	return &persister{f: f, path: path, sync: syncEach}, nil
+}
+
+// record is one logged adoption.
+type record struct {
+	reg string
+	tag Tag
+	val types.Value
+}
+
+func encodeRecord(r record) []byte {
+	body := wire.AppendString(nil, r.reg)
+	body = wire.AppendBool(body, r.tag.Valid)
+	body = wire.AppendInt(body, r.tag.TS.Seq)
+	body = wire.AppendInt(body, int64(r.tag.TS.Writer))
+	body = wire.AppendBool(body, r.tag.Bounded)
+	body = wire.AppendInt(body, r.tag.Label)
+	body = wire.AppendBytes(body, r.val)
+
+	out := make([]byte, 4, 4+len(body))
+	binary.BigEndian.PutUint32(out, uint32(len(body)))
+	return append(out, body...)
+}
+
+func decodeRecord(body []byte) (record, error) {
+	r := wire.NewReader(body)
+	var rec record
+	rec.reg = r.String()
+	rec.tag.Valid = r.Bool()
+	rec.tag.TS.Seq = r.Int()
+	rec.tag.TS.Writer = types.NodeID(r.Int())
+	rec.tag.Bounded = r.Bool()
+	rec.tag.Label = r.Int()
+	rec.val = r.Bytes()
+	if err := r.Err(); err != nil {
+		return record{}, err
+	}
+	return rec, nil
+}
+
+// appendRecord logs one adoption, fsyncing if configured.
+func (p *persister) appendRecord(rec record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, err := p.f.Write(encodeRecord(rec)); err != nil {
+		return fmt.Errorf("core: persistence append: %w", err)
+	}
+	if p.sync {
+		if err := p.f.Sync(); err != nil {
+			return fmt.Errorf("core: persistence sync: %w", err)
+		}
+	}
+	p.n++
+	return nil
+}
+
+// replay reads all decodable records. A truncated or corrupt tail (torn
+// final write during a crash) ends the replay silently: everything acked
+// was synced before the tear, so nothing acknowledged is lost.
+func replayLog(f *os.File) ([]record, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("core: persistence seek: %w", err)
+	}
+	var out []record
+	var header [4]byte
+	for {
+		if _, err := io.ReadFull(f, header[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return nil, fmt.Errorf("core: persistence read: %w", err)
+		}
+		n := binary.BigEndian.Uint32(header[:])
+		if n > 64<<20 {
+			break // corrupt length: stop at the tear
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			break // torn tail
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			break // torn tail
+		}
+		out = append(out, rec)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return nil, fmt.Errorf("core: persistence seek end: %w", err)
+	}
+	return out, nil
+}
+
+// compact rewrites the log to one record per register. Called with the
+// replica's current state while the replica lock is held.
+func (p *persister) compact(state map[string]regEntry) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	tmp := p.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: persistence compact: %w", err)
+	}
+	for reg, e := range state {
+		if _, err := f.Write(encodeRecord(record{reg: reg, tag: e.tag, val: e.val})); err != nil {
+			f.Close()
+			return fmt.Errorf("core: persistence compact write: %w", err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: persistence compact sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: persistence compact close: %w", err)
+	}
+	if err := os.Rename(tmp, p.path); err != nil {
+		return fmt.Errorf("core: persistence compact rename: %w", err)
+	}
+	old := p.f
+	p.f, err = os.OpenFile(p.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		p.f = old
+		return fmt.Errorf("core: persistence reopen: %w", err)
+	}
+	_ = old.Close()
+	p.n = 0
+	return nil
+}
+
+func (p *persister) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f.Close()
+}
+
+// NewPersistentReplica creates a replica whose adopted state survives
+// restarts: it replays the log at path and appends (with fsync) on every
+// adoption. Restarting a replica with its old log is safe — the protocol
+// cannot distinguish it from a slow replica — so a deployment gets
+// crash-recovery on top of the paper's fail-stop tolerance.
+func NewPersistentReplica(id types.NodeID, ep transport.Endpoint, path string, opts ...ReplicaOption) (*Replica, error) {
+	p, err := openPersister(path, true)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := replayLog(p.f)
+	if err != nil {
+		_ = p.close()
+		return nil, err
+	}
+
+	r := NewReplica(id, ep, opts...)
+	r.persist = p
+	// Replay through the normal adoption rule so out-of-order log records
+	// (possible after interleaved compactions) resolve to the newest.
+	for _, rec := range recs {
+		cur := r.regs[rec.reg]
+		cmp, err := r.ord.compare(rec.tag, cur.tag)
+		if err != nil {
+			continue // out-of-window bounded comparison in the log: skip
+		}
+		if cmp > 0 {
+			r.regs[rec.reg] = regEntry{tag: rec.tag, val: rec.val}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// regEntry is a replica's copy of one register.
+type regEntry struct {
+	tag Tag
+	val types.Value
+}
+
+// Replica is one processor's server side of the emulation: it stores a
+// timestamped copy of every register and answers queries and update
+// requests. Its behaviour is exactly the paper's: reply to a query with the
+// stored pair; on an update, adopt the incoming pair if its timestamp is
+// newer, and acknowledge either way.
+type Replica struct {
+	id  types.NodeID
+	ep  transport.Endpoint
+	ord order
+
+	mu   sync.Mutex
+	regs map[string]regEntry
+
+	// persist, when non-nil, logs every adoption before it is acknowledged
+	// (crash-recovery extension; see NewPersistentReplica).
+	persist *persister
+
+	started atomic.Bool
+	done    chan struct{}
+
+	queries    atomic.Int64 // KindReadQuery handled
+	updates    atomic.Int64 // KindWrite handled
+	adoptions  atomic.Int64 // updates that replaced the stored pair
+	violations atomic.Int64 // order-comparison failures (bounded mode)
+	badMsgs    atomic.Int64 // undecodable payloads
+}
+
+// ReplicaOption configures a replica.
+type ReplicaOption func(*Replica)
+
+// WithReplicaBoundedWindow switches the replica to the bounded cyclic label
+// order with liveness window l. Every replica and client of the group must
+// use the same window. A window < 1 is ignored (unbounded mode stays).
+func WithReplicaBoundedWindow(l int64) ReplicaOption {
+	return func(r *Replica) {
+		dom, err := newBoundedOrder(l)
+		if err != nil {
+			return
+		}
+		r.ord = dom
+	}
+}
+
+// NewReplica creates a replica attached to ep. The replica takes ownership
+// of the endpoint: Stop closes it.
+func NewReplica(id types.NodeID, ep transport.Endpoint, opts ...ReplicaOption) *Replica {
+	r := &Replica{
+		id:   id,
+		ep:   ep,
+		ord:  unboundedOrder{},
+		regs: make(map[string]regEntry),
+		done: make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// ID returns the replica's node identifier.
+func (r *Replica) ID() types.NodeID { return r.id }
+
+// Start launches the message loop. It is a no-op if already started.
+func (r *Replica) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	go r.loop()
+}
+
+// Stop closes the replica's endpoint and waits for the message loop to
+// exit. Safe to call multiple times and before Start.
+func (r *Replica) Stop() {
+	if r.started.CompareAndSwap(false, true) {
+		// Never started: close the endpoint and mark the loop done.
+		close(r.done)
+		_ = r.ep.Close()
+		r.closePersist()
+		return
+	}
+	_ = r.ep.Close()
+	<-r.done
+	r.closePersist()
+}
+
+func (r *Replica) closePersist() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.persist != nil {
+		_ = r.persist.close()
+		r.persist = nil
+	}
+}
+
+func (r *Replica) loop() {
+	defer close(r.done)
+	for raw := range r.ep.Recv() {
+		m, err := decodeMessage(raw.Payload)
+		if err != nil {
+			r.badMsgs.Add(1)
+			continue
+		}
+		switch m.Kind {
+		case KindReadQuery:
+			r.handleQuery(raw.From, m)
+		case KindWrite:
+			r.handleWrite(raw.From, m)
+		default:
+			// Replies addressed to a client that happens to share our node
+			// id are not ours to handle; drop them.
+			r.badMsgs.Add(1)
+		}
+	}
+}
+
+func (r *Replica) handleQuery(from types.NodeID, m message) {
+	r.queries.Add(1)
+	r.mu.Lock()
+	e := r.regs[m.Reg]
+	r.mu.Unlock()
+
+	reply := message{Kind: KindReadReply, Op: m.Op, Reg: m.Reg, Tag: e.tag, Val: e.val}
+	_ = r.ep.Send(from, reply.encode())
+}
+
+func (r *Replica) handleWrite(from types.NodeID, m message) {
+	r.updates.Add(1)
+	r.mu.Lock()
+	e := r.regs[m.Reg]
+	cmp, err := r.ord.compare(m.Tag, e.tag)
+	adopted := false
+	switch {
+	case err != nil:
+		// Out-of-window comparison (bounded mode): refuse to adopt, since
+		// either ordering could be wrong, and surface via the counter. See
+		// DESIGN.md on the bounded-staleness assumption.
+		r.violations.Add(1)
+	case cmp > 0:
+		r.regs[m.Reg] = regEntry{tag: m.Tag, val: m.Val}
+		r.adoptions.Add(1)
+		adopted = true
+	}
+	if adopted && r.persist != nil {
+		// Log (and fsync) before acking: an acknowledged update must
+		// survive a crash-recovery cycle. Failure to persist means we must
+		// not ack, matching a crash from the client's perspective.
+		if perr := r.persist.appendRecord(record{reg: m.Reg, tag: m.Tag, val: m.Val}); perr != nil {
+			r.mu.Unlock()
+			return
+		}
+		if r.persist.n >= persistCompactThreshold {
+			_ = r.persist.compact(r.regs)
+		}
+	}
+	r.mu.Unlock()
+
+	ack := message{Kind: KindWriteAck, Op: m.Op, Reg: m.Reg}
+	_ = r.ep.Send(from, ack.encode())
+}
+
+// State returns the replica's stored pair for a register, for tests and
+// inspection tools. The value is a copy.
+func (r *Replica) State(reg string) (Tag, types.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := r.regs[reg]
+	return e.tag, e.val.Clone()
+}
+
+// ReplicaStats is a snapshot of a replica's counters.
+type ReplicaStats struct {
+	Queries    int64
+	Updates    int64
+	Adoptions  int64
+	Violations int64
+	BadMsgs    int64
+}
+
+// Stats returns a snapshot of the replica's counters.
+func (r *Replica) Stats() ReplicaStats {
+	return ReplicaStats{
+		Queries:    r.queries.Load(),
+		Updates:    r.updates.Load(),
+		Adoptions:  r.adoptions.Load(),
+		Violations: r.violations.Load(),
+		BadMsgs:    r.badMsgs.Load(),
+	}
+}

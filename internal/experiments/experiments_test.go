@@ -1,0 +1,302 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func quick() Options { return Options{Quick: true, Seed: 7} }
+
+func runExp(t *testing.T, fn func(Options) (*Table, error)) *Table {
+	t.Helper()
+	tbl, err := fn(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("experiment produced no rows")
+	}
+	// Formatting must not panic and must include the ID.
+	var buf bytes.Buffer
+	tbl.Format(&buf)
+	if !strings.Contains(buf.String(), tbl.ID) {
+		t.Fatalf("formatted output missing ID: %s", buf.String())
+	}
+	return tbl
+}
+
+func TestT1ExactMessageCounts(t *testing.T) {
+	tbl := runExp(t, T1MessageComplexity)
+	for _, row := range tbl.Rows {
+		if row[4] != "yes" {
+			t.Errorf("T1 row %v: measured %s, expected %s", row[:2], row[2], row[3])
+		}
+	}
+}
+
+func TestT2RoundShapes(t *testing.T) {
+	tbl := runExp(t, T2Rounds)
+	// Reads must take roughly twice as long as single-writer writes.
+	var swWrite, read float64
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad inferred RTT %q", row[3])
+		}
+		switch row[0] {
+		case "SWMR write":
+			swWrite = v
+		case "read":
+			read = v
+		}
+	}
+	if swWrite == 0 || read == 0 {
+		t.Fatal("missing rows")
+	}
+	if read < 1.4*swWrite {
+		t.Errorf("read RTTs %.1f not ~2x write RTTs %.1f", read, swWrite)
+	}
+}
+
+func TestF1HasAllSystems(t *testing.T) {
+	tbl := runExp(t, F1LatencyVsN)
+	seen := map[string]bool{}
+	for _, row := range tbl.Rows {
+		seen[row[1]] = true
+	}
+	for _, sys := range []string{"abd", "central", "rowa"} {
+		if !seen[sys] {
+			t.Errorf("F1 missing system %s", sys)
+		}
+	}
+}
+
+func TestF2Shapes(t *testing.T) {
+	tbl := runExp(t, F2CrashTolerance)
+	status := func(f int, sys, col string) string {
+		for _, row := range tbl.Rows {
+			if row[0] == strconv.Itoa(f) && row[1] == sys {
+				if col == "writes" {
+					return row[2]
+				}
+				return row[3]
+			}
+		}
+		t.Fatalf("row f=%d sys=%s not found", f, sys)
+		return ""
+	}
+	// ABD: everything ok through f=2.
+	for f := 0; f <= 2; f++ {
+		if got := status(f, "abd", "writes"); got != "ok" {
+			t.Errorf("abd writes at f=%d: %s", f, got)
+		}
+		if got := status(f, "abd", "reads"); got != "ok" {
+			t.Errorf("abd reads at f=%d: %s", f, got)
+		}
+	}
+	// ROWA writes blocked from f=1; central blocked entirely from f=1.
+	if got := status(1, "rowa", "writes"); got != "blocked" {
+		t.Errorf("rowa writes at f=1: %s", got)
+	}
+	if got := status(1, "central", "writes"); got != "blocked" {
+		t.Errorf("central writes at f=1: %s", got)
+	}
+	if got := status(1, "central", "reads"); got != "blocked" {
+		t.Errorf("central reads at f=1: %s", got)
+	}
+}
+
+func TestT3Verdicts(t *testing.T) {
+	tbl := runExp(t, T3Linearizability)
+	for _, row := range tbl.Rows {
+		variant, verdict := row[0], row[4]
+		switch {
+		case strings.HasPrefix(variant, "abd"):
+			if verdict != "matches claim" {
+				t.Errorf("%s: %s", variant, verdict)
+			}
+		case strings.HasPrefix(variant, "regular"):
+			if verdict != "matches claim" {
+				t.Errorf("%s: expected a violation to be found, got %s", variant, verdict)
+			}
+		}
+	}
+}
+
+func TestF4MajorityBoundaryIsTight(t *testing.T) {
+	tbl := runExp(t, F4PartitionBoundary)
+	for _, row := range tbl.Rows {
+		n, _ := strconv.Atoi(row[0])
+		side, _ := strconv.Atoi(row[1])
+		writes := row[3]
+		if side > n/2 && writes != "ok" {
+			t.Errorf("n=%d side=%d: majority side should be live, writes=%s", n, side, writes)
+		}
+		if side <= n/2 && writes != "blocked" {
+			t.Errorf("n=%d side=%d: minority side should block, writes=%s", n, side, writes)
+		}
+	}
+}
+
+func TestF5GridTradeoff(t *testing.T) {
+	tbl := runExp(t, F5QuorumAvailability)
+	// Find majority(9) and grid(3x3): the grid must have smaller write
+	// quorums but lower availability at p=0.3.
+	var majAvail, gridAvail float64
+	var majQ, gridQ string
+	for _, row := range tbl.Rows {
+		switch row[0] {
+		case "majority(n=9)":
+			majAvail, _ = strconv.ParseFloat(row[4], 64)
+			majQ = row[6]
+		case "grid(3x3)":
+			gridAvail, _ = strconv.ParseFloat(row[4], 64)
+			gridQ = row[6]
+		}
+	}
+	if majQ != "5/5" {
+		t.Errorf("majority(9) min quorums %s", majQ)
+	}
+	if gridQ != "3/5" {
+		t.Errorf("grid(3x3) min quorums %s", gridQ)
+	}
+	if gridAvail >= majAvail {
+		t.Errorf("grid availability %.3f should trail majority %.3f at p=0.3", gridAvail, majAvail)
+	}
+}
+
+func TestT4BoundedDomainConstant(t *testing.T) {
+	tbl := runExp(t, T4BoundedLabels)
+	var boundedRow []string
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[0], "bounded") {
+			boundedRow = row
+		}
+	}
+	if boundedRow == nil {
+		t.Fatal("no bounded row")
+	}
+	if !strings.Contains(boundedRow[2], "constant") {
+		t.Errorf("bounded bits column: %s", boundedRow[2])
+	}
+	if boundedRow[5] != "0" {
+		t.Errorf("bounded violations: %s", boundedRow[5])
+	}
+}
+
+func TestT5AllLinearizable(t *testing.T) {
+	tbl := runExp(t, T5MultiWriter)
+	for _, row := range tbl.Rows {
+		if row[4] != "linearizable" {
+			t.Errorf("k=%s writers: history %s", row[0], row[4])
+		}
+		phases, _ := strconv.ParseFloat(row[2], 64)
+		if phases < 1.9 || phases > 2.1 {
+			t.Errorf("k=%s writers: %.1f phases/write, want 2", row[0], phases)
+		}
+	}
+}
+
+func TestF6Runs(t *testing.T) {
+	tbl := runExp(t, F6Applications)
+	kinds := map[string]bool{}
+	for _, row := range tbl.Rows {
+		kinds[row[0]] = true
+	}
+	for _, k := range []string{"snapshot update", "snapshot scan", "bakery lock"} {
+		if !kinds[k] {
+			t.Errorf("F6 missing workload %s", k)
+		}
+	}
+}
+
+func TestF3Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput experiment is time-based")
+	}
+	tbl := runExp(t, F3Throughput)
+	for _, row := range tbl.Rows {
+		ops, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || ops <= 0 {
+			t.Errorf("row %v: bad ops/s", row)
+		}
+	}
+}
+
+func TestT6MaskingBlocksCorruption(t *testing.T) {
+	tbl := runExp(t, T6Byzantine)
+	for _, row := range tbl.Rows {
+		attack, proto, corrupted := row[0], row[1], row[3]
+		if strings.HasPrefix(proto, "masking") && corrupted != "0" {
+			t.Errorf("%s under masking: %s corrupted reads", attack, corrupted)
+		}
+		if attack == "fabricate-high-ts" && proto == "majority" && corrupted == "0" {
+			t.Errorf("fabrication against plain majority corrupted nothing; attack broken")
+		}
+	}
+}
+
+func TestF7AblationShapes(t *testing.T) {
+	tbl := runExp(t, F7Ablations)
+	byName := map[string][]string{}
+	for _, row := range tbl.Rows {
+		byName[row[0]] = row
+	}
+	full, narrow := byName["fanout=all (paper)"], byName["fanout=quorum (3)"]
+	if full == nil || narrow == nil {
+		t.Fatal("missing fanout rows")
+	}
+	// Broadcast costs more messages per op than contacting a bare quorum.
+	fullMsgs, _ := strconv.ParseFloat(full[1], 64)
+	narrowMsgs, _ := strconv.ParseFloat(narrow[1], 64)
+	if fullMsgs <= narrowMsgs {
+		t.Errorf("fanout=all msgs/op %.1f should exceed fanout=quorum %.1f", fullMsgs, narrowMsgs)
+	}
+	// Broadcast is crash-oblivious; the narrow window is not.
+	if full[3] != full[2] {
+		t.Errorf("fanout=all degraded under one crash: %s vs %s", full[3], full[2])
+	}
+	// With retransmission, every op completes despite 10% loss.
+	retry := byName["25% loss + retransmit"]
+	if retry == nil {
+		t.Fatal("missing retransmit row")
+	}
+	okPart, totalPart, found := strings.Cut(retry[2], "/")
+	if !found || okPart != totalPart {
+		t.Errorf("retransmit under loss: ops ok = %s, want all", retry[2])
+	}
+	if retry[4] == "0" {
+		t.Error("retransmit row recorded no retransmissions at 25% loss")
+	}
+}
+
+func TestFindAndAll(t *testing.T) {
+	if len(All()) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	}
+	if _, ok := Find("t1"); !ok {
+		t.Fatal("Find case-insensitive lookup failed")
+	}
+	if _, ok := Find("T9"); ok {
+		t.Fatal("Find accepted unknown id")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	samples := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if got := mean(samples); got != 2*time.Millisecond {
+		t.Fatalf("mean=%v", got)
+	}
+	if got := percentile(samples, 0.0); got != time.Millisecond {
+		t.Fatalf("p0=%v", got)
+	}
+	if got := percentile(samples, 1.0); got != 3*time.Millisecond {
+		t.Fatalf("p100=%v", got)
+	}
+	if mean(nil) != 0 || percentile(nil, 0.5) != 0 {
+		t.Fatal("empty samples not handled")
+	}
+}

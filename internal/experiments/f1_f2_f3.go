@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+// regClient is the read/write surface shared by ABD clients and baselines.
+type regClient interface {
+	Read(ctx context.Context, reg string) (types.Value, error)
+	Write(ctx context.Context, reg string, val types.Value) error
+}
+
+// system names one system under test and how to build it.
+type system struct {
+	name  string
+	build func(o Options, n int) (regClient, func(int), func(), error)
+	// build returns (client, crash(i), close); crash fail-stops server i.
+}
+
+func abdSystem(opts ...core.ClientOption) func(o Options, n int) (regClient, func(int), func(), error) {
+	return func(o Options, n int) (regClient, func(int), func(), error) {
+		c := newSimCluster(n, netsim.Config{Seed: o.seed(), MinDelay: 200 * time.Microsecond, MaxDelay: 400 * time.Microsecond})
+		cli, err := c.client(opts...)
+		if err != nil {
+			c.close()
+			return nil, nil, nil, err
+		}
+		return cli, func(i int) { c.net.Crash(types.NodeID(i)) }, c.close, nil
+	}
+}
+
+func rowaSystem() func(o Options, n int) (regClient, func(int), func(), error) {
+	return func(o Options, n int) (regClient, func(int), func(), error) {
+		c := newSimCluster(n, netsim.Config{Seed: o.seed(), MinDelay: 200 * time.Microsecond, MaxDelay: 400 * time.Microsecond})
+		id := c.nextCli
+		c.nextCli++
+		cli, err := baseline.NewROWAClient(id, c.net.Node(id), c.ids)
+		if err != nil {
+			c.close()
+			return nil, nil, nil, err
+		}
+		c.clients = append(c.clients, cli)
+		return cli, func(i int) { c.net.Crash(types.NodeID(i)) }, c.close, nil
+	}
+}
+
+func centralSystem() func(o Options, n int) (regClient, func(int), func(), error) {
+	return func(o Options, n int) (regClient, func(int), func(), error) {
+		net := netsim.New(netsim.Config{Seed: o.seed(), MinDelay: 200 * time.Microsecond, MaxDelay: 400 * time.Microsecond})
+		srv := baseline.NewCentralServer(0, net.Node(0))
+		srv.Start()
+		cli := baseline.NewCentralClient(10000, net.Node(10000), 0)
+		closeAll := func() {
+			cli.Close()
+			srv.Stop()
+			net.Close()
+		}
+		return cli, func(i int) { net.Crash(types.NodeID(i)) }, closeAll, nil
+	}
+}
+
+func allSystems() []system {
+	return []system{
+		{"abd", abdSystem(core.WithSingleWriter())},
+		{"central", centralSystem()},
+		{"rowa", rowaSystem()},
+	}
+}
+
+// F1LatencyVsN sweeps the cluster size and measures read and write latency
+// for ABD against both baselines. The paper's shape: ABD latency is flat in
+// n (phases broadcast in parallel and wait only for a quorum), matching
+// central's single round trip within a small constant, while ROWA reads are
+// the cheapest and ROWA writes pay for the slowest of all n replicas.
+func F1LatencyVsN(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F1",
+		Title:   "latency vs cluster size (figure: one row per point)",
+		Claim:   "ABD latency is flat in n: phases run in parallel and wait only for a quorum",
+		Headers: []string{"n", "system", "write mean", "read mean", "write p99", "read p99"},
+	}
+	ops := o.scale(100, 15)
+	sizes := []int{3, 5, 7, 9, 11, 13}
+	if o.Quick {
+		sizes = []int{3, 5, 9}
+	}
+
+	for _, n := range sizes {
+		for _, sys := range allSystems() {
+			cli, _, closeSys, err := sys.build(o, n)
+			if err != nil {
+				return nil, fmt.Errorf("F1 %s n=%d: %w", sys.name, n, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+
+			writes, err := latencies(ops, func() error { return cli.Write(ctx, "x", []byte("v")) })
+			if err != nil {
+				cancel()
+				closeSys()
+				return nil, fmt.Errorf("F1 %s n=%d write: %w", sys.name, n, err)
+			}
+			reads, err := latencies(ops, func() error { _, err := cli.Read(ctx, "x"); return err })
+			cancel()
+			closeSys()
+			if err != nil {
+				return nil, fmt.Errorf("F1 %s n=%d read: %w", sys.name, n, err)
+			}
+			tbl.AddRow(fmt.Sprintf("%d", n), sys.name,
+				us(mean(writes)), us(mean(reads)),
+				us(percentile(writes, 0.99)), us(percentile(reads, 0.99)))
+		}
+	}
+	tbl.Notes = append(tbl.Notes, "central is a single server (n column does not apply); rowa reads contact one replica")
+	return tbl, nil
+}
+
+// F2CrashTolerance crashes f replicas and reports which systems keep
+// serving. The paper's claim: ABD is unaffected by any f < n/2; ROWA writes
+// block after a single crash; the central server is gone after its one
+// crash.
+func F2CrashTolerance(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F2",
+		Title:   "operation availability and latency under crash failures (n=5)",
+		Claim:   "ABD completes reads and writes for every f < n/2, latency unaffected; baselines degrade",
+		Headers: []string{"f", "system", "writes", "reads", "write mean", "read mean"},
+	}
+	ops := o.scale(60, 10)
+	n := 5
+
+	for _, f := range []int{0, 1, 2} {
+		for _, sys := range allSystems() {
+			cli, crash, closeSys, err := sys.build(o, n)
+			if err != nil {
+				return nil, fmt.Errorf("F2 %s: %w", sys.name, err)
+			}
+			runCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+
+			// Prime a value while healthy, then crash f servers.
+			if err := cli.Write(runCtx, "x", []byte("v0")); err != nil {
+				cancel()
+				closeSys()
+				return nil, fmt.Errorf("F2 %s prime: %w", sys.name, err)
+			}
+			for i := 0; i < f; i++ {
+				crash(i)
+			}
+
+			writeRes, writeLat := tryOps(ops, func(octx context.Context) error {
+				return cli.Write(octx, "x", []byte("v"))
+			})
+			readRes, readLat := tryOps(ops, func(octx context.Context) error {
+				_, err := cli.Read(octx, "x")
+				return err
+			})
+			cancel()
+			closeSys()
+
+			tbl.AddRow(fmt.Sprintf("%d", f), sys.name, writeRes, readRes, writeLat, readLat)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"ok = all ops completed within 250ms; blocked = ops timed out (liveness lost)",
+		"rowa reads rotate over replicas, so with f>0 the rotations that hit a dead replica time out (partial)")
+	return tbl, nil
+}
+
+// tryOps runs count ops with a short per-op deadline and summarizes
+// liveness plus mean latency of the successes. If the first three ops all
+// time out, the system is declared blocked without burning the remaining
+// deadlines.
+func tryOps(count int, fn func(ctx context.Context) error) (string, string) {
+	const perOp = 250 * time.Millisecond
+	okCount, attempts := 0, 0
+	var okLat []time.Duration
+	for i := 0; i < count; i++ {
+		attempts++
+		ctx, cancel := context.WithTimeout(context.Background(), perOp)
+		start := time.Now()
+		err := fn(ctx)
+		cancel()
+		if err == nil {
+			okCount++
+			okLat = append(okLat, time.Since(start))
+		}
+		if attempts == 3 && okCount == 0 {
+			return "blocked", "-"
+		}
+	}
+	var status string
+	switch {
+	case okCount == count:
+		status = "ok"
+	case okCount == 0:
+		status = "blocked"
+	default:
+		status = fmt.Sprintf("partial (%d/%d)", okCount, attempts)
+	}
+	if len(okLat) == 0 {
+		return status, "-"
+	}
+	return status, us(mean(okLat))
+}
+
+// F3Throughput drives concurrent closed-loop clients at varying read
+// fractions and reports operations per second. Shape: ABD throughput rises
+// with the read fraction once the unanimous-read optimization kicks in, and
+// the central server beats ABD on raw ops/s while offering no fault
+// tolerance.
+func F3Throughput(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F3",
+		Title:   "throughput vs read fraction (n=5, 8 closed-loop clients)",
+		Claim:   "quorum replication trades throughput for availability; read-dominated mixes benefit from the unanimous-read optimization",
+		Headers: []string{"read %", "system", "ops/s"},
+	}
+	duration := 1500 * time.Millisecond
+	if o.Quick {
+		duration = 300 * time.Millisecond
+	}
+	n, clients := 5, 8
+
+	type tputSystem struct {
+		name  string
+		build func() (mkClient func() (regClient, error), closeAll func(), err error)
+	}
+	systems := []tputSystem{
+		{"abd", func() (func() (regClient, error), func(), error) {
+			c := newSimCluster(n, netsim.Config{Seed: o.seed(), MinDelay: 100 * time.Microsecond, MaxDelay: 200 * time.Microsecond})
+			mk := func() (regClient, error) {
+				return c.client(core.WithSkipUnanimousWriteBack())
+			}
+			return mk, c.close, nil
+		}},
+		{"central", func() (func() (regClient, error), func(), error) {
+			net := netsim.New(netsim.Config{Seed: o.seed(), MinDelay: 100 * time.Microsecond, MaxDelay: 200 * time.Microsecond})
+			srv := baseline.NewCentralServer(0, net.Node(0))
+			srv.Start()
+			var created []*baseline.CentralClient
+			var mu sync.Mutex
+			next := types.NodeID(10000)
+			mk := func() (regClient, error) {
+				mu.Lock()
+				id := next
+				next++
+				mu.Unlock()
+				cli := baseline.NewCentralClient(id, net.Node(id), 0)
+				mu.Lock()
+				created = append(created, cli)
+				mu.Unlock()
+				return cli, nil
+			}
+			closeAll := func() {
+				for _, c := range created {
+					c.Close()
+				}
+				srv.Stop()
+				net.Close()
+			}
+			return mk, closeAll, nil
+		}},
+	}
+
+	for _, readPct := range []int{0, 50, 90, 100} {
+		for _, sys := range systems {
+			mk, closeAll, err := sys.build()
+			if err != nil {
+				return nil, fmt.Errorf("F3 %s: %w", sys.name, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+
+			var total atomic.Int64
+			var failed atomic.Bool
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for i := 0; i < clients; i++ {
+				cli, err := mk()
+				if err != nil {
+					cancel()
+					closeAll()
+					return nil, err
+				}
+				wg.Add(1)
+				go func(cli regClient, i int) {
+					defer wg.Done()
+					// Deterministic per-client op mix.
+					j := 0
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						var err error
+						if j%100 < readPct {
+							_, err = cli.Read(ctx, "x")
+						} else {
+							err = cli.Write(ctx, "x", []byte("v"))
+						}
+						if err != nil {
+							failed.Store(true)
+							return
+						}
+						total.Add(1)
+						j++
+					}
+				}(cli, i)
+			}
+			time.Sleep(duration)
+			close(stop)
+			wg.Wait()
+			cancel()
+			closeAll()
+			if failed.Load() {
+				return nil, fmt.Errorf("F3 %s read%%=%d: ops failed", sys.name, readPct)
+			}
+			opsPerSec := float64(total.Load()) / duration.Seconds()
+			tbl.AddRow(fmt.Sprintf("%d", readPct), sys.name, fmt.Sprintf("%.0f", opsPerSec))
+		}
+	}
+	return tbl, nil
+}

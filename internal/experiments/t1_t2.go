@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+// simCluster is the experiments' minimal cluster: n replicas on a fresh
+// simulated network.
+type simCluster struct {
+	net      *netsim.Net
+	replicas []*core.Replica
+	ids      []types.NodeID
+	clients  []*core.Client
+	nextCli  types.NodeID
+}
+
+func newSimCluster(n int, cfg netsim.Config, ropts ...core.ReplicaOption) *simCluster {
+	c := &simCluster{net: netsim.New(cfg), nextCli: 10000}
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		r := core.NewReplica(id, c.net.Node(id), ropts...)
+		r.Start()
+		c.replicas = append(c.replicas, r)
+		c.ids = append(c.ids, id)
+	}
+	return c
+}
+
+func (c *simCluster) client(opts ...core.ClientOption) (*core.Client, error) {
+	id := c.nextCli
+	c.nextCli++
+	cli, err := core.NewClient(id, c.net.Node(id), c.ids, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+func (c *simCluster) close() {
+	for _, cli := range c.clients {
+		cli.Close()
+	}
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	c.net.Close()
+}
+
+// settle lets in-flight acks and stragglers drain before reading counters.
+func settle() { time.Sleep(20 * time.Millisecond) }
+
+// T1MessageComplexity counts messages per operation exactly, on an
+// instant-delivery network, and compares with the paper's analysis:
+// single-writer write = 2n (n updates + n acks, one round trip),
+// read = 4n (query round trip + write-back round trip),
+// multi-writer write = 4n (query + update round trips),
+// unanimous-read optimization = 2n in the quiescent case.
+func T1MessageComplexity(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "T1",
+		Title:   "message complexity per operation",
+		Claim:   "SWMR write: 2n msgs (1 round trip); read: 4n (2 RTs); MWMR write: 4n; unanimous-read opt: 2n",
+		Headers: []string{"n", "operation", "msgs/op", "expected", "ok"},
+	}
+	ops := o.scale(200, 30)
+
+	for _, n := range []int{3, 5, 7, 9} {
+		type variant struct {
+			name     string
+			expected int
+			opts     []core.ClientOption
+			run      func(ctx context.Context, cli *core.Client) error
+			prime    bool // run one untimed op first
+		}
+		write := func(ctx context.Context, cli *core.Client) error {
+			return cli.Write(ctx, "x", []byte("v"))
+		}
+		read := func(ctx context.Context, cli *core.Client) error {
+			_, err := cli.Read(ctx, "x")
+			return err
+		}
+		variants := []variant{
+			{"SWMR write", 2 * n, []core.ClientOption{core.WithSingleWriter()}, write, false},
+			{"read", 4 * n, nil, read, true},
+			{"MWMR write", 4 * n, nil, write, false},
+			{"read (skip-unanimous)", 2 * n, []core.ClientOption{core.WithSkipUnanimousWriteBack()}, read, true},
+		}
+		for _, v := range variants {
+			c := newSimCluster(n, netsim.Config{Seed: o.seed()})
+			cli, err := c.client(v.opts...)
+			if err != nil {
+				c.close()
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if v.prime {
+				// Reads need a stable value everywhere first.
+				w, err := c.client(core.WithSingleWriter())
+				if err != nil {
+					cancel()
+					c.close()
+					return nil, err
+				}
+				if err := w.Write(ctx, "x", []byte("v")); err != nil {
+					cancel()
+					c.close()
+					return nil, err
+				}
+				settle()
+			}
+			c.net.ResetStats()
+			for i := 0; i < ops; i++ {
+				if err := v.run(ctx, cli); err != nil {
+					cancel()
+					c.close()
+					return nil, fmt.Errorf("T1 n=%d %s: %w", n, v.name, err)
+				}
+			}
+			settle()
+			st := c.net.Stats()
+			cancel()
+			c.close()
+
+			perOp := float64(st.Sent) / float64(ops)
+			ok := "yes"
+			if perOp != float64(v.expected) {
+				ok = "no"
+			}
+			tbl.AddRow(fmt.Sprintf("%d", n), v.name, fmt.Sprintf("%.1f", perOp),
+				fmt.Sprintf("%d", v.expected), ok)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"counts include replies/acks; delays are zero so every phase touches all n replicas exactly once")
+	return tbl, nil
+}
+
+// T2Rounds measures operation latency on a fixed-delay network and infers
+// round trips, checking the paper's round complexity: writes 1 round trip
+// (single-writer), reads 2, multi-writer writes 2; the unanimous-read
+// optimization brings quiescent reads back to 1.
+func T2Rounds(o Options) (*Table, error) {
+	const oneWay = 500 * time.Microsecond
+	tbl := &Table{
+		ID:      "T2",
+		Title:   "round (latency) complexity",
+		Claim:   "SWMR write: 1 round trip; read: 2; MWMR write: 2; unanimous read: 1",
+		Headers: []string{"operation", "mean", "p99", "RTTs (vs SWMR write)", "expected RTTs"},
+		Notes: []string{
+			fmt.Sprintf("one-way delay fixed at %v; RTTs normalized to the measured SWMR write (1 RT by construction), which also absorbs the simulator's timer overhead", oneWay),
+		},
+	}
+	ops := o.scale(100, 20)
+	n := 5
+
+	type variant struct {
+		name     string
+		expected float64
+		opts     []core.ClientOption
+		isRead   bool
+	}
+	variants := []variant{
+		{"SWMR write", 1, []core.ClientOption{core.WithSingleWriter()}, false},
+		{"read", 2, nil, true},
+		{"MWMR write", 2, nil, false},
+		{"read (skip-unanimous)", 1, []core.ClientOption{core.WithSkipUnanimousWriteBack()}, true},
+	}
+	var baseline time.Duration // measured SWMR write = 1 round trip
+	for _, v := range variants {
+		c := newSimCluster(n, netsim.Config{Seed: o.seed(), MinDelay: oneWay, MaxDelay: oneWay})
+		cli, err := c.client(v.opts...)
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+
+		if v.isRead {
+			w, err := c.client(core.WithSingleWriter())
+			if err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			if err := w.Write(ctx, "x", []byte("v")); err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			settle()
+		}
+		var fn func() error
+		if v.isRead {
+			fn = func() error { _, err := cli.Read(ctx, "x"); return err }
+		} else {
+			fn = func() error { return cli.Write(ctx, "x", []byte("v")) }
+		}
+		samples, err := latencies(ops, fn)
+		cancel()
+		c.close()
+		if err != nil {
+			return nil, fmt.Errorf("T2 %s: %w", v.name, err)
+		}
+		m := mean(samples)
+		if baseline == 0 {
+			baseline = m // the first variant is the SWMR write
+		}
+		inferred := float64(m) / float64(baseline)
+		tbl.AddRow(v.name, us(m), us(percentile(samples, 0.99)),
+			ratio(inferred), ratio(v.expected))
+	}
+	return tbl, nil
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/netsim"
+	"repro/internal/quorum"
+	"repro/internal/types"
+)
+
+// T3Linearizability records concurrent histories under adversarial random
+// delays, with and without the read write-back, and runs the checker on
+// each: the paper's atomicity theorem (all ABD histories linearizable) and
+// the necessity of the write-back (the "regular" variant exhibits new/old
+// inversions).
+func T3Linearizability(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "T3",
+		Title:   "linearizability of recorded histories",
+		Claim:   "every ABD history is linearizable; without the read write-back, new/old inversions appear",
+		Headers: []string{"variant", "histories", "linearizable", "violations", "verdict"},
+	}
+	seeds := o.scale(10, 3)
+
+	type variant struct {
+		name                   string
+		opts                   []core.ClientOption
+		expectAll              bool
+		deterministicInversion bool
+	}
+	variants := []variant{
+		{"abd (write-back)", nil, true, false},
+		{"abd + skip-unanimous", []core.ClientOption{core.WithSkipUnanimousWriteBack()}, true, false},
+		{"regular (no write-back)", []core.ClientOption{core.WithUnsafeNoWriteBack()}, false, true},
+	}
+	for _, v := range variants {
+		pass, fail := 0, 0
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			ops, err := recordedWorkload(o, seed, v.opts)
+			if err != nil {
+				return nil, fmt.Errorf("T3 %s seed %d: %w", v.name, seed, err)
+			}
+			res := lincheck.CheckRegister(ops, lincheck.Config{Timeout: 30 * time.Second})
+			switch res.Outcome {
+			case lincheck.Linearizable:
+				pass++
+			case lincheck.NotLinearizable:
+				fail++
+			default:
+				return nil, fmt.Errorf("T3 %s seed %d: checker budget exhausted", v.name, seed)
+			}
+		}
+		histories := seeds
+		// For the regular variant, random schedules may not always produce
+		// an inversion; the deterministic adversarial schedule always does.
+		if v.deterministicInversion {
+			ok, err := deterministicInversion(o, v.opts)
+			if err != nil {
+				return nil, fmt.Errorf("T3 inversion schedule: %w", err)
+			}
+			histories++
+			if ok {
+				fail++
+			} else {
+				pass++
+			}
+		}
+		verdict := "matches claim"
+		if v.expectAll && fail > 0 {
+			verdict = "VIOLATES claim"
+		}
+		if !v.expectAll && fail == 0 {
+			verdict = "no violation found"
+		}
+		tbl.AddRow(v.name, fmt.Sprintf("%d", histories), fmt.Sprintf("%d", pass),
+			fmt.Sprintf("%d", fail), verdict)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"random histories: 2 writers + 3 readers, random delays; plus one scripted adversarial schedule for the regular variant")
+	return tbl, nil
+}
+
+// recordedWorkload runs a concurrent mix and records the history.
+func recordedWorkload(o Options, seed int64, opts []core.ClientOption) ([]history.Op, error) {
+	c := newSimCluster(3, netsim.Config{Seed: seed, MinDelay: 0, MaxDelay: 3 * time.Millisecond})
+	defer c.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rec := history.NewRecorder()
+
+	writers, readers, opsPer := 2, 3, o.scale(15, 6)
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for i := 0; i < writers; i++ {
+		cli, err := c.client(opts...)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(id int, cli *core.Client) {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				val := []byte(fmt.Sprintf("w%d-%d", id, j))
+				p := rec.BeginWrite(id, val)
+				if err := cli.Write(ctx, "x", val); err != nil {
+					p.Crash()
+					errCh <- err
+					return
+				}
+				p.EndWrite()
+			}
+		}(i, cli)
+	}
+	for i := 0; i < readers; i++ {
+		cli, err := c.client(opts...)
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func(id int, cli *core.Client) {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				p := rec.BeginRead(id)
+				v, err := cli.Read(ctx, "x")
+				if err != nil {
+					p.Crash()
+					errCh <- err
+					return
+				}
+				p.EndRead(v)
+			}
+		}(writers+i, cli)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		return nil, err
+	}
+	return rec.Ops(), nil
+}
+
+// deterministicInversion runs the scripted schedule from the core test
+// suite (write reaches one replica; reader A sees it through quorum {0,1};
+// reader B then reads {1,2}) and reports whether the resulting history is
+// NOT linearizable.
+func deterministicInversion(o Options, opts []core.ClientOption) (bool, error) {
+	c := newSimCluster(3, netsim.Config{Seed: o.seed()})
+	defer c.close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rec := history.NewRecorder()
+
+	w, err := c.client(core.WithSingleWriter())
+	if err != nil {
+		return false, err
+	}
+	ra, err := c.client(opts...)
+	if err != nil {
+		return false, err
+	}
+	rb, err := c.client(opts...)
+	if err != nil {
+		return false, err
+	}
+
+	p := rec.BeginWrite(0, []byte("old"))
+	if err := w.Write(ctx, "x", []byte("old")); err != nil {
+		return false, err
+	}
+	p.EndWrite()
+
+	c.net.BlockLink(w.ID(), 1)
+	c.net.BlockLink(w.ID(), 2)
+	pw := rec.BeginWrite(0, []byte("new"))
+	wctx, wcancel := context.WithTimeout(ctx, 300*time.Millisecond)
+	defer wcancel()
+	writeDone := make(chan error, 1)
+	go func() { writeDone <- w.Write(wctx, "x", []byte("new")) }()
+
+	// Wait for replica 0 to adopt.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, val := c.replicas[0].State("x")
+		if string(val) == "new" {
+			break
+		}
+		if time.Now().After(deadline) {
+			return false, fmt.Errorf("replica 0 never adopted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.net.BlockLink(ra.ID(), 2)
+	pa := rec.BeginRead(1)
+	va, err := ra.Read(ctx, "x")
+	if err != nil {
+		return false, err
+	}
+	pa.EndRead(va)
+
+	c.net.BlockLink(rb.ID(), 0)
+	pb := rec.BeginRead(2)
+	vb, err := rb.Read(ctx, "x")
+	if err != nil {
+		return false, err
+	}
+	pb.EndRead(vb)
+
+	if err := <-writeDone; err != nil {
+		pw.Crash()
+	} else {
+		pw.EndWrite()
+	}
+
+	res := lincheck.CheckRegister(rec.Ops(), lincheck.Config{})
+	return res.Outcome == lincheck.NotLinearizable, nil
+}
+
+// F4PartitionBoundary demonstrates the impossibility side of the paper's
+// resilience bound: operations complete exactly when the client's side of a
+// partition contains a majority of replicas, and block otherwise.
+func F4PartitionBoundary(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F4",
+		Title:   "liveness across partition sizes",
+		Claim:   "n > 2f is tight: a side with <= n/2 replicas makes ops block; > n/2 keeps them live",
+		Headers: []string{"n", "replicas on client side", "majority?", "writes", "reads"},
+	}
+	ops := o.scale(10, 4)
+
+	for _, n := range []int{4, 5} {
+		for side := 0; side <= n; side++ {
+			c := newSimCluster(n, netsim.Config{Seed: o.seed()})
+			cli, err := c.client(core.WithSingleWriter())
+			if err != nil {
+				c.close()
+				return nil, err
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			if err := cli.Write(ctx, "x", []byte("v0")); err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+
+			// Partition: client plus the first `side` replicas vs the rest.
+			groupA := []types.NodeID{cli.ID()}
+			var groupB []types.NodeID
+			for i := 0; i < n; i++ {
+				if i < side {
+					groupA = append(groupA, types.NodeID(i))
+				} else {
+					groupB = append(groupB, types.NodeID(i))
+				}
+			}
+			c.net.Partition(groupA, groupB)
+
+			writeRes, _ := tryOps(ops, func(octx context.Context) error {
+				return cli.Write(octx, "x", []byte("v"))
+			})
+			readRes, _ := tryOps(ops, func(octx context.Context) error {
+				_, err := cli.Read(octx, "x")
+				return err
+			})
+			cancel()
+			c.close()
+
+			majority := "no"
+			if side > n/2 {
+				majority = "yes"
+			}
+			tbl.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", side), majority, writeRes, readRes)
+		}
+	}
+	tbl.Notes = append(tbl.Notes,
+		"n=4, side=2 is the even split: neither side has a majority and the whole system blocks — the partition argument behind the impossibility proof")
+	return tbl, nil
+}
+
+// F5QuorumAvailability analyzes quorum systems analytically (Monte Carlo
+// over independent replica failures): availability vs failure probability,
+// and the minimal quorum sizes that set per-operation load. This is the
+// published generalization of the paper's majorities.
+func F5QuorumAvailability(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F5",
+		Title:   "quorum system availability vs replica failure probability (figure: one row per point)",
+		Claim:   "majorities maximize fault tolerance; grids trade availability for smaller quorums (lower load)",
+		Headers: []string{"system", "p=0.05", "p=0.10", "p=0.20", "p=0.30", "p=0.50", "min read/write quorum"},
+	}
+	trials := o.scale(20000, 2000)
+
+	systems := []quorum.System{
+		quorum.NewMajority(9),
+		quorum.NewGrid(3, 3),
+		quorum.NewMajority(16),
+		quorum.NewGrid(4, 4),
+		quorum.NewMajority(25),
+		quorum.NewGrid(5, 5),
+		quorum.NewReadOneWriteAll(9),
+	}
+	ps := []float64{0.05, 0.10, 0.20, 0.30, 0.50}
+	for _, sys := range systems {
+		row := []string{sys.Name()}
+		for _, p := range ps {
+			a := quorum.Availability(sys, p, trials, o.seed())
+			row = append(row, fmt.Sprintf("%.3f", a))
+		}
+		r, w := quorum.MinQuorumSizes(sys)
+		row = append(row, fmt.Sprintf("%d/%d", r, w))
+		tbl.AddRow(row...)
+	}
+	tbl.Notes = append(tbl.Notes,
+		"availability = probability that both a live read quorum and a live write quorum exist",
+		"grid write quorums have size 2·sqrt(n)-1 vs majority's n/2+1: less load, earlier failure at high p")
+	return tbl, nil
+}

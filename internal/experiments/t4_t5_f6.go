@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/bakery"
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/netsim"
+	"repro/internal/snapshot"
+)
+
+// T4BoundedLabels compares the unbounded timestamps with the bounded cyclic
+// labels: the label's size stays constant no matter how many writes happen
+// (the point of the paper's bounded construction), while the unbounded
+// sequence number grows logarithmically with the write count; message and
+// round complexity are otherwise unchanged except for the bounded writer's
+// extra query phase.
+func T4BoundedLabels(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "T4",
+		Title:   "bounded vs unbounded timestamps (n=3, single writer)",
+		Claim:   "bounded labels live in a constant domain (3L, L=2n+2) regardless of the number of writes",
+		Headers: []string{"mode", "writes", "max tag bits", "tag domain", "phases/write", "violations"},
+	}
+	writes := o.scale(2000, 200)
+	n := 3
+	window := int64(2*n + 2) // replicas + in-flight readers + writer slack
+
+	// Unbounded run.
+	{
+		c := newSimCluster(n, netsim.Config{Seed: o.seed()})
+		cli, err := c.client(core.WithSingleWriter())
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		for i := 0; i < writes; i++ {
+			if err := cli.Write(ctx, "x", []byte("v")); err != nil {
+				cancel()
+				c.close()
+				return nil, fmt.Errorf("T4 unbounded write %d: %w", i, err)
+			}
+		}
+		settle()
+		tag, _ := c.replicas[0].State("x")
+		m := cli.Metrics()
+		cancel()
+		c.close()
+
+		bits := int(math.Ceil(math.Log2(float64(tag.TS.Seq + 1))))
+		tbl.AddRow("unbounded", fmt.Sprintf("%d", writes),
+			fmt.Sprintf("%d (grows as log2 #writes)", bits), "unbounded",
+			ratio(float64(m.Phases)/float64(m.Writes)), "0")
+	}
+
+	// Bounded run.
+	{
+		c := newSimCluster(n, netsim.Config{Seed: o.seed()},
+			core.WithReplicaBoundedWindow(window))
+		cli, err := c.client(core.WithBoundedLabels(window))
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+		maxLabel := int64(0)
+		for i := 0; i < writes; i++ {
+			if err := cli.Write(ctx, "x", []byte("v")); err != nil {
+				cancel()
+				c.close()
+				return nil, fmt.Errorf("T4 bounded write %d: %w", i, err)
+			}
+		}
+		settle()
+		tag, _ := c.replicas[0].State("x")
+		if tag.Label > maxLabel {
+			maxLabel = tag.Label
+		}
+		m := cli.Metrics()
+		var replicaViolations int64
+		for _, r := range c.replicas {
+			replicaViolations += r.Stats().Violations
+		}
+		cancel()
+		c.close()
+
+		domain := 3 * window
+		bits := int(math.Ceil(math.Log2(float64(domain))))
+		tbl.AddRow("bounded (cyclic)", fmt.Sprintf("%d", writes),
+			fmt.Sprintf("%d (constant)", bits), fmt.Sprintf("%d labels", domain),
+			ratio(float64(m.Phases)/float64(m.Writes)),
+			fmt.Sprintf("%d", m.OrderViolations+replicaViolations))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"bounded writes pay one extra query phase to collect the live labels, matching the paper's bounded protocol structure",
+		"violations = out-of-window comparisons detected; 0 means the staleness assumption held throughout")
+	return tbl, nil
+}
+
+// T5MultiWriter exercises the multi-writer extension: k concurrent writers
+// on one register, all histories linearizable, writes costing one extra
+// round trip over the single-writer protocol.
+func T5MultiWriter(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "T5",
+		Title:   "multi-writer extension (n=5)",
+		Claim:   "MWMR registers cost one extra round trip per write and preserve atomicity for any number of writers",
+		Headers: []string{"writers", "ops", "phases/write", "write mean", "history"},
+	}
+	opsPer := o.scale(20, 6)
+
+	for _, k := range []int{1, 2, 4, 8} {
+		c := newSimCluster(5, netsim.Config{Seed: o.seed(), MinDelay: 0, MaxDelay: 2 * time.Millisecond})
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+
+		rec := history.NewRecorder()
+		var wg sync.WaitGroup
+		errCh := make(chan error, k+1)
+		var phaseTotal, writeTotal int64
+		var latMu sync.Mutex
+		var lats []time.Duration
+
+		for i := 0; i < k; i++ {
+			cli, err := c.client()
+			if err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			wg.Add(1)
+			go func(id int, cli *core.Client) {
+				defer wg.Done()
+				for j := 0; j < opsPer; j++ {
+					val := []byte(fmt.Sprintf("w%d-%d", id, j))
+					p := rec.BeginWrite(id, val)
+					start := time.Now()
+					if err := cli.Write(ctx, "x", val); err != nil {
+						p.Crash()
+						errCh <- err
+						return
+					}
+					lat := time.Since(start)
+					p.EndWrite()
+					latMu.Lock()
+					lats = append(lats, lat)
+					latMu.Unlock()
+				}
+			}(i, cli)
+		}
+		// One reader mixes in so the history is interesting.
+		reader, err := c.client()
+		if err != nil {
+			cancel()
+			c.close()
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < opsPer; j++ {
+				p := rec.BeginRead(100)
+				v, err := reader.Read(ctx, "x")
+				if err != nil {
+					p.Crash()
+					errCh <- err
+					return
+				}
+				p.EndRead(v)
+			}
+		}()
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			cancel()
+			c.close()
+			return nil, fmt.Errorf("T5 k=%d: %w", k, err)
+		}
+		for _, cli := range c.clients {
+			m := cli.Metrics()
+			writeTotal += m.Writes
+			phaseTotal += m.Phases - m.Reads - m.WriteBacks // phases spent on writes
+		}
+		res := lincheck.CheckRegister(rec.Ops(), lincheck.Config{Timeout: 30 * time.Second})
+		cancel()
+		c.close()
+
+		verdict := res.Outcome.String()
+		tbl.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", k*opsPer),
+			ratio(float64(phaseTotal)/float64(writeTotal)), us(mean(lats)), verdict)
+	}
+	return tbl, nil
+}
+
+// F6Applications measures the shared-memory algorithms running over the
+// emulation: atomic snapshot scans/updates as components grow, and bakery
+// lock acquisition under contention — the paper's portability theorem with
+// numbers attached.
+func F6Applications(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "F6",
+		Title:   "shared-memory algorithms over the emulation",
+		Claim:   "wait-free SM algorithms run unchanged; snapshot ops cost O(components) register ops",
+		Headers: []string{"workload", "parameter", "mean latency", "ops"},
+	}
+	iters := o.scale(20, 5)
+
+	// Atomic snapshot: scan and update vs component count.
+	for _, comps := range []int{2, 4, 8} {
+		c := newSimCluster(3, netsim.Config{Seed: o.seed(), MinDelay: 50 * time.Microsecond, MaxDelay: 150 * time.Microsecond})
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+
+		regs := make([]snapshot.Register, comps)
+		for i := 0; i < comps; i++ {
+			cli, err := c.client(core.WithSingleWriter())
+			if err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			regs[i] = cli.Register(fmt.Sprintf("snap/%d", i))
+		}
+		h, err := snapshot.New(regs, 0)
+		if err != nil {
+			cancel()
+			c.close()
+			return nil, err
+		}
+		updates, err := latencies(iters, func() error { return h.Update(ctx, []byte("v")) })
+		if err != nil {
+			cancel()
+			c.close()
+			return nil, fmt.Errorf("F6 snapshot update: %w", err)
+		}
+		scans, err := latencies(iters, func() error { _, err := h.Scan(ctx); return err })
+		cancel()
+		c.close()
+		if err != nil {
+			return nil, fmt.Errorf("F6 snapshot scan: %w", err)
+		}
+		tbl.AddRow("snapshot update", fmt.Sprintf("%d components", comps), us(mean(updates)), fmt.Sprintf("%d", iters))
+		tbl.AddRow("snapshot scan", fmt.Sprintf("%d components", comps), us(mean(scans)), fmt.Sprintf("%d", iters))
+	}
+
+	// Bakery: lock+unlock under varying contention.
+	for _, procs := range []int{1, 2, 4} {
+		c := newSimCluster(3, netsim.Config{Seed: o.seed(), MinDelay: 50 * time.Microsecond, MaxDelay: 150 * time.Microsecond})
+		ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+
+		choosing := make([]bakery.Register, procs)
+		number := make([]bakery.Register, procs)
+		for i := 0; i < procs; i++ {
+			cli, err := c.client(core.WithSingleWriter())
+			if err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			choosing[i] = cli.Register(fmt.Sprintf("choosing/%d", i))
+			number[i] = cli.Register(fmt.Sprintf("number/%d", i))
+		}
+
+		rounds := o.scale(10, 3)
+		var wg sync.WaitGroup
+		var latMu sync.Mutex
+		var lats []time.Duration
+		errCh := make(chan error, procs)
+		for i := 0; i < procs; i++ {
+			m, err := bakery.New(choosing, number, i, bakery.WithPollInterval(200*time.Microsecond))
+			if err != nil {
+				cancel()
+				c.close()
+				return nil, err
+			}
+			wg.Add(1)
+			go func(m *bakery.Mutex) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					start := time.Now()
+					if err := m.Lock(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					lat := time.Since(start)
+					if err := m.Unlock(ctx); err != nil {
+						errCh <- err
+						return
+					}
+					latMu.Lock()
+					lats = append(lats, lat)
+					latMu.Unlock()
+				}
+			}(m)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			cancel()
+			c.close()
+			return nil, fmt.Errorf("F6 bakery procs=%d: %w", procs, err)
+		}
+		cancel()
+		c.close()
+		tbl.AddRow("bakery lock", fmt.Sprintf("%d contenders", procs), us(mean(lats)), fmt.Sprintf("%d", len(lats)))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"snapshot scan latency grows with components (each collect reads all of them) — the O(components) shape",
+		"bakery lock latency grows with contention (ticket waits) while remaining live — no deadlock, no starvation observed")
+	return tbl, nil
+}

@@ -1,0 +1,230 @@
+// Package failure drives fault injection against the simulated network:
+// scripted schedules of crashes, partitions, link blocks, and delay spikes.
+// Schedules can be built programmatically or parsed from the compact script
+// syntax cmd/abd-sim accepts:
+//
+//	crash:2@100ms; partition:0,1|2,3,4@200ms; heal@400ms; delay:3.0@1s; block:0>2@1.5s
+//
+// Each event is "<action>@<offset>", offsets relative to Run's start.
+package failure
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+// Action is one fault applied to the network.
+type Action interface {
+	Apply(net *netsim.Net)
+	String() string
+}
+
+// Crash fail-stops a node.
+type Crash struct{ Node types.NodeID }
+
+// Apply implements Action.
+func (a Crash) Apply(net *netsim.Net) { net.Crash(a.Node) }
+
+func (a Crash) String() string { return fmt.Sprintf("crash:%d", a.Node) }
+
+// Recover clears a node's crash flag (outside the paper's model; for
+// crash-recovery scenarios).
+type Recover struct{ Node types.NodeID }
+
+// Apply implements Action.
+func (a Recover) Apply(net *netsim.Net) { net.Recover(a.Node) }
+
+func (a Recover) String() string { return fmt.Sprintf("recover:%d", a.Node) }
+
+// Partition splits the network into groups.
+type Partition struct{ Groups [][]types.NodeID }
+
+// Apply implements Action.
+func (a Partition) Apply(net *netsim.Net) { net.Partition(a.Groups...) }
+
+func (a Partition) String() string {
+	sides := make([]string, len(a.Groups))
+	for i, g := range a.Groups {
+		ids := make([]string, len(g))
+		for j, id := range g {
+			ids[j] = strconv.Itoa(int(id))
+		}
+		sides[i] = strings.Join(ids, ",")
+	}
+	return "partition:" + strings.Join(sides, "|")
+}
+
+// Heal removes any partition.
+type Heal struct{}
+
+// Apply implements Action.
+func (a Heal) Apply(net *netsim.Net) { net.Heal() }
+
+func (a Heal) String() string { return "heal" }
+
+// Block drops messages on one directed link.
+type Block struct{ From, To types.NodeID }
+
+// Apply implements Action.
+func (a Block) Apply(net *netsim.Net) { net.BlockLink(a.From, a.To) }
+
+func (a Block) String() string { return fmt.Sprintf("block:%d>%d", a.From, a.To) }
+
+// Unblock re-enables a blocked link.
+type Unblock struct{ From, To types.NodeID }
+
+// Apply implements Action.
+func (a Unblock) Apply(net *netsim.Net) { net.UnblockLink(a.From, a.To) }
+
+func (a Unblock) String() string { return fmt.Sprintf("unblock:%d>%d", a.From, a.To) }
+
+// Delay scales all message delays by Factor (1 restores the baseline).
+type Delay struct{ Factor float64 }
+
+// Apply implements Action.
+func (a Delay) Apply(net *netsim.Net) { net.SetDelayScale(a.Factor) }
+
+func (a Delay) String() string { return fmt.Sprintf("delay:%g", a.Factor) }
+
+// Event is an action scheduled at an offset from the schedule's start.
+type Event struct {
+	At     time.Duration
+	Action Action
+}
+
+// Schedule is a time-ordered fault script.
+type Schedule []Event
+
+// Run applies the schedule against net, sleeping between events. It returns
+// when all events have fired or the context is cancelled. Run is
+// synchronous; callers usually invoke it in a goroutine alongside the
+// workload.
+func (s Schedule) Run(ctx context.Context, net *netsim.Net) error {
+	events := make([]Event, len(s))
+	copy(events, s)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+
+	start := time.Now()
+	for _, ev := range events {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return ctx.Err()
+			}
+		}
+		ev.Action.Apply(net)
+	}
+	return nil
+}
+
+// String renders the schedule in the parseable script syntax.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, ev := range s {
+		parts[i] = fmt.Sprintf("%s@%s", ev.Action, ev.At)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Parse reads the script syntax. Whitespace around separators is ignored.
+func Parse(script string) (Schedule, error) {
+	var out Schedule
+	for _, part := range strings.Split(script, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		at := strings.LastIndex(part, "@")
+		if at < 0 {
+			return nil, fmt.Errorf("failure: event %q missing @offset", part)
+		}
+		offset, err := time.ParseDuration(strings.TrimSpace(part[at+1:]))
+		if err != nil {
+			return nil, fmt.Errorf("failure: event %q: %w", part, err)
+		}
+		action, err := parseAction(strings.TrimSpace(part[:at]))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Event{At: offset, Action: action})
+	}
+	return out, nil
+}
+
+func parseAction(s string) (Action, error) {
+	name, args, _ := strings.Cut(s, ":")
+	switch name {
+	case "crash":
+		id, err := parseNode(args)
+		if err != nil {
+			return nil, fmt.Errorf("failure: crash: %w", err)
+		}
+		return Crash{Node: id}, nil
+	case "recover":
+		id, err := parseNode(args)
+		if err != nil {
+			return nil, fmt.Errorf("failure: recover: %w", err)
+		}
+		return Recover{Node: id}, nil
+	case "partition":
+		var groups [][]types.NodeID
+		for _, side := range strings.Split(args, "|") {
+			var group []types.NodeID
+			for _, tok := range strings.Split(side, ",") {
+				id, err := parseNode(tok)
+				if err != nil {
+					return nil, fmt.Errorf("failure: partition: %w", err)
+				}
+				group = append(group, id)
+			}
+			groups = append(groups, group)
+		}
+		return Partition{Groups: groups}, nil
+	case "heal":
+		return Heal{}, nil
+	case "block", "unblock":
+		fromS, toS, ok := strings.Cut(args, ">")
+		if !ok {
+			return nil, fmt.Errorf("failure: %s: want from>to, got %q", name, args)
+		}
+		from, err := parseNode(fromS)
+		if err != nil {
+			return nil, fmt.Errorf("failure: %s: %w", name, err)
+		}
+		to, err := parseNode(toS)
+		if err != nil {
+			return nil, fmt.Errorf("failure: %s: %w", name, err)
+		}
+		if name == "block" {
+			return Block{From: from, To: to}, nil
+		}
+		return Unblock{From: from, To: to}, nil
+	case "delay":
+		f, err := strconv.ParseFloat(strings.TrimSpace(args), 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: delay: %w", err)
+		}
+		return Delay{Factor: f}, nil
+	default:
+		return nil, fmt.Errorf("failure: unknown action %q", name)
+	}
+}
+
+func parseNode(s string) (types.NodeID, error) {
+	id, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, fmt.Errorf("node id %q: %w", s, err)
+	}
+	return types.NodeID(id), nil
+}

@@ -1,0 +1,129 @@
+package failure
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/types"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	script := "crash:2@100ms; partition:0,1|2,3,4@200ms; heal@400ms; delay:3@1s; block:0>2@1.5s; unblock:0>2@2s; recover:2@3s"
+	sched, err := Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 7 {
+		t.Fatalf("parsed %d events", len(sched))
+	}
+	// Round trip through String and Parse again.
+	again, err := Parse(sched.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sched.String(), err)
+	}
+	if len(again) != len(sched) {
+		t.Fatalf("round trip lost events: %d vs %d", len(again), len(sched))
+	}
+	for i := range sched {
+		if again[i].At != sched[i].At || again[i].Action.String() != sched[i].Action.String() {
+			t.Fatalf("event %d: %v@%v vs %v@%v", i,
+				again[i].Action, again[i].At, sched[i].Action, sched[i].At)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"crash:2",          // missing offset
+		"crash:x@1s",       // bad node
+		"warp:1@1s",        // unknown action
+		"block:1-2@1s",     // bad link syntax
+		"partition:a|b@1s", // bad node ids
+		"delay:fast@1s",    // bad factor
+	}
+	for _, script := range bad {
+		if _, err := Parse(script); err == nil {
+			t.Errorf("Parse(%q) accepted", script)
+		}
+	}
+}
+
+func TestParseEmptyAndWhitespace(t *testing.T) {
+	sched, err := Parse("  ;  ; ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 0 {
+		t.Fatalf("want empty schedule, got %d", len(sched))
+	}
+}
+
+func TestRunAppliesInOrder(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	net.Node(0)
+	net.Node(1)
+
+	sched := Schedule{
+		{At: 30 * time.Millisecond, Action: Heal{}},
+		{At: 10 * time.Millisecond, Action: Crash{Node: 0}}, // out of order on purpose
+		{At: 20 * time.Millisecond, Action: Crash{Node: 1}},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := sched.Run(ctx, net); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("schedule finished too fast: %v", elapsed)
+	}
+	if !net.Crashed(0) || !net.Crashed(1) {
+		t.Fatal("crashes not applied")
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	net.Node(0)
+
+	sched := Schedule{{At: 10 * time.Second, Action: Crash{Node: 0}}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := sched.Run(ctx, net); err == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	if net.Crashed(0) {
+		t.Fatal("event applied after cancellation")
+	}
+}
+
+func TestPartitionActionApplies(t *testing.T) {
+	net := netsim.New(netsim.Config{})
+	defer net.Close()
+	a := net.Node(1)
+	net.Node(2)
+
+	Partition{Groups: [][]types.NodeID{{1}, {2}}}.Apply(net)
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-net.Node(2).Recv():
+		t.Fatal("message crossed applied partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	Heal{}.Apply(net)
+	if err := a.Send(2, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-net.Node(2).Recv():
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered after heal")
+	}
+}

@@ -1,0 +1,136 @@
+package history
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRecorderOrdersOps(t *testing.T) {
+	r := NewRecorder()
+
+	w := r.BeginWrite(1, []byte("a"))
+	w.EndWrite()
+	rd := r.BeginRead(2)
+	rd.EndRead([]byte("a"))
+
+	ops := r.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("len=%d", len(ops))
+	}
+	if ops[0].Kind != Write || ops[1].Kind != Read {
+		t.Fatalf("order: %v %v", ops[0].Kind, ops[1].Kind)
+	}
+	if !(ops[0].Ret < ops[1].Inv) {
+		t.Fatal("sequential ops should be real-time ordered")
+	}
+}
+
+func TestRecorderOverlap(t *testing.T) {
+	r := NewRecorder()
+	w := r.BeginWrite(1, []byte("a"))
+	rd := r.BeginRead(2) // invoked before w returns
+	w.EndWrite()
+	rd.EndRead(nil)
+
+	ops := r.Ops()
+	// The two ops overlap: neither response precedes the other invocation.
+	if ops[0].Ret < ops[1].Inv || ops[1].Ret < ops[0].Inv {
+		t.Fatalf("ops should overlap: %+v", ops)
+	}
+}
+
+func TestRecorderCrashMarksPending(t *testing.T) {
+	r := NewRecorder()
+	w := r.BeginWrite(1, []byte("a"))
+	w.Crash()
+	ops := r.Ops()
+	if len(ops) != 1 || !ops[0].Pending() {
+		t.Fatalf("crash should record a pending op: %+v", ops)
+	}
+}
+
+func TestRecorderValueCopied(t *testing.T) {
+	r := NewRecorder()
+	buf := []byte("mutate-me")
+	w := r.BeginWrite(1, buf)
+	buf[0] = 'X'
+	w.EndWrite()
+	if got := r.Ops()[0].Value; !bytes.Equal(got, []byte("mutate-me")) {
+		t.Fatalf("recorded value aliased caller buffer: %q", got)
+	}
+}
+
+func TestRecorderNilVsEmpty(t *testing.T) {
+	r := NewRecorder()
+	r.BeginWrite(1, nil).EndWrite()
+	r.BeginWrite(1, []byte{}).EndWrite()
+	ops := r.Ops()
+	if ops[0].Value != nil {
+		t.Fatal("nil value not preserved")
+	}
+	if ops[1].Value == nil {
+		t.Fatal("empty value became nil")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const clients, per = 10, 100
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p := r.BeginWrite(c, []byte{byte(i)})
+				p.EndWrite()
+			}
+		}(c)
+	}
+	wg.Wait()
+	ops := r.Ops()
+	if len(ops) != clients*per {
+		t.Fatalf("len=%d", len(ops))
+	}
+	// Invocation times must be unique and sorted.
+	for i := 1; i < len(ops); i++ {
+		if ops[i-1].Inv >= ops[i].Inv {
+			t.Fatal("invocation times not strictly increasing")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.BeginWrite(1, []byte("hello")).EndWrite()
+	r.BeginRead(2).EndRead([]byte("hello"))
+	p := r.BeginWrite(3, []byte("crashed"))
+	p.Crash()
+
+	ops := r.Ops()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("len=%d, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i].Client != ops[i].Client || got[i].Kind != ops[i].Kind ||
+			got[i].Inv != ops[i].Inv || got[i].Ret != ops[i].Ret ||
+			!bytes.Equal(got[i].Value, ops[i].Value) {
+			t.Fatalf("op %d: got %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+}
+
+func TestReadJSONBadInput(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json\n")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package lincheck
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+)
+
+// synthHistory builds a linearizable history of size ops with the given
+// concurrency window: up to `overlap` operations are in flight at once.
+func synthHistory(ops, overlap int, seed int64) []history.Op {
+	rng := rand.New(rand.NewSource(seed))
+	var out []history.Op
+	state := ""
+	tm := int64(1)
+	for i := 0; i < ops; i++ {
+		// Sequential execution with padded response times to create
+		// overlap without changing the witness order.
+		var op history.Op
+		if rng.Intn(2) == 0 {
+			v := fmt.Sprintf("v%d", i)
+			op = history.Op{Client: i % 8, Kind: history.Write, Value: []byte(v), Inv: tm}
+			state = v
+		} else {
+			var val []byte
+			if state != "" {
+				val = []byte(state)
+			}
+			op = history.Op{Client: i % 8, Kind: history.Read, Value: val, Inv: tm}
+		}
+		op.Ret = tm + int64(1+rng.Intn(overlap*2+1))
+		out = append(out, op)
+		tm += 2
+	}
+	return out
+}
+
+func BenchmarkCheckSequential100(b *testing.B) {
+	ops := synthHistory(100, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := CheckRegister(ops, Config{Timeout: time.Minute}); res.Outcome != Linearizable {
+			b.Fatal(res.Outcome)
+		}
+	}
+}
+
+func BenchmarkCheckOverlapping100(b *testing.B) {
+	ops := synthHistory(100, 4, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := CheckRegister(ops, Config{Timeout: time.Minute}); res.Outcome != Linearizable {
+			b.Fatal(res.Outcome)
+		}
+	}
+}
+
+func BenchmarkCheckOverlapping500(b *testing.B) {
+	ops := synthHistory(500, 6, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := CheckRegister(ops, Config{Timeout: time.Minute}); res.Outcome != Linearizable {
+			b.Fatal(res.Outcome)
+		}
+	}
+}

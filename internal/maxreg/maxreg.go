@@ -1,0 +1,91 @@
+// Package maxreg implements a monotone max-register (high-watermark) from
+// an array of single-writer registers: WriteMax(v) raises this process's
+// component to v; ReadMax returns the largest value any process has
+// recorded. Because each component is written by one process and only ever
+// increases, two sequential ReadMax calls never go backwards — a property a
+// single multi-writer register cannot give (a slower writer could overwrite
+// a larger value).
+//
+// It is the third demonstration workload for the emulation, and the
+// building block the examples use for watermarks and epoch counters.
+package maxreg
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"repro/internal/types"
+)
+
+// Register is the SWMR register the max-register is built from.
+type Register interface {
+	Read(ctx context.Context) (types.Value, error)
+	Write(ctx context.Context, val types.Value) error
+}
+
+// MaxRegister is one process's handle.
+type MaxRegister struct {
+	regs []Register
+	me   int
+	last int64 // local cache of our own component
+}
+
+// New creates a handle for process me over the component registers.
+func New(regs []Register, me int) (*MaxRegister, error) {
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("maxreg: no component registers")
+	}
+	if me < 0 || me >= len(regs) {
+		return nil, fmt.Errorf("maxreg: process %d out of range [0,%d)", me, len(regs))
+	}
+	return &MaxRegister{regs: regs, me: me}, nil
+}
+
+func encode(v int64) types.Value { return []byte(strconv.FormatInt(v, 10)) }
+
+func decode(raw types.Value) (int64, error) {
+	if len(raw) == 0 {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(string(raw), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("maxreg: bad register contents %q: %w", raw, err)
+	}
+	return v, nil
+}
+
+// WriteMax raises this process's component to v if v is larger than what it
+// last wrote. Values are non-negative.
+func (m *MaxRegister) WriteMax(ctx context.Context, v int64) error {
+	if v < 0 {
+		return fmt.Errorf("maxreg: negative value %d", v)
+	}
+	if v <= m.last {
+		return nil
+	}
+	if err := m.regs[m.me].Write(ctx, encode(v)); err != nil {
+		return fmt.Errorf("maxreg write: %w", err)
+	}
+	m.last = v
+	return nil
+}
+
+// ReadMax returns the largest value recorded by any process.
+func (m *MaxRegister) ReadMax(ctx context.Context) (int64, error) {
+	max := int64(0)
+	for i, reg := range m.regs {
+		raw, err := reg.Read(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("maxreg read component %d: %w", i, err)
+		}
+		v, err := decode(raw)
+		if err != nil {
+			return 0, err
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max, nil
+}

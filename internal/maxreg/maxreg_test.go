@@ -1,0 +1,146 @@
+package maxreg
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+type fakeRegister struct {
+	mu  sync.Mutex
+	val types.Value
+}
+
+func (f *fakeRegister) Read(ctx context.Context) (types.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val.Clone(), nil
+}
+
+func (f *fakeRegister) Write(ctx context.Context, val types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.val = val.Clone()
+	return nil
+}
+
+func fakeRegs(n int) []Register {
+	out := make([]Register, n)
+	for i := range out {
+		out[i] = &fakeRegister{}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty registers accepted")
+	}
+	if _, err := New(fakeRegs(2), 2); err == nil {
+		t.Fatal("out-of-range process accepted")
+	}
+}
+
+func TestInitialReadIsZero(t *testing.T) {
+	m, _ := New(fakeRegs(3), 0)
+	v, err := m.ReadMax(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Fatalf("initial max %d", v)
+	}
+}
+
+func TestWriteMaxMonotone(t *testing.T) {
+	regs := fakeRegs(2)
+	ctx := context.Background()
+	a, _ := New(regs, 0)
+	b, _ := New(regs, 1)
+
+	if err := a.WriteMax(ctx, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteMax(ctx, 5); err != nil { // smaller, different component
+		t.Fatal(err)
+	}
+	v, err := a.ReadMax(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 {
+		t.Fatalf("max %d, want 10", v)
+	}
+
+	// Lowering our own component is a no-op.
+	if err := a.WriteMax(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.ReadMax(ctx); v != 10 {
+		t.Fatalf("max dropped to %d", v)
+	}
+}
+
+func TestNegativeRejected(t *testing.T) {
+	m, _ := New(fakeRegs(1), 0)
+	if err := m.WriteMax(context.Background(), -1); err == nil {
+		t.Fatal("negative accepted")
+	}
+}
+
+func TestReadsNeverGoBackwards(t *testing.T) {
+	const n = 4
+	regs := fakeRegs(n)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*n)
+	for i := 0; i < n; i++ {
+		w, _ := New(regs, i)
+		wg.Add(1)
+		go func(w *MaxRegister, i int) {
+			defer wg.Done()
+			for v := int64(1); v <= 200; v++ {
+				if err := w.WriteMax(ctx, v*int64(i+1)); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w, i)
+	}
+	for i := 0; i < n; i++ {
+		r, _ := New(regs, i)
+		wg.Add(1)
+		go func(r *MaxRegister) {
+			defer wg.Done()
+			last := int64(-1)
+			for k := 0; k < 300; k++ {
+				v, err := r.ReadMax(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if v < last {
+					errCh <- errBackwards(last, v)
+					return
+				}
+				last = v
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type backwardsError struct{ prev, cur int64 }
+
+func (e backwardsError) Error() string {
+	return "max register went backwards"
+}
+
+func errBackwards(prev, cur int64) error { return backwardsError{prev, cur} }

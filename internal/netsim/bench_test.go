@@ -1,0 +1,28 @@
+package netsim
+
+import (
+	"testing"
+)
+
+// BenchmarkRoundTrip measures a full send/receive hop on the zero-delay
+// simulator — the substrate floor under every protocol benchmark.
+func BenchmarkRoundTrip(b *testing.B) {
+	n := New(Config{Seed: 1})
+	defer n.Close()
+	a := n.Node(1)
+	peer := n.Node(2)
+	payload := make([]byte, 64)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.Send(2, payload); err != nil {
+			b.Fatal(err)
+		}
+		m := <-peer.Recv()
+		if err := n.Node(2).Send(1, m.Payload); err != nil {
+			b.Fatal(err)
+		}
+		<-a.Recv()
+	}
+}

@@ -1,0 +1,364 @@
+// Package netsim simulates the asynchronous message-passing system of the
+// paper: n processors, point-to-point channels that are reliable but deliver
+// with arbitrary (here: seeded-random, configurable) delay, and crash
+// failures. It adds the instrumentation the evaluation needs — exact message
+// counts per protocol kind — and the adversarial controls the robustness
+// experiments need: crashes, partitions, per-link blocks, delay spikes, and
+// probabilistic drops.
+//
+// Delivery ordering is not FIFO unless delays are constant; the ABD protocol
+// does not require FIFO channels, and the tests exercise reordering.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Config controls the simulated network. The zero value is valid: zero
+// delays, no drops.
+type Config struct {
+	// Seed makes delay and drop decisions reproducible. Zero means seed 1.
+	Seed int64
+	// MinDelay and MaxDelay bound the uniformly random one-way message
+	// delay. MaxDelay < MinDelay is treated as MaxDelay == MinDelay.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+	// DropProb is the probability an individual message is lost. The
+	// paper's model has reliable links; this knob exists for stress tests
+	// and is 0 by default.
+	DropProb float64
+	// DupProb is the probability an individual message is delivered twice
+	// (at-least-once delivery). The protocol's messages are idempotent, so
+	// duplication must be harmless; tests verify that.
+	DupProb float64
+}
+
+// Stats is a snapshot of network counters.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64 // includes losses to crash, partition, block, and DropProb
+	// Duplicated counts messages delivered twice (DupProb).
+	Duplicated int64
+	// ByKind counts sent messages by the first payload byte, which the
+	// protocol layer uses as its message-kind tag. This is how the message
+	// complexity experiments (T1) count round trips exactly.
+	ByKind map[byte]int64
+}
+
+// Net is a simulated network. All methods are safe for concurrent use.
+type Net struct {
+	cfg Config
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	nodes      map[types.NodeID]*endpoint
+	crashed    map[types.NodeID]bool
+	blocked    map[link]bool
+	partition  map[types.NodeID]int // node -> group; empty map means no partition
+	delayScale float64              // multiplies the sampled delay; 1 by default
+
+	sent       int64
+	delivered  int64
+	dropped    int64
+	duplicated int64
+	byKind     map[byte]int64
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type link struct{ from, to types.NodeID }
+
+// New creates a simulated network.
+func New(cfg Config) *Net {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	if cfg.MaxDelay < cfg.MinDelay {
+		cfg.MaxDelay = cfg.MinDelay
+	}
+	return &Net{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(seed)),
+		nodes:      make(map[types.NodeID]*endpoint),
+		crashed:    make(map[types.NodeID]bool),
+		blocked:    make(map[link]bool),
+		partition:  make(map[types.NodeID]int),
+		delayScale: 1,
+		byKind:     make(map[byte]int64),
+	}
+}
+
+// Node attaches (or returns the existing) endpoint for id.
+func (n *Net) Node(id types.NodeID) transport.Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.nodes[id]; ok {
+		return ep
+	}
+	ep := &endpoint{id: id, net: n, mbox: transport.NewMailbox()}
+	n.nodes[id] = ep
+	return ep
+}
+
+// Reattach replaces a node's endpoint with a fresh one, closing any old
+// endpoint. Used by crash-recovery scenarios: a restarted process gets a
+// new attachment under the same identity (messages in flight to the old
+// endpoint are lost, as a real restart would lose socket buffers).
+func (n *Net) Reattach(id types.NodeID) transport.Endpoint {
+	n.mu.Lock()
+	old := n.nodes[id]
+	ep := &endpoint{id: id, net: n, mbox: transport.NewMailbox()}
+	n.nodes[id] = ep
+	n.mu.Unlock()
+	if old != nil {
+		_ = old.Close()
+	}
+	return ep
+}
+
+// Crash makes a node fail-stop: all messages to and from it are dropped from
+// now on. Matches the paper's crash model — the node simply stops taking
+// steps as far as the rest of the system can tell.
+func (n *Net) Crash(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crashed[id] = true
+}
+
+// Crashed reports whether a node has been crashed.
+func (n *Net) Crashed(id types.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.crashed[id]
+}
+
+// Recover clears a node's crashed flag. The ABD crash model has no recovery;
+// this exists so tests can build crash-recovery scenarios explicitly.
+func (n *Net) Recover(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.crashed, id)
+}
+
+// Partition splits the network into groups; messages cross groups only if
+// both endpoints are in the same group. Nodes not mentioned in any group are
+// isolated from everyone. Call Heal to undo.
+func (n *Net) Partition(groups ...[]types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[types.NodeID]int)
+	for g, members := range groups {
+		for _, id := range members {
+			n.partition[id] = g + 1
+		}
+	}
+	if len(groups) == 0 {
+		// Partition() with no groups isolates every attached node in its
+		// own singleton group.
+		g := 1
+		for id := range n.nodes {
+			n.partition[id] = g
+			g++
+		}
+	}
+}
+
+// Heal removes any partition.
+func (n *Net) Heal() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[types.NodeID]int)
+}
+
+// BlockLink drops all messages from one node to another (one direction).
+func (n *Net) BlockLink(from, to types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[link{from, to}] = true
+}
+
+// UnblockLink re-enables a blocked link.
+func (n *Net) UnblockLink(from, to types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, link{from, to})
+}
+
+// SetDelayScale multiplies all sampled delays by s (s >= 0). Used by the
+// delay-spike fault action.
+func (n *Net) SetDelayScale(s float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s < 0 {
+		s = 0
+	}
+	n.delayScale = s
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Net) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byKind := make(map[byte]int64, len(n.byKind))
+	for k, v := range n.byKind {
+		byKind[k] = v
+	}
+	return Stats{Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped, Duplicated: n.duplicated, ByKind: byKind}
+}
+
+// ResetStats zeroes the counters (used between benchmark phases).
+func (n *Net) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.sent, n.delivered, n.dropped, n.duplicated = 0, 0, 0, 0
+	n.byKind = make(map[byte]int64)
+}
+
+// Close shuts down the network and all endpoints, waiting for in-flight
+// deliveries to finish or be discarded.
+func (n *Net) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*endpoint, 0, len(n.nodes))
+	for _, ep := range n.nodes {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	n.wg.Wait()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// send implements the one-way channel: sample a delay, then deliver unless
+// the message is lost to a crash, partition, block, or random drop.
+func (n *Net) send(from, to types.NodeID, payload []byte) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return types.ErrClosed
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("%w: %v", types.ErrUnknownNode, to)
+	}
+
+	n.sent++
+	if len(payload) > 0 {
+		n.byKind[payload[0]]++
+	}
+
+	drop := false
+	switch {
+	case n.crashed[from] || n.crashed[to]:
+		drop = true
+	case n.blocked[link{from, to}]:
+		drop = true
+	case len(n.partition) > 0 && n.partition[from] != n.partition[to]:
+		drop = true
+	case n.cfg.DropProb > 0 && n.rng.Float64() < n.cfg.DropProb:
+		drop = true
+	}
+	if drop {
+		n.dropped++
+		n.mu.Unlock()
+		return nil
+	}
+
+	copies := 1
+	if n.cfg.DupProb > 0 && n.rng.Float64() < n.cfg.DupProb {
+		copies = 2
+		n.duplicated++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		delays[i] = n.sampleDelayLocked()
+	}
+	n.wg.Add(copies)
+	n.mu.Unlock()
+
+	msg := transport.Message{From: from, To: to, Payload: payload}
+	for _, delay := range delays {
+		if delay <= 0 {
+			n.deliver(dst, to, msg)
+			continue
+		}
+		time.AfterFunc(delay, func() { n.deliver(dst, to, msg) })
+	}
+	return nil
+}
+
+func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message) {
+	defer n.wg.Done()
+	n.mu.Lock()
+	if n.closed || n.crashed[to] {
+		n.dropped++
+		n.mu.Unlock()
+		return
+	}
+	n.delivered++
+	n.mu.Unlock()
+	dst.mbox.Put(msg)
+}
+
+func (n *Net) sampleDelayLocked() time.Duration {
+	min, max := n.cfg.MinDelay, n.cfg.MaxDelay
+	d := min
+	if max > min {
+		d = min + time.Duration(n.rng.Int63n(int64(max-min)+1))
+	}
+	return time.Duration(float64(d) * n.delayScale)
+}
+
+// endpoint is a node's attachment to the simulated network.
+type endpoint struct {
+	id   types.NodeID
+	net  *Net
+	mbox *transport.Mailbox
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+func (e *endpoint) ID() types.NodeID { return e.id }
+
+func (e *endpoint) Send(to types.NodeID, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return types.ErrClosed
+	}
+	return e.net.send(e.id, to, payload)
+}
+
+func (e *endpoint) Recv() <-chan transport.Message { return e.mbox.Out() }
+
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.mbox.Close()
+	return nil
+}

@@ -1,0 +1,26 @@
+package quorum
+
+import "testing"
+
+func BenchmarkMajorityPredicate(b *testing.B) {
+	m := NewMajority(9)
+	s := Full(5)
+	for i := 0; i < b.N; i++ {
+		_ = m.ContainsReadQuorum(s)
+	}
+}
+
+func BenchmarkGridPredicate(b *testing.B) {
+	g := NewGrid(5, 5)
+	s := Full(13)
+	for i := 0; i < b.N; i++ {
+		_ = g.ContainsWriteQuorum(s)
+	}
+}
+
+func BenchmarkAvailabilityMonteCarlo(b *testing.B) {
+	g := NewGrid(5, 5)
+	for i := 0; i < b.N; i++ {
+		_ = Availability(g, 0.2, 100, int64(i+1))
+	}
+}

@@ -1,0 +1,59 @@
+package quorum
+
+import "fmt"
+
+// Masking is a masking quorum system in the sense of Malkhi & Reiter
+// ("Byzantine quorum systems", the Byzantine generalization of this paper's
+// majorities): over n replicas of which up to F may be Byzantine, every
+// quorum has size ⌈(n+2F+1)/2⌉, so any two quorums intersect in at least
+// 2F+1 replicas — enough that the F liars in the intersection are always
+// outvoted by F+1 correct replicas reporting the latest written pair.
+//
+// Requires n >= 4F+1 (Validate). With n = 4F+1, quorums have size 3F+1 =
+// n-F, so the system also stays available with F crashed-or-silent
+// replicas.
+type Masking struct {
+	N int
+	F int
+}
+
+var _ System = Masking{}
+
+// NewMasking returns a masking quorum system for n replicas tolerating f
+// Byzantine failures.
+func NewMasking(n, f int) Masking { return Masking{N: n, F: f} }
+
+// Name identifies the system.
+func (m Masking) Name() string { return fmt.Sprintf("masking(n=%d,f=%d)", m.N, m.F) }
+
+// Size returns n.
+func (m Masking) Size() int { return m.N }
+
+// QuorumSize returns ⌈(n+2F+1)/2⌉.
+func (m Masking) QuorumSize() int { return (m.N + 2*m.F + 2) / 2 }
+
+// ContainsReadQuorum reports whether s contains a quorum.
+func (m Masking) ContainsReadQuorum(s Set) bool { return s.Count() >= m.QuorumSize() }
+
+// ContainsWriteQuorum reports whether s contains a quorum.
+func (m Masking) ContainsWriteQuorum(s Set) bool { return s.Count() >= m.QuorumSize() }
+
+// Validate checks the resilience precondition n >= 4F+1 and that quorums
+// are satisfiable with F faulty replicas.
+func (m Masking) Validate() error {
+	if m.F < 0 {
+		return fmt.Errorf("quorum: masking f=%d < 0", m.F)
+	}
+	if m.N < 4*m.F+1 {
+		return fmt.Errorf("quorum: masking requires n >= 4f+1, got n=%d f=%d", m.N, m.F)
+	}
+	if m.QuorumSize() > m.N-m.F {
+		return fmt.Errorf("quorum: masking quorum %d not satisfiable with %d of %d faulty",
+			m.QuorumSize(), m.F, m.N)
+	}
+	return nil
+}
+
+// MinIntersection returns the guaranteed size of any quorum intersection,
+// 2·QuorumSize − n.
+func (m Masking) MinIntersection() int { return 2*m.QuorumSize() - m.N }

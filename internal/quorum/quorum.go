@@ -1,0 +1,352 @@
+// Package quorum implements the quorum systems the ABD protocol reads from
+// and writes to. The paper uses majorities; phrasing the construction in
+// terms of general read/write quorum systems is the published generalization
+// (Malkhi & Reiter, and the column's own account), and it is what this
+// package provides: majority, grid, weighted-majority, read-one/write-all,
+// and read-all/write-one systems, together with intersection checking and
+// availability analysis used by experiment F5.
+//
+// A System's predicates are monotone "contains a quorum" tests over a set of
+// responding replicas, which is exactly how the protocol consumes them: it
+// accumulates acknowledgements into a Set and stops as soon as the predicate
+// holds.
+package quorum
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// MaxNodes bounds the replica group size a Set can represent.
+const MaxNodes = 64
+
+// Set is a bitset of replica indexes (positions in the replica list, not
+// NodeIDs). Replica groups are at most MaxNodes large.
+type Set uint64
+
+// Add returns s with index i added.
+func (s Set) Add(i int) Set { return s | 1<<uint(i) }
+
+// Has reports whether index i is in the set.
+func (s Set) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Count returns the number of members.
+func (s Set) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Full returns the set {0, …, n-1}.
+func Full(n int) Set {
+	if n >= MaxNodes {
+		return Set(^uint64(0))
+	}
+	return Set(1<<uint(n) - 1)
+}
+
+// System is a read/write quorum system over n replicas, identified by index
+// 0..n-1. ContainsReadQuorum and ContainsWriteQuorum are monotone: if they
+// hold for s they hold for any superset. Correctness of the emulation
+// requires every read quorum to intersect every write quorum and every pair
+// of write quorums to intersect (the latter so writers' read phases in the
+// multi-writer protocol observe the latest timestamp).
+type System interface {
+	// Name identifies the system in benchmark output.
+	Name() string
+	// Size returns n, the number of replicas.
+	Size() int
+	// ContainsReadQuorum reports whether the responders in s include a
+	// complete read quorum.
+	ContainsReadQuorum(s Set) bool
+	// ContainsWriteQuorum reports whether the responders in s include a
+	// complete write quorum.
+	ContainsWriteQuorum(s Set) bool
+}
+
+// Majority is the paper's quorum system: any ⌊n/2⌋+1 replicas form both a
+// read and a write quorum, tolerating any minority of crashes.
+type Majority struct{ N int }
+
+var _ System = Majority{}
+
+// NewMajority returns a majority system over n replicas.
+func NewMajority(n int) Majority { return Majority{N: n} }
+
+func (m Majority) Name() string { return fmt.Sprintf("majority(n=%d)", m.N) }
+
+func (m Majority) Size() int { return m.N }
+
+func (m Majority) ContainsReadQuorum(s Set) bool { return s.Count() > m.N/2 }
+
+func (m Majority) ContainsWriteQuorum(s Set) bool { return s.Count() > m.N/2 }
+
+// MaxFaults returns the largest number of crash failures the system
+// tolerates while still containing a live quorum: ⌈n/2⌉−1.
+func (m Majority) MaxFaults() int { return (m.N+1)/2 - 1 }
+
+// Grid arranges n = Rows×Cols replicas in a grid. A read quorum is any full
+// row; a write quorum is a full row plus a full column. Every write quorum
+// intersects every read quorum (the column meets every row) and every other
+// write quorum (its column meets the other's row). Write quorums have size
+// Rows+Cols-1, smaller than a majority for large n, at the cost of lower
+// fault tolerance along rows/columns.
+type Grid struct {
+	Rows, Cols int
+}
+
+var _ System = Grid{}
+
+// NewGrid returns a grid system; rows*cols is the replica count.
+func NewGrid(rows, cols int) Grid { return Grid{Rows: rows, Cols: cols} }
+
+func (g Grid) Name() string { return fmt.Sprintf("grid(%dx%d)", g.Rows, g.Cols) }
+
+func (g Grid) Size() int { return g.Rows * g.Cols }
+
+func (g Grid) index(r, c int) int { return r*g.Cols + c }
+
+func (g Grid) hasFullRow(s Set) bool {
+	for r := 0; r < g.Rows; r++ {
+		full := true
+		for c := 0; c < g.Cols; c++ {
+			if !s.Has(g.index(r, c)) {
+				full = false
+				break
+			}
+		}
+		if full {
+			return true
+		}
+	}
+	return false
+}
+
+func (g Grid) hasFullColumn(s Set) bool {
+	for c := 0; c < g.Cols; c++ {
+		full := true
+		for r := 0; r < g.Rows; r++ {
+			if !s.Has(g.index(r, c)) {
+				full = false
+				break
+			}
+		}
+		if full {
+			return true
+		}
+	}
+	return false
+}
+
+func (g Grid) ContainsReadQuorum(s Set) bool { return g.hasFullRow(s) }
+
+func (g Grid) ContainsWriteQuorum(s Set) bool { return g.hasFullRow(s) && g.hasFullColumn(s) }
+
+// Weighted assigns each replica a vote weight; a read quorum needs total
+// weight ≥ ReadThreshold and a write quorum ≥ WriteThreshold. Intersection
+// requires ReadThreshold+WriteThreshold > total and 2×WriteThreshold >
+// total (checked by Validate).
+type Weighted struct {
+	Weights        []int
+	ReadThreshold  int
+	WriteThreshold int
+}
+
+var _ System = Weighted{}
+
+// NewWeighted returns a weighted voting system.
+func NewWeighted(weights []int, readThreshold, writeThreshold int) Weighted {
+	w := make([]int, len(weights))
+	copy(w, weights)
+	return Weighted{Weights: w, ReadThreshold: readThreshold, WriteThreshold: writeThreshold}
+}
+
+func (w Weighted) Name() string {
+	return fmt.Sprintf("weighted(n=%d,r=%d,w=%d)", len(w.Weights), w.ReadThreshold, w.WriteThreshold)
+}
+
+func (w Weighted) Size() int { return len(w.Weights) }
+
+func (w Weighted) total() int {
+	t := 0
+	for _, x := range w.Weights {
+		t += x
+	}
+	return t
+}
+
+func (w Weighted) weightOf(s Set) int {
+	t := 0
+	for i, x := range w.Weights {
+		if s.Has(i) {
+			t += x
+		}
+	}
+	return t
+}
+
+func (w Weighted) ContainsReadQuorum(s Set) bool { return w.weightOf(s) >= w.ReadThreshold }
+
+func (w Weighted) ContainsWriteQuorum(s Set) bool { return w.weightOf(s) >= w.WriteThreshold }
+
+// Validate reports whether the thresholds guarantee read/write and
+// write/write intersection.
+func (w Weighted) Validate() error {
+	t := w.total()
+	if w.ReadThreshold+w.WriteThreshold <= t {
+		return fmt.Errorf("quorum: read+write thresholds %d+%d do not exceed total weight %d",
+			w.ReadThreshold, w.WriteThreshold, t)
+	}
+	if 2*w.WriteThreshold <= t {
+		return fmt.Errorf("quorum: write threshold %d does not exceed half the total weight %d",
+			w.WriteThreshold, t)
+	}
+	return nil
+}
+
+// ReadOneWriteAll reads from any single replica and writes to all of them.
+// Reads are cheap and maximally available; a single crash blocks all writes
+// — the fragility experiment F2 demonstrates against ABD.
+type ReadOneWriteAll struct{ N int }
+
+var _ System = ReadOneWriteAll{}
+
+// NewReadOneWriteAll returns a ROWA system over n replicas.
+func NewReadOneWriteAll(n int) ReadOneWriteAll { return ReadOneWriteAll{N: n} }
+
+func (r ReadOneWriteAll) Name() string { return fmt.Sprintf("rowa(n=%d)", r.N) }
+
+func (r ReadOneWriteAll) Size() int { return r.N }
+
+func (r ReadOneWriteAll) ContainsReadQuorum(s Set) bool { return s.Count() >= 1 }
+
+func (r ReadOneWriteAll) ContainsWriteQuorum(s Set) bool { return s.Count() == r.N }
+
+// ReadAllWriteOne is the dual: writes touch one replica, reads touch all.
+type ReadAllWriteOne struct{ N int }
+
+var _ System = ReadAllWriteOne{}
+
+// NewReadAllWriteOne returns a RAWO system over n replicas.
+func NewReadAllWriteOne(n int) ReadAllWriteOne { return ReadAllWriteOne{N: n} }
+
+func (r ReadAllWriteOne) Name() string { return fmt.Sprintf("rawo(n=%d)", r.N) }
+
+func (r ReadAllWriteOne) Size() int { return r.N }
+
+func (r ReadAllWriteOne) ContainsReadQuorum(s Set) bool { return s.Count() == r.N }
+
+func (r ReadAllWriteOne) ContainsWriteQuorum(s Set) bool { return s.Count() >= 1 }
+
+// sampleQuorums draws random responder sets and shrinks each satisfying set
+// to a minimal quorum under pred, always including the minimal quorum inside
+// the full set so large quorums (e.g. ROWA writes) are represented.
+func sampleQuorums(n int, pred func(Set) bool, trials int, rng *rand.Rand) []Set {
+	randSet := func() Set {
+		var s Set
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				s = s.Add(i)
+			}
+		}
+		return s
+	}
+	shrink := func(s Set) Set {
+		for i := 0; i < n; i++ {
+			if !s.Has(i) {
+				continue
+			}
+			reduced := s &^ (1 << uint(i))
+			if pred(reduced) {
+				s = reduced
+			}
+		}
+		return s
+	}
+
+	var out []Set
+	for t := 0; t < trials; t++ {
+		if s := randSet(); pred(s) {
+			out = append(out, shrink(s))
+		}
+	}
+	if full := Full(n); pred(full) {
+		out = append(out, shrink(full))
+	}
+	return out
+}
+
+// VerifyIntersection property-checks the paper's quorum requirement (P6):
+// every read quorum intersects every write quorum. This is the property the
+// single-writer emulation needs. It samples random responder sets, shrinks
+// them to minimal quorums, and returns the first violating pair found.
+func VerifyIntersection(sys System, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	reads := sampleQuorums(sys.Size(), sys.ContainsReadQuorum, trials, rng)
+	writes := sampleQuorums(sys.Size(), sys.ContainsWriteQuorum, trials, rng)
+	for _, r := range reads {
+		for _, w := range writes {
+			if r&w == 0 {
+				return fmt.Errorf("quorum %s: read quorum %b disjoint from write quorum %b", sys.Name(), r, w)
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyWriteIntersection checks the additional property the multi-writer
+// extension needs: every pair of write quorums intersects, so a writer's
+// read phase observes the latest timestamp chosen by any other writer.
+// ReadAllWriteOne deliberately fails this — it is single-writer-only.
+func VerifyWriteIntersection(sys System, trials int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	writes := sampleQuorums(sys.Size(), sys.ContainsWriteQuorum, trials, rng)
+	for _, w1 := range writes {
+		for _, w2 := range writes {
+			if w1&w2 == 0 {
+				return fmt.Errorf("quorum %s: write quorums %b and %b disjoint", sys.Name(), w1, w2)
+			}
+		}
+	}
+	return nil
+}
+
+// Availability estimates, by Monte Carlo simulation, the probability that
+// both a read quorum and a write quorum survive when each replica fails
+// independently with probability p. This regenerates experiment F5.
+func Availability(sys System, p float64, trials int, seed int64) float64 {
+	n := sys.Size()
+	rng := rand.New(rand.NewSource(seed))
+	ok := 0
+	for t := 0; t < trials; t++ {
+		var alive Set
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= p {
+				alive = alive.Add(i)
+			}
+		}
+		if sys.ContainsReadQuorum(alive) && sys.ContainsWriteQuorum(alive) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(trials)
+}
+
+// MinQuorumSizes returns the sizes of the smallest read and write quorums,
+// found greedily by shrinking the full set. For the implemented systems the
+// greedy shrink is exact because quorums are characterized by monotone
+// structural predicates. Used to report quorum "load" in F5.
+func MinQuorumSizes(sys System) (read, write int) {
+	n := sys.Size()
+	shrink := func(pred func(Set) bool) int {
+		s := Full(n)
+		if !pred(s) {
+			return -1
+		}
+		for i := 0; i < n; i++ {
+			reduced := s &^ (1 << uint(i))
+			if pred(reduced) {
+				s = reduced
+			}
+		}
+		return s.Count()
+	}
+	return shrink(sys.ContainsReadQuorum), shrink(sys.ContainsWriteQuorum)
+}

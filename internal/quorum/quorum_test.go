@@ -1,0 +1,297 @@
+package quorum
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	var s Set
+	if s.Count() != 0 {
+		t.Fatal("empty set has members")
+	}
+	s = s.Add(0).Add(3).Add(63)
+	if !s.Has(0) || !s.Has(3) || !s.Has(63) || s.Has(1) {
+		t.Fatalf("membership wrong: %b", s)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count=%d", s.Count())
+	}
+	if s.Add(3) != s {
+		t.Fatal("re-adding changed the set")
+	}
+}
+
+func TestFull(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 63, 64} {
+		f := Full(n)
+		want := n
+		if n > MaxNodes {
+			want = MaxNodes
+		}
+		if f.Count() != want {
+			t.Fatalf("Full(%d).Count()=%d", n, f.Count())
+		}
+	}
+}
+
+func TestMajorityThreshold(t *testing.T) {
+	tests := []struct {
+		n, count int
+		want     bool
+	}{
+		{3, 1, false}, {3, 2, true}, {3, 3, true},
+		{4, 2, false}, {4, 3, true},
+		{5, 2, false}, {5, 3, true},
+		{1, 1, true},
+	}
+	for _, tt := range tests {
+		m := NewMajority(tt.n)
+		var s Set
+		for i := 0; i < tt.count; i++ {
+			s = s.Add(i)
+		}
+		if got := m.ContainsReadQuorum(s); got != tt.want {
+			t.Errorf("majority(%d) read with %d acks = %v, want %v", tt.n, tt.count, got, tt.want)
+		}
+		if got := m.ContainsWriteQuorum(s); got != tt.want {
+			t.Errorf("majority(%d) write with %d acks = %v, want %v", tt.n, tt.count, got, tt.want)
+		}
+	}
+}
+
+func TestMajorityMaxFaults(t *testing.T) {
+	tests := []struct{ n, want int }{{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 2}, {7, 3}, {9, 4}}
+	for _, tt := range tests {
+		if got := NewMajority(tt.n).MaxFaults(); got != tt.want {
+			t.Errorf("MaxFaults(n=%d)=%d, want %d", tt.n, got, tt.want)
+		}
+	}
+	// The defining property: n - MaxFaults replicas still form a quorum,
+	// and killing one more would not.
+	for n := 1; n <= 15; n++ {
+		m := NewMajority(n)
+		f := m.MaxFaults()
+		alive := Full(n - f)
+		if !m.ContainsReadQuorum(alive) {
+			t.Errorf("n=%d: %d survivors should contain a quorum", n, n-f)
+		}
+		if n-f-1 > 0 && m.ContainsReadQuorum(Full(n-f-1)) {
+			t.Errorf("n=%d: %d survivors should NOT contain a quorum", n, n-f-1)
+		}
+	}
+}
+
+func TestGridQuorums(t *testing.T) {
+	g := NewGrid(3, 3) // indexes: row r, col c -> 3r+c
+
+	row0 := Set(0).Add(0).Add(1).Add(2)
+	col0 := Set(0).Add(0).Add(3).Add(6)
+	row1col2 := Set(0).Add(3).Add(4).Add(5).Add(2).Add(8) // full row 1 + full col 2
+
+	if !g.ContainsReadQuorum(row0) {
+		t.Error("full row should be a read quorum")
+	}
+	if g.ContainsWriteQuorum(row0) {
+		t.Error("row alone is not a write quorum")
+	}
+	if g.ContainsReadQuorum(col0) {
+		t.Error("column alone is not a read quorum")
+	}
+	if !g.ContainsWriteQuorum(row1col2) {
+		t.Error("row+column should be a write quorum")
+	}
+	diag := Set(0).Add(0).Add(4).Add(8)
+	if g.ContainsReadQuorum(diag) || g.ContainsWriteQuorum(diag) {
+		t.Error("diagonal is no quorum")
+	}
+}
+
+func TestWeightedValidate(t *testing.T) {
+	ok := NewWeighted([]int{3, 1, 1, 1, 1}, 4, 4) // total 7
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	badRW := NewWeighted([]int{1, 1, 1}, 1, 2) // 1+2 == 3, not >
+	if err := badRW.Validate(); err == nil {
+		t.Fatal("read+write <= total accepted")
+	}
+	badWW := NewWeighted([]int{1, 1, 1, 1}, 4, 2) // 2*2 == 4, not >
+	if err := badWW.Validate(); err == nil {
+		t.Fatal("2*write <= total accepted")
+	}
+}
+
+func TestWeightedQuorums(t *testing.T) {
+	w := NewWeighted([]int{3, 1, 1, 1, 1}, 4, 4)
+	heavyPlusOne := Set(0).Add(0).Add(1) // weight 4
+	if !w.ContainsReadQuorum(heavyPlusOne) || !w.ContainsWriteQuorum(heavyPlusOne) {
+		t.Error("weight-4 set should be both quorums")
+	}
+	lights := Set(0).Add(1).Add(2).Add(3) // weight 3
+	if w.ContainsReadQuorum(lights) {
+		t.Error("weight-3 set should not be a read quorum")
+	}
+}
+
+func TestROWAAndRAWO(t *testing.T) {
+	rowa := NewReadOneWriteAll(4)
+	if !rowa.ContainsReadQuorum(Set(0).Add(2)) {
+		t.Error("single replica should satisfy ROWA read")
+	}
+	if rowa.ContainsWriteQuorum(Full(3)) {
+		t.Error("3 of 4 should not satisfy ROWA write")
+	}
+	if !rowa.ContainsWriteQuorum(Full(4)) {
+		t.Error("all 4 should satisfy ROWA write")
+	}
+
+	rawo := NewReadAllWriteOne(4)
+	if !rawo.ContainsWriteQuorum(Set(0).Add(1)) {
+		t.Error("single replica should satisfy RAWO write")
+	}
+	if rawo.ContainsReadQuorum(Full(3)) {
+		t.Error("3 of 4 should not satisfy RAWO read")
+	}
+}
+
+func TestVerifyIntersectionAllSystems(t *testing.T) {
+	systems := []System{
+		NewMajority(1),
+		NewMajority(3),
+		NewMajority(4),
+		NewMajority(7),
+		NewGrid(2, 3),
+		NewGrid(3, 3),
+		NewGrid(4, 5),
+		NewWeighted([]int{3, 1, 1, 1, 1}, 4, 4),
+		NewReadOneWriteAll(5),
+		NewReadAllWriteOne(5),
+		NewMasking(5, 1),
+		NewMasking(9, 2),
+	}
+	for _, sys := range systems {
+		t.Run(sys.Name(), func(t *testing.T) {
+			if err := VerifyIntersection(sys, 500, 12345); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestVerifyWriteIntersection(t *testing.T) {
+	// Every multi-writer-capable system must have intersecting write
+	// quorums; RAWO must not (it is single-writer-only by construction).
+	multiWriter := []System{
+		NewMajority(3),
+		NewMajority(4),
+		NewGrid(3, 3),
+		NewWeighted([]int{3, 1, 1, 1, 1}, 4, 4),
+		NewReadOneWriteAll(5),
+		NewMasking(5, 1),
+	}
+	for _, sys := range multiWriter {
+		if err := VerifyWriteIntersection(sys, 500, 99); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+	if err := VerifyWriteIntersection(NewReadAllWriteOne(5), 500, 99); err == nil {
+		t.Error("RAWO write quorums should not intersect")
+	}
+}
+
+func TestVerifyIntersectionCatchesBrokenSystem(t *testing.T) {
+	// A deliberately broken system: any single node is both a read and a
+	// write quorum — disjoint quorums abound.
+	broken := NewWeighted([]int{1, 1, 1, 1}, 1, 1)
+	if err := VerifyIntersection(broken, 200, 7); err == nil {
+		t.Fatal("broken quorum system passed intersection check")
+	}
+}
+
+func TestQuickMajorityMonotone(t *testing.T) {
+	// P6 support: ContainsReadQuorum is monotone — adding members never
+	// un-satisfies the predicate.
+	m := NewMajority(9)
+	f := func(raw uint64, extra uint8) bool {
+		s := Set(raw) & Full(9)
+		grown := s.Add(int(extra % 9))
+		if m.ContainsReadQuorum(s) && !m.ContainsReadQuorum(grown) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGridMonotone(t *testing.T) {
+	g := NewGrid(3, 4)
+	f := func(raw uint64, extra uint8) bool {
+		s := Set(raw) & Full(12)
+		grown := s.Add(int(extra % 12))
+		if g.ContainsWriteQuorum(s) && !g.ContainsWriteQuorum(grown) {
+			return false
+		}
+		if g.ContainsReadQuorum(s) && !g.ContainsReadQuorum(grown) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAvailabilityMajorityShape(t *testing.T) {
+	m := NewMajority(5)
+	a0 := Availability(m, 0.0, 2000, 1)
+	aHalf := Availability(m, 0.5, 2000, 1)
+	aAll := Availability(m, 1.0, 2000, 1)
+	if a0 != 1.0 {
+		t.Fatalf("availability at p=0 should be 1, got %v", a0)
+	}
+	if aAll != 0.0 {
+		t.Fatalf("availability at p=1 should be 0, got %v", aAll)
+	}
+	if !(a0 >= aHalf && aHalf >= aAll) {
+		t.Fatalf("availability not monotone: %v %v %v", a0, aHalf, aAll)
+	}
+}
+
+func TestAvailabilityROWAWritesFragile(t *testing.T) {
+	// With p=0.2 and n=5, ROWA needs all 5 alive: availability ≈ 0.8^5 ≈ 0.33,
+	// while majority needs only 3 of 5 ≈ 0.94. The gap is experiment F2/F5's
+	// headline shape.
+	rowa := Availability(NewReadOneWriteAll(5), 0.2, 5000, 2)
+	maj := Availability(NewMajority(5), 0.2, 5000, 2)
+	if rowa >= maj {
+		t.Fatalf("ROWA availability %v should be below majority %v", rowa, maj)
+	}
+	if rowa < 0.2 || rowa > 0.45 {
+		t.Fatalf("ROWA availability %v far from analytic 0.33", rowa)
+	}
+	if maj < 0.85 {
+		t.Fatalf("majority availability %v far from analytic 0.94", maj)
+	}
+}
+
+func TestMinQuorumSizes(t *testing.T) {
+	tests := []struct {
+		sys         System
+		read, write int
+	}{
+		{NewMajority(5), 3, 3},
+		{NewMajority(4), 3, 3},
+		{NewGrid(3, 3), 3, 5},
+		{NewReadOneWriteAll(5), 1, 5},
+		{NewReadAllWriteOne(5), 5, 1},
+	}
+	for _, tt := range tests {
+		r, w := MinQuorumSizes(tt.sys)
+		if r != tt.read || w != tt.write {
+			t.Errorf("%s: min sizes (%d,%d), want (%d,%d)", tt.sys.Name(), r, w, tt.read, tt.write)
+		}
+	}
+}

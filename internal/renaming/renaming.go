@@ -1,0 +1,154 @@
+// Package renaming implements one-shot wait-free renaming on top of the
+// atomic snapshot object — and therefore on top of the emulated registers.
+// Renaming is the problem that led the paper's authors to the emulation in
+// the first place (Attiya, Bar-Noy, Dolev, Peleg, Reischuk, JACM 1990): n
+// processes with identifiers from a huge namespace must pick distinct names
+// from a small one. The snapshot-based algorithm decides names in the
+// namespace {1, …, 2n−1}, which is optimal for wait-free solutions.
+//
+// The algorithm (as in Attiya & Welch, Algorithm 55): each process writes
+// its current proposal into its snapshot component and scans. If its
+// proposal collides with another process's proposal, it computes its rank r
+// among the ids proposing that name and moves to the r-th name that nobody
+// else proposes; otherwise it decides.
+package renaming
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/snapshot"
+	"repro/internal/wire"
+)
+
+// Renamer is one process's handle on the renaming protocol instance.
+type Renamer struct {
+	snap *snapshot.Snapshot
+	me   int   // index into the snapshot components
+	id   int64 // original identifier (from the large namespace)
+}
+
+// New creates a handle. regs must be one register per potential
+// participant, shared by all of them; me indexes this process's component;
+// id is its original identifier (must be globally unique).
+func New(regs []snapshot.Register, me int, id int64) (*Renamer, error) {
+	snap, err := snapshot.New(regs, me)
+	if err != nil {
+		return nil, fmt.Errorf("renaming: %w", err)
+	}
+	return &Renamer{snap: snap, me: me, id: id}, nil
+}
+
+// proposal is one component's content.
+type proposal struct {
+	id   int64
+	name int64
+}
+
+func encodeProposal(p proposal) []byte {
+	b := wire.AppendInt(nil, p.id)
+	return wire.AppendInt(b, p.name)
+}
+
+func decodeProposal(raw []byte) (proposal, bool, error) {
+	if raw == nil {
+		return proposal{}, false, nil
+	}
+	r := wire.NewReader(raw)
+	p := proposal{id: r.Int(), name: r.Int()}
+	if err := r.Err(); err != nil {
+		return proposal{}, false, err
+	}
+	return p, true, nil
+}
+
+// Acquire runs the protocol until this process decides a name. The decided
+// name is unique among all participants and lies in {1, …, 2n−1} where n is
+// the number of participants that actually take steps.
+func (r *Renamer) Acquire(ctx context.Context) (int64, error) {
+	propose := int64(1)
+	for {
+		if err := r.snap.Update(ctx, encodeProposal(proposal{id: r.id, name: propose})); err != nil {
+			return 0, fmt.Errorf("renaming update: %w", err)
+		}
+		view, err := r.snap.Scan(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("renaming scan: %w", err)
+		}
+
+		others := make([]proposal, 0, len(view))
+		for i, raw := range view {
+			if i == r.me {
+				continue
+			}
+			p, ok, err := decodeProposal(raw)
+			if err != nil {
+				return 0, fmt.Errorf("renaming component %d: %w", i, err)
+			}
+			if ok {
+				others = append(others, p)
+			}
+		}
+
+		conflict := false
+		for _, p := range others {
+			if p.name == propose {
+				conflict = true
+				break
+			}
+		}
+		if !conflict {
+			return propose, nil
+		}
+
+		// Rank of our id among everyone proposing this name (1-based).
+		rank := 1
+		for _, p := range others {
+			if p.name == propose && p.id < r.id {
+				rank++
+			}
+		}
+		// The rank-th name that no other process currently proposes.
+		taken := make(map[int64]bool, len(others))
+		for _, p := range others {
+			taken[p.name] = true
+		}
+		propose = nthFree(taken, rank)
+	}
+}
+
+// nthFree returns the r-th positive integer not present in taken.
+func nthFree(taken map[int64]bool, r int) int64 {
+	count := 0
+	for name := int64(1); ; name++ {
+		if !taken[name] {
+			count++
+			if count == r {
+				return name
+			}
+		}
+	}
+}
+
+// ValidateNames checks the protocol's postconditions over the decided
+// names: uniqueness, positivity, and the 2n−1 namespace bound.
+func ValidateNames(names []int64) error {
+	seen := make(map[int64]bool, len(names))
+	bound := int64(2*len(names) - 1)
+	sorted := append([]int64(nil), names...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, n := range sorted {
+		if n < 1 {
+			return fmt.Errorf("renaming: non-positive name %d", n)
+		}
+		if seen[n] {
+			return fmt.Errorf("renaming: duplicate name %d", n)
+		}
+		seen[n] = true
+		if n > bound {
+			return fmt.Errorf("renaming: name %d exceeds 2n-1 = %d", n, bound)
+		}
+	}
+	return nil
+}

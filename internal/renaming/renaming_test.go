@@ -1,0 +1,160 @@
+package renaming
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/snapshot"
+	"repro/internal/types"
+)
+
+type fakeRegister struct {
+	mu  sync.Mutex
+	val types.Value
+}
+
+func (f *fakeRegister) Read(ctx context.Context) (types.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val.Clone(), nil
+}
+
+func (f *fakeRegister) Write(ctx context.Context, val types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.val = val.Clone()
+	return nil
+}
+
+func fakeRegs(n int) []snapshot.Register {
+	out := make([]snapshot.Register, n)
+	for i := range out {
+		out[i] = &fakeRegister{}
+	}
+	return out
+}
+
+func TestSoloProcessGetsName1(t *testing.T) {
+	regs := fakeRegs(1)
+	r, err := New(regs, 0, 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := r.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != 1 {
+		t.Fatalf("solo process got name %d, want 1", name)
+	}
+}
+
+func TestSequentialProcessesGetDistinctSmallNames(t *testing.T) {
+	const n = 4
+	regs := fakeRegs(n)
+	var names []int64
+	for i := 0; i < n; i++ {
+		r, err := New(regs, i, int64(1000+i*7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		name, err := r.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	if err := ValidateNames(names); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentRenaming(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		const n = 6
+		regs := fakeRegs(n)
+		names := make([]int64, n)
+		var wg sync.WaitGroup
+		errCh := make(chan error, n)
+		for i := 0; i < n; i++ {
+			r, err := New(regs, i, int64(5000-i*13)) // ids in decreasing order for spice
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(i int, r *Renamer) {
+				defer wg.Done()
+				name, err := r.Acquire(context.Background())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				names[i] = name
+			}(i, r)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatal(err)
+		}
+		if err := ValidateNames(names); err != nil {
+			t.Fatalf("trial %d: %v (names %v)", trial, err, names)
+		}
+	}
+}
+
+func TestValidateNames(t *testing.T) {
+	if err := ValidateNames([]int64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateNames([]int64{1, 1}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := ValidateNames([]int64{0, 1}); err == nil {
+		t.Fatal("non-positive accepted")
+	}
+	if err := ValidateNames([]int64{1, 4}); err == nil {
+		t.Fatal("name beyond 2n-1 accepted")
+	}
+}
+
+func TestProposalCodec(t *testing.T) {
+	p, ok, err := decodeProposal(encodeProposal(proposal{id: -7, name: 3}))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if p.id != -7 || p.name != 3 {
+		t.Fatalf("round trip: %+v", p)
+	}
+	if _, ok, err := decodeProposal(nil); err != nil || ok {
+		t.Fatalf("nil: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := decodeProposal([]byte{0xFF}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestNthFree(t *testing.T) {
+	taken := map[int64]bool{1: true, 3: true}
+	cases := []struct {
+		r    int
+		want int64
+	}{{1, 2}, {2, 4}, {3, 5}}
+	for _, c := range cases {
+		if got := nthFree(taken, c.r); got != c.want {
+			t.Errorf("nthFree(r=%d)=%d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func ExampleRenamer() {
+	regs := fakeRegs(2)
+	a, _ := New(regs, 0, 111)
+	b, _ := New(regs, 1, 222)
+	na, _ := a.Acquire(context.Background())
+	nb, _ := b.Acquire(context.Background())
+	fmt.Println(na != nb && na >= 1 && nb >= 1 && na <= 3 && nb <= 3)
+	// Output: true
+}

@@ -1,0 +1,192 @@
+// Package snapshot implements the atomic snapshot object (in the style of
+// Afek, Attiya, Dolev, Gafni, Merritt, Shavit) on top of atomic single-
+// writer registers — the very workload the paper built its emulation for:
+// a wait-free shared-memory algorithm that runs unchanged over
+// message-passing once the registers are emulated.
+//
+// The object has n components. Update(v) sets this process's component;
+// Scan() returns an atomic view of all components. The construction uses
+// unbounded sequence numbers and embedded views:
+//
+//   - Each component register holds (seq, data, view) where view is the
+//     scan the updater took just before writing.
+//   - Scan repeatedly collects all registers. Two identical consecutive
+//     collects form a direct scan. Otherwise, a register observed to move
+//     twice belongs to an updater whose embedded view was taken entirely
+//     within this scan's interval, so that view is returned instead.
+package snapshot
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Register is the atomic register the snapshot is built from. The i-th
+// register must be written only by the process calling Update on component
+// i (single-writer), which is how the emulation's SWMR registers work.
+type Register interface {
+	Read(ctx context.Context) (types.Value, error)
+	Write(ctx context.Context, val types.Value) error
+}
+
+// Snapshot is one process's handle on the shared snapshot object.
+type Snapshot struct {
+	regs []Register
+	me   int
+	seq  int64
+}
+
+// New creates a handle for process me over the component registers. Every
+// process must use the same registers in the same order.
+func New(regs []Register, me int) (*Snapshot, error) {
+	if len(regs) == 0 {
+		return nil, fmt.Errorf("snapshot: no component registers")
+	}
+	if me < 0 || me >= len(regs) {
+		return nil, fmt.Errorf("snapshot: component %d out of range [0,%d)", me, len(regs))
+	}
+	return &Snapshot{regs: regs, me: me}, nil
+}
+
+// Components returns the number of components.
+func (s *Snapshot) Components() int { return len(s.regs) }
+
+// cell is the structured content of one component register.
+type cell struct {
+	seq  int64
+	data []byte
+	view [][]byte // the embedded scan; nil until the first update
+}
+
+func (c cell) encode() []byte {
+	b := wire.AppendInt(nil, c.seq)
+	b = wire.AppendBytes(b, c.data)
+	b = wire.AppendUint(b, uint64(len(c.view)))
+	for _, v := range c.view {
+		b = wire.AppendBytes(b, v)
+	}
+	return b
+}
+
+func decodeCell(raw types.Value) (cell, error) {
+	if raw == nil {
+		return cell{}, nil // initial state: seq 0, nil data, nil view
+	}
+	r := wire.NewReader(raw)
+	var c cell
+	c.seq = r.Int()
+	c.data = r.Bytes()
+	n := r.Uint()
+	if err := r.Err(); err != nil {
+		return cell{}, err
+	}
+	c.view = make([][]byte, n)
+	for i := range c.view {
+		c.view[i] = r.Bytes()
+	}
+	if err := r.Err(); err != nil {
+		return cell{}, err
+	}
+	return c, nil
+}
+
+// collect reads all component registers once.
+func (s *Snapshot) collect(ctx context.Context) ([]cell, error) {
+	out := make([]cell, len(s.regs))
+	for i, reg := range s.regs {
+		raw, err := reg.Read(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot collect component %d: %w", i, err)
+		}
+		c, err := decodeCell(raw)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot component %d: %w", i, err)
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Scan returns an atomic view of all components (nil entries for components
+// never updated). Wait-free given wait-free registers: it terminates after
+// at most n+1 collects, because n+1 non-identical collects force some
+// component to move twice.
+func (s *Snapshot) Scan(ctx context.Context) ([][]byte, error) {
+	prev, err := s.collect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	moved := make([]int, len(s.regs))
+	for {
+		cur, err := s.collect(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if equalSeqs(prev, cur) {
+			return dataOf(cur), nil
+		}
+		for j := range cur {
+			if cur[j].seq != prev[j].seq {
+				moved[j]++
+				if moved[j] >= 2 {
+					// Component j changed twice during our interval, so its
+					// second write — and therefore the scan embedded in it —
+					// started after our scan began: the embedded view lies
+					// entirely within our interval and is a valid result.
+					if cur[j].view == nil {
+						return nil, fmt.Errorf("snapshot: component %d moved twice with no embedded view", j)
+					}
+					return cloneView(cur[j].view), nil
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// Update sets this process's component to val, embedding a fresh scan so
+// concurrent scanners can borrow it.
+func (s *Snapshot) Update(ctx context.Context, val []byte) error {
+	view, err := s.Scan(ctx)
+	if err != nil {
+		return fmt.Errorf("snapshot update: %w", err)
+	}
+	s.seq++
+	c := cell{seq: s.seq, data: append([]byte(nil), val...), view: view}
+	if err := s.regs[s.me].Write(ctx, c.encode()); err != nil {
+		return fmt.Errorf("snapshot update component %d: %w", s.me, err)
+	}
+	return nil
+}
+
+func equalSeqs(a, b []cell) bool {
+	for i := range a {
+		if a[i].seq != b[i].seq {
+			return false
+		}
+	}
+	return true
+}
+
+func dataOf(cells []cell) [][]byte {
+	out := make([][]byte, len(cells))
+	for i, c := range cells {
+		if c.data != nil {
+			out[i] = append([]byte(nil), c.data...)
+		}
+	}
+	return out
+}
+
+func cloneView(view [][]byte) [][]byte {
+	out := make([][]byte, len(view))
+	for i, v := range view {
+		if v != nil {
+			out[i] = append([]byte(nil), v...)
+		}
+	}
+	return out
+}

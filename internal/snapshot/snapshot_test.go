@@ -1,0 +1,304 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// fakeRegister is an in-memory atomic register for unit tests.
+type fakeRegister struct {
+	mu  sync.Mutex
+	val types.Value
+}
+
+func (f *fakeRegister) Read(ctx context.Context) (types.Value, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val.Clone(), nil
+}
+
+func (f *fakeRegister) Write(ctx context.Context, val types.Value) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.val = val.Clone()
+	return nil
+}
+
+func fakeRegs(n int) []Register {
+	out := make([]Register, n)
+	for i := range out {
+		out[i] = &fakeRegister{}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Fatal("empty registers accepted")
+	}
+	regs := fakeRegs(3)
+	if _, err := New(regs, -1); err == nil {
+		t.Fatal("negative component accepted")
+	}
+	if _, err := New(regs, 3); err == nil {
+		t.Fatal("out-of-range component accepted")
+	}
+}
+
+func TestScanOfFreshObject(t *testing.T) {
+	regs := fakeRegs(3)
+	s, err := New(regs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := s.Scan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(view) != 3 {
+		t.Fatalf("view size %d", len(view))
+	}
+	for i, v := range view {
+		if v != nil {
+			t.Fatalf("component %d: %v, want nil", i, v)
+		}
+	}
+}
+
+func TestUpdateThenScan(t *testing.T) {
+	regs := fakeRegs(3)
+	ctx := context.Background()
+
+	handles := make([]*Snapshot, 3)
+	for i := range handles {
+		h, err := New(regs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	if err := handles[0].Update(ctx, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := handles[2].Update(ctx, []byte("c")); err != nil {
+		t.Fatal(err)
+	}
+
+	view, err := handles[1].Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(view[0]) != "a" || view[1] != nil || string(view[2]) != "c" {
+		t.Fatalf("view %q", view)
+	}
+}
+
+func TestRepeatedUpdatesVisible(t *testing.T) {
+	regs := fakeRegs(2)
+	ctx := context.Background()
+	u, _ := New(regs, 0)
+	s, _ := New(regs, 1)
+
+	for i := 0; i < 10; i++ {
+		want := fmt.Sprintf("v%d", i)
+		if err := u.Update(ctx, []byte(want)); err != nil {
+			t.Fatal(err)
+		}
+		view, err := s.Scan(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(view[0]) != want {
+			t.Fatalf("iteration %d: view[0]=%q", i, view[0])
+		}
+	}
+}
+
+func TestCellCodecRoundTrip(t *testing.T) {
+	c := cell{seq: 42, data: []byte("data"), view: [][]byte{[]byte("a"), nil, []byte("c")}}
+	got, err := decodeCell(c.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != c.seq || string(got.data) != "data" {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.view) != 3 || string(got.view[0]) != "a" || got.view[1] != nil || string(got.view[2]) != "c" {
+		t.Fatalf("view %q", got.view)
+	}
+}
+
+func TestDecodeInitialCell(t *testing.T) {
+	c, err := decodeCell(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.seq != 0 || c.data != nil || c.view != nil {
+		t.Fatalf("initial cell %+v", c)
+	}
+}
+
+func TestDecodeGarbageCell(t *testing.T) {
+	if _, err := decodeCell([]byte{0xFF}); err == nil {
+		t.Fatal("garbage cell decoded")
+	}
+}
+
+// TestConcurrentScansAndUpdates checks the snapshot's key property on an
+// in-memory substrate: scans are monotone — the vector of sequence numbers
+// a scanner observes never goes backwards — and every scanned value was
+// actually written.
+func TestConcurrentScansAndUpdates(t *testing.T) {
+	const n = 4
+	const updatesPer = 50
+	regs := fakeRegs(n)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2*n)
+
+	// Updaters.
+	for i := 0; i < n; i++ {
+		h, err := New(regs, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, h *Snapshot) {
+			defer wg.Done()
+			for j := 1; j <= updatesPer; j++ {
+				if err := h.Update(ctx, []byte(fmt.Sprintf("p%d-%d", i, j))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(i, h)
+	}
+
+	// Scanners verify per-component monotonicity of observed values.
+	for s := 0; s < n; s++ {
+		h, err := New(regs, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Snapshot) {
+			defer wg.Done()
+			last := make([]int, n)
+			for k := 0; k < 100; k++ {
+				view, err := h.Scan(ctx)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for j, v := range view {
+					if v == nil {
+						continue
+					}
+					var p, c int
+					if _, err := fmt.Sscanf(string(v), "p%d-%d", &p, &c); err != nil {
+						errCh <- fmt.Errorf("unparseable component value %q", v)
+						return
+					}
+					if c < last[j] {
+						errCh <- fmt.Errorf("component %d went backwards: %d after %d", j, c, last[j])
+						return
+					}
+					last[j] = c
+				}
+			}
+		}(h)
+	}
+
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// hookRegister triggers a callback before each read, letting tests
+// interleave updates between a scanner's collects deterministically.
+type hookRegister struct {
+	fakeRegister
+	onRead func()
+}
+
+func (h *hookRegister) Read(ctx context.Context) (types.Value, error) {
+	if h.onRead != nil {
+		h.onRead()
+	}
+	return h.fakeRegister.Read(ctx)
+}
+
+// TestScanBorrowsEmbeddedViewFromDoubleMover forces the algorithm's
+// borrowed-view branch: component 0 is updated between every collect, so
+// the scanner never sees two identical collects and must return the view
+// embedded in component 0's second observed update.
+func TestScanBorrowsEmbeddedViewFromDoubleMover(t *testing.T) {
+	ctx := context.Background()
+	plain := &fakeRegister{}
+	hooked := &hookRegister{}
+	regs := []Register{plain, hooked}
+
+	updater, err := New(regs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanner, err := New(regs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Prime both components.
+	if err := updater.Update(ctx, []byte("u0")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every time the scanner reads component 1, sneak in an update to
+	// component 0 (bounded, and guarded against the updater's own embedded
+	// scans re-triggering the hook).
+	var bumps, inHook int
+	hooked.onRead = func() {
+		if inHook > 0 || bumps >= 4 {
+			return
+		}
+		inHook++
+		defer func() { inHook-- }()
+		bumps++
+		if err := updater.Update(ctx, []byte(fmt.Sprintf("u%d", bumps))); err != nil {
+			t.Errorf("hook update: %v", err)
+		}
+	}
+
+	view, err := scanner.Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bumps < 2 {
+		t.Fatalf("scenario failed to force movement: %d bumps", bumps)
+	}
+	// The returned view must be a valid snapshot: component 0 holds one of
+	// the updater's values.
+	if len(view) != 2 {
+		t.Fatalf("view size %d", len(view))
+	}
+	if view[0] == nil || view[0][0] != 'u' {
+		t.Fatalf("borrowed view component 0 = %q", view[0])
+	}
+}
+
+func TestComponents(t *testing.T) {
+	s, err := New(fakeRegs(4), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Components() != 4 {
+		t.Fatalf("Components()=%d", s.Components())
+	}
+}

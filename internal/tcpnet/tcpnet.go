@@ -1,0 +1,253 @@
+// Package tcpnet implements the transport.Endpoint interface over real TCP
+// sockets, so the same replica and client code that runs on the simulator
+// deploys as an actual distributed system (cmd/abd-node, cmd/abd-cli).
+//
+// Framing: every message is [4-byte big-endian length][4-byte big-endian
+// sender id][payload]. Connections are created lazily on first send and
+// reused; an endpoint also answers over connections it accepted, so pure
+// clients need no listener — replicas learn the client's connection from
+// the frame's sender id and reply on it.
+//
+// Send is fire-and-forget like the model's channels: transport errors
+// surface as message loss (and a dropped cached connection), not as
+// operation failures — the protocol's quorum logic already tolerates loss
+// of a minority of its messages.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// maxFrameSize bounds a single message (16 MiB), protecting against corrupt
+// length prefixes.
+const maxFrameSize = 16 << 20
+
+// Config describes one endpoint.
+type Config struct {
+	// ID is this node's identifier; it is stamped on every outbound frame.
+	ID types.NodeID
+	// ListenAddr is the TCP address to accept peers on. Empty means
+	// client-only: the endpoint can dial out and receive replies on the
+	// connections it opened, but accepts nothing.
+	ListenAddr string
+	// Peers maps node ids to dialable addresses. Only ids that must be
+	// dialed need entries; peers that connect to us are learned.
+	Peers map[types.NodeID]string
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+// Endpoint is a TCP-backed transport endpoint.
+type Endpoint struct {
+	cfg  Config
+	ln   net.Listener
+	mbox *transport.Mailbox
+
+	mu    sync.Mutex
+	conns map[types.NodeID]net.Conn
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+var _ transport.Endpoint = (*Endpoint)(nil)
+
+// Listen creates the endpoint and, if ListenAddr is set, starts accepting.
+func Listen(cfg Config) (*Endpoint, error) {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	peers := make(map[types.NodeID]string, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		peers[id] = addr
+	}
+	cfg.Peers = peers
+
+	e := &Endpoint{
+		cfg:   cfg,
+		mbox:  transport.NewMailbox(),
+		conns: make(map[types.NodeID]net.Conn),
+	}
+	if cfg.ListenAddr != "" {
+		ln, err := net.Listen("tcp", cfg.ListenAddr)
+		if err != nil {
+			e.mbox.Close()
+			return nil, fmt.Errorf("tcpnet listen %s: %w", cfg.ListenAddr, err)
+		}
+		e.ln = ln
+		e.wg.Add(1)
+		go e.acceptLoop()
+	}
+	return e, nil
+}
+
+// ID returns this endpoint's node identifier.
+func (e *Endpoint) ID() types.NodeID { return e.cfg.ID }
+
+// Addr returns the actual listening address ("" for client-only endpoints).
+// Useful when ListenAddr was ":0".
+func (e *Endpoint) Addr() string {
+	if e.ln == nil {
+		return ""
+	}
+	return e.ln.Addr().String()
+}
+
+// Recv returns the incoming message channel.
+func (e *Endpoint) Recv() <-chan transport.Message { return e.mbox.Out() }
+
+// Send transmits a message to the given node, dialing if necessary.
+// Transport failures are treated as message loss: the cached connection is
+// discarded and nil is returned, matching the asynchronous model where the
+// sender cannot distinguish a slow channel from a lost message. Send
+// returns an error only for local conditions: a closed endpoint or a
+// destination that is neither connected nor in the peer table.
+func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
+	if e.closed.Load() {
+		return types.ErrClosed
+	}
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	if conn == nil {
+		// Dial failed: counts as loss, the peer may come back later.
+		return nil
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], uint32(e.cfg.ID))
+	copy(frame[8:], payload)
+	if _, err := conn.Write(frame); err != nil {
+		e.dropConn(to, conn)
+	}
+	return nil
+}
+
+// conn returns a connection to the peer, dialing if needed. A nil, nil
+// return means the dial failed (treated as loss by Send).
+func (e *Endpoint) conn(to types.NodeID) (net.Conn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := e.cfg.Peers[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v not connected and not in peer table", types.ErrUnknownNode, to)
+	}
+
+	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
+	if err != nil {
+		return nil, nil // loss
+	}
+	e.mu.Lock()
+	if e.closed.Load() {
+		e.mu.Unlock()
+		_ = c.Close()
+		return nil, types.ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		// Lost the race with a concurrent dial or an inbound connection.
+		e.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+
+	// Read replies arriving on this outbound connection.
+	e.wg.Add(1)
+	go e.readLoop(c, to)
+	return c, nil
+}
+
+func (e *Endpoint) dropConn(id types.NodeID, conn net.Conn) {
+	e.mu.Lock()
+	if e.conns[id] == conn {
+		delete(e.conns, id)
+	}
+	e.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (e *Endpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(conn, -1)
+	}
+}
+
+// readLoop parses frames from conn. peerHint is the node we dialed, or -1
+// for accepted connections, where the sender id comes from the first frame.
+func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
+	defer e.wg.Done()
+	registered := peerHint
+	defer func() {
+		if registered >= 0 {
+			e.dropConn(registered, conn)
+		} else {
+			_ = conn.Close()
+		}
+	}()
+
+	var header [8]byte
+	for {
+		if _, err := io.ReadFull(conn, header[:]); err != nil {
+			return
+		}
+		length := binary.BigEndian.Uint32(header[0:4])
+		from := types.NodeID(binary.BigEndian.Uint32(header[4:8]))
+		if length < 4 || length > maxFrameSize {
+			return // corrupt stream
+		}
+		payload := make([]byte, length-4)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if registered < 0 {
+			// Learn the peer so replies go back on this connection.
+			e.mu.Lock()
+			if _, exists := e.conns[from]; !exists && !e.closed.Load() {
+				e.conns[from] = conn
+				registered = from
+			}
+			e.mu.Unlock()
+		}
+		e.mbox.Put(transport.Message{From: from, To: e.cfg.ID, Payload: payload})
+	}
+}
+
+// Close shuts the endpoint down: listener, connections, and mailbox.
+func (e *Endpoint) Close() error {
+	if !e.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if e.ln != nil {
+		_ = e.ln.Close()
+	}
+	e.mu.Lock()
+	for id, c := range e.conns {
+		_ = c.Close()
+		delete(e.conns, id)
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.mbox.Close()
+	return nil
+}

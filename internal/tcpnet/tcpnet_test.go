@@ -1,0 +1,277 @@
+package tcpnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+func listenT(t *testing.T, cfg Config) *Endpoint {
+	t.Helper()
+	e, err := Listen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = e.Close() })
+	return e
+}
+
+func TestSendRecvBetweenTwoListeners(t *testing.T) {
+	a := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	b := listenT(t, Config{ID: 2, ListenAddr: "127.0.0.1:0",
+		Peers: map[types.NodeID]string{1: a.Addr()}})
+	// a learns b's address too.
+	a.cfg.Peers[2] = b.Addr()
+
+	if err := a.Send(2, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-b.Recv():
+		if m.From != 1 || string(m.Payload) != "ping" {
+			t.Fatalf("got from=%v payload=%q", m.From, m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+
+	// Reply in the other direction (b dials a).
+	if err := b.Send(1, []byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-a.Recv():
+		if m.From != 2 || string(m.Payload) != "pong" {
+			t.Fatalf("got from=%v payload=%q", m.From, m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply")
+	}
+}
+
+func TestClientOnlyEndpointGetsRepliesOverItsConnection(t *testing.T) {
+	server := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	client := listenT(t, Config{ID: 100,
+		Peers: map[types.NodeID]string{1: server.Addr()}})
+
+	if err := client.Send(1, []byte("request")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-server.Recv():
+		if m.From != 100 {
+			t.Fatalf("server saw sender %v", m.From)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server got nothing")
+	}
+
+	// Server replies without any peer-table entry for the client: the
+	// connection was learned from the inbound frame.
+	if err := server.Send(100, []byte("response")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-client.Recv():
+		if string(m.Payload) != "response" {
+			t.Fatalf("client got %q", m.Payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client got no reply")
+	}
+}
+
+func TestSendToUnknownPeer(t *testing.T) {
+	a := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	if err := a.Send(42, []byte("x")); !errors.Is(err, types.ErrUnknownNode) {
+		t.Fatalf("want ErrUnknownNode, got %v", err)
+	}
+}
+
+func TestSendToDeadPeerIsLoss(t *testing.T) {
+	// Dial failure must behave like message loss, not an error.
+	a := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0",
+		Peers:       map[types.NodeID]string{2: "127.0.0.1:1"}, // nothing listens there
+		DialTimeout: 200 * time.Millisecond})
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatalf("send to dead peer errored: %v", err)
+	}
+}
+
+func TestSendAfterClose(t *testing.T) {
+	a, err := Listen(Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); !errors.Is(err, types.ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if err := a.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestLargeMessage(t *testing.T) {
+	a := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	b := listenT(t, Config{ID: 2, Peers: map[types.NodeID]string{1: a.Addr()}})
+
+	big := make([]byte, 1<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := b.Send(1, big); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-a.Recv():
+		if len(m.Payload) != len(big) {
+			t.Fatalf("payload size %d", len(m.Payload))
+		}
+		for i := 0; i < len(big); i += 4099 {
+			if m.Payload[i] != big[i] {
+				t.Fatalf("payload corrupted at %d", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+// TestABDOverTCP runs the full protocol over real sockets: 3 replicas and a
+// client, write then read, plus a replica crash.
+func TestABDOverTCP(t *testing.T) {
+	// Start three replica endpoints.
+	var eps [3]*Endpoint
+	peers := make(map[types.NodeID]string)
+	for i := range eps {
+		eps[i] = listenT(t, Config{ID: types.NodeID(i), ListenAddr: "127.0.0.1:0"})
+		peers[types.NodeID(i)] = eps[i].Addr()
+	}
+	var replicas [3]*core.Replica
+	for i := range eps {
+		replicas[i] = core.NewReplica(types.NodeID(i), eps[i])
+		replicas[i].Start()
+		t.Cleanup(replicas[i].Stop)
+	}
+
+	clientEp := listenT(t, Config{ID: 100, Peers: peers})
+	cli, err := core.NewClient(100, clientEp, []types.NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+
+	for i := 0; i < 5; i++ {
+		val := fmt.Sprintf("v%d", i)
+		if err := cli.Write(ctx, "x", []byte(val)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	v, err := cli.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "v4" {
+		t.Fatalf("read %q", v)
+	}
+
+	// Kill replica 2's process (stop + close endpoint): a minority crash.
+	replicas[2].Stop()
+	if err := cli.Write(ctx, "x", []byte("after-crash")); err != nil {
+		t.Fatalf("write after crash: %v", err)
+	}
+	v, err = cli.Read(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "after-crash" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	// A server restarting on the same address: the client's cached
+	// connection dies; the first send after that is lost (dropping the dead
+	// conn), and the next send redials successfully.
+	server := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	addr := server.Addr()
+
+	client := listenT(t, Config{ID: 100, Peers: map[types.NodeID]string{1: addr},
+		DialTimeout: time.Second})
+	if err := client.Send(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-server.Recv():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first message not delivered")
+	}
+
+	// Restart the server on the same address.
+	if err := server.Close(); err != nil {
+		t.Fatal(err)
+	}
+	server2, err := Listen(Config{ID: 1, ListenAddr: addr})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = server2.Close() })
+
+	// Sends are loss-tolerant: keep sending until one lands (the protocol's
+	// retransmission plays this role in production).
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := client.Send(1, []byte("after-restart")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-server2.Recv():
+			if string(m.Payload) != "after-restart" {
+				t.Fatalf("payload %q", m.Payload)
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("client never reconnected")
+		}
+	}
+}
+
+func TestConcurrentSendsShareConnection(t *testing.T) {
+	server := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	client := listenT(t, Config{ID: 100, Peers: map[types.NodeID]string{1: server.Addr()}})
+
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = client.Send(1, []byte{byte(i)})
+		}(i)
+	}
+	wg.Wait()
+
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < n {
+		select {
+		case <-server.Recv():
+			got++
+		case <-timeout:
+			t.Fatalf("received %d of %d", got, n)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package timestamp
+
+import "testing"
+
+func BenchmarkTSCompare(b *testing.B) {
+	x := TS{Seq: 100, Writer: 3}
+	y := TS{Seq: 100, Writer: 7}
+	for i := 0; i < b.N; i++ {
+		_ = x.Compare(y)
+	}
+}
+
+func BenchmarkCyclicCompare(b *testing.B) {
+	c, err := NewCyclic(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compare(int64(i)%c.Domain(), int64(i+3)%c.Domain()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCyclicDominating(b *testing.B) {
+	c, err := NewCyclic(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	live := []int64{1, 2, 3, 5, 8, 13}
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Dominating(live); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package timestamp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfWindow is returned by Cyclic.Compare when the two labels are
+// farther apart than the liveness window allows, i.e. the protocol's
+// bounded-staleness assumption was violated and the comparison would be
+// meaningless. The protocol layer surfaces these as metric events instead of
+// mis-ordering values.
+var ErrOutOfWindow = errors.New("timestamp: labels outside the cyclic comparison window")
+
+// Cyclic is a sequential bounded labeling scheme over the cyclic domain
+// Z_{3L}. The single writer issues consecutive positions modulo 3L. If every
+// pair of labels ever compared is within L issues of each other — which the
+// single-writer protocol guarantees when no replica lags more than L writes
+// behind — the cyclic distance recovers the true order:
+//
+//	distance in [1, L]        → a is newer than b
+//	distance in [2L, 3L-1]    → a is older than b (b is within L ahead)
+//	distance in (L, 2L)       → out of window: cannot have happened under
+//	                            the staleness bound, reported as an error.
+//
+// The domain deliberately has a dead zone (positions L+1..2L-1 apart) so
+// violations are detected rather than silently mis-ordered; a minimal 2L+1
+// domain cannot tell "very new" from "very old".
+type Cyclic struct {
+	// L is the liveness window: the maximum number of writes any live label
+	// may lag behind the newest.
+	L int64
+}
+
+// NewCyclic returns a cyclic labeling with window l (l >= 1).
+func NewCyclic(l int64) (Cyclic, error) {
+	if l < 1 {
+		return Cyclic{}, fmt.Errorf("timestamp: cyclic window %d < 1", l)
+	}
+	return Cyclic{L: l}, nil
+}
+
+// Domain returns the size of the label domain, 3L.
+func (c Cyclic) Domain() int64 { return 3 * c.L }
+
+// Next returns the label following cur in issue order.
+func (c Cyclic) Next(cur int64) int64 {
+	return (cur + 1) % c.Domain()
+}
+
+// Compare orders two labels. It returns +1 if a is newer than b, -1 if a is
+// older, 0 if equal, and ErrOutOfWindow if the pair is outside the window
+// within which cyclic comparison is sound.
+func (c Cyclic) Compare(a, b int64) (int, error) {
+	m := c.Domain()
+	if a < 0 || a >= m || b < 0 || b >= m {
+		return 0, fmt.Errorf("timestamp: label out of domain [0,%d): a=%d b=%d", m, a, b)
+	}
+	d := ((a-b)%m + m) % m
+	switch {
+	case d == 0:
+		return 0, nil
+	case d <= c.L:
+		return 1, nil
+	case d >= 2*c.L:
+		return -1, nil
+	default:
+		return 0, ErrOutOfWindow
+	}
+}
+
+// Dominating returns a label that is newer than every label in live,
+// assuming the live labels span at most the window L (they were all issued
+// within the last L writes). It advances one past the "latest" live label,
+// where latest is determined by pairwise cyclic comparison.
+func (c Cyclic) Dominating(live []int64) (int64, error) {
+	if len(live) == 0 {
+		return 0, nil
+	}
+	latest := live[0]
+	for _, l := range live[1:] {
+		cmp, err := c.Compare(l, latest)
+		if err != nil {
+			return 0, fmt.Errorf("timestamp: live set wider than window: %w", err)
+		}
+		if cmp > 0 {
+			latest = l
+		}
+	}
+	return c.Next(latest), nil
+}

@@ -1,0 +1,195 @@
+package timestamp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func mustCyclic(t *testing.T, l int64) Cyclic {
+	t.Helper()
+	c, err := NewCyclic(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewCyclicValidation(t *testing.T) {
+	if _, err := NewCyclic(0); err == nil {
+		t.Fatal("window 0 accepted")
+	}
+	if _, err := NewCyclic(-3); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	c := mustCyclic(t, 4)
+	if c.Domain() != 12 {
+		t.Fatalf("domain=%d, want 12", c.Domain())
+	}
+}
+
+func TestCyclicNextWraps(t *testing.T) {
+	c := mustCyclic(t, 2) // domain 6
+	cur := int64(0)
+	seen := map[int64]bool{}
+	for i := 0; i < 6; i++ {
+		seen[cur] = true
+		cur = c.Next(cur)
+	}
+	if cur != 0 {
+		t.Fatalf("after domain steps, position=%d, want 0", cur)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("visited %d positions, want 6", len(seen))
+	}
+}
+
+func TestCyclicCompareWithinWindow(t *testing.T) {
+	c := mustCyclic(t, 3) // domain 9
+	tests := []struct {
+		a, b int64
+		want int
+	}{
+		{0, 0, 0},
+		{1, 0, 1},  // 1 newer
+		{3, 0, 1},  // distance L = 3 still newer
+		{0, 1, -1}, // older
+		{0, 3, -1},
+		{1, 8, 1}, // wrap-around: 1 issued after 8
+		{8, 1, -1},
+		{0, 7, 1}, // distance 2 forward across wrap
+	}
+	for _, tt := range tests {
+		got, err := c.Compare(tt.a, tt.b)
+		if err != nil {
+			t.Errorf("Compare(%d,%d) error: %v", tt.a, tt.b, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Compare(%d,%d)=%d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCyclicCompareOutOfWindow(t *testing.T) {
+	c := mustCyclic(t, 3) // domain 9: distances 4,5 are the dead zone
+	for _, pair := range [][2]int64{{4, 0}, {5, 0}, {0, 4}, {0, 5}} {
+		if _, err := c.Compare(pair[0], pair[1]); !errors.Is(err, ErrOutOfWindow) {
+			t.Errorf("Compare(%d,%d): want ErrOutOfWindow, got %v", pair[0], pair[1], err)
+		}
+	}
+}
+
+func TestCyclicCompareDomainCheck(t *testing.T) {
+	c := mustCyclic(t, 3)
+	if _, err := c.Compare(9, 0); err == nil {
+		t.Fatal("label outside domain accepted")
+	}
+	if _, err := c.Compare(0, -1); err == nil {
+		t.Fatal("negative label accepted")
+	}
+}
+
+// TestCyclicLongRunOrder is the core soundness property (P5, bounded half):
+// issue a long sequence of labels; any two labels within the window compare
+// in true issue order, no matter how many times the domain has wrapped.
+func TestCyclicLongRunOrder(t *testing.T) {
+	c := mustCyclic(t, 5) // domain 15
+	label := int64(0)
+	history := []int64{label}
+	for i := 0; i < 1000; i++ {
+		label = c.Next(label)
+		history = append(history, label)
+	}
+	for i := 0; i < len(history); i++ {
+		for j := i; j < len(history) && j-i <= int(c.L); j++ {
+			got, err := c.Compare(history[j], history[i])
+			if err != nil {
+				t.Fatalf("Compare(issue %d, issue %d): %v", j, i, err)
+			}
+			want := 0
+			if j > i {
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("Compare(issue %d, issue %d)=%d, want %d", j, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCyclicDominating(t *testing.T) {
+	c := mustCyclic(t, 4) // domain 12
+
+	// Empty live set: any starting label.
+	got, err := c.Dominating(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("Dominating(nil)=%d, want 0", got)
+	}
+
+	// Live labels 10, 11, 0 (0 wrapped, newest). Dominating must be 1.
+	got, err = c.Dominating([]int64{10, 11, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("Dominating=%d, want 1", got)
+	}
+	// The result must compare newer than every live label.
+	for _, l := range []int64{10, 11, 0} {
+		cmp, err := c.Compare(got, l)
+		if err != nil || cmp != 1 {
+			t.Fatalf("Dominating result %d vs %d: cmp=%d err=%v", got, l, cmp, err)
+		}
+	}
+}
+
+func TestCyclicDominatingDetectsWideLiveSet(t *testing.T) {
+	c := mustCyclic(t, 3) // domain 9
+	// Labels 0 and 5 are out of window — the live set is inconsistent.
+	if _, err := c.Dominating([]int64{0, 5}); !errors.Is(err, ErrOutOfWindow) {
+		t.Fatalf("want ErrOutOfWindow, got %v", err)
+	}
+}
+
+// TestCyclicDominatingRandomWindows simulates the protocol's usage: live
+// sets are random samples from the last L issued labels; the dominating
+// label must beat them all.
+func TestCyclicDominatingRandomWindows(t *testing.T) {
+	c := mustCyclic(t, 6)
+	rng := rand.New(rand.NewSource(11))
+	label := int64(0)
+	var issued []int64
+	for i := 0; i < 500; i++ {
+		issued = append(issued, label)
+
+		// Sample up to L live labels from the recent window.
+		lo := len(issued) - int(c.L)
+		if lo < 0 {
+			lo = 0
+		}
+		recent := issued[lo:]
+		live := make([]int64, 0, len(recent))
+		for _, l := range recent {
+			if rng.Intn(2) == 0 {
+				live = append(live, l)
+			}
+		}
+		live = append(live, label) // writer's own latest is always live
+
+		next, err := c.Dominating(live)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		for _, l := range live {
+			cmp, err := c.Compare(next, l)
+			if err != nil || cmp != 1 {
+				t.Fatalf("step %d: %d does not dominate %d (cmp=%d err=%v)", i, next, l, cmp, err)
+			}
+		}
+		label = next
+	}
+}

@@ -1,0 +1,71 @@
+// Package timestamp implements the orders that version replicated register
+// values.
+//
+// The unbounded order is the paper's simple core: consecutive sequence
+// numbers, extended with the writer identifier for the multi-writer
+// protocol (lexicographic (seq, writer) comparison).
+//
+// The bounded schemes replace the ever-growing sequence number with labels
+// drawn from a finite domain, as in the second half of the JACM paper:
+//
+//   - Cyclic is a sequential bounded labeling over Z_{3L}: correct whenever
+//     every label being compared is within the last L issued, and — unlike a
+//     minimal 2L+1 domain — able to *detect* comparisons that fall outside
+//     the window instead of silently mis-ordering them.
+//   - Tournament is a recursive 5-ary labeling in the Israeli–Li style,
+//     providing NewLabel(live) that dominates every label in a bounded live
+//     set.
+//
+// See DESIGN.md §2 for how these relate to the paper's exact construction.
+package timestamp
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// TS is the unbounded timestamp: a sequence number plus the identifier of
+// the writer that produced it. The writer component breaks ties between
+// concurrent writers in the multi-writer protocol; for the single-writer
+// protocol it is constant.
+type TS struct {
+	Seq    int64
+	Writer types.NodeID
+}
+
+// Zero is the timestamp of the initial (never written) register state. It
+// compares less than every timestamp a writer can produce.
+var Zero = TS{}
+
+// Less reports whether t is strictly older than o, comparing sequence
+// numbers first and writer identifiers to break ties.
+func (t TS) Less(o TS) bool {
+	if t.Seq != o.Seq {
+		return t.Seq < o.Seq
+	}
+	return t.Writer < o.Writer
+}
+
+// Compare returns -1, 0, or +1 as t is older than, equal to, or newer than o.
+func (t TS) Compare(o TS) int {
+	switch {
+	case t.Less(o):
+		return -1
+	case o.Less(t):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Next returns the timestamp a writer with the given identifier produces
+// after observing t: the successor sequence number tagged with the writer.
+func (t TS) Next(writer types.NodeID) TS {
+	return TS{Seq: t.Seq + 1, Writer: writer}
+}
+
+// String renders the timestamp as "seq@writer".
+func (t TS) String() string {
+	return fmt.Sprintf("%d@%s", t.Seq, t.Writer)
+}

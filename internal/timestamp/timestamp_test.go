@@ -1,0 +1,112 @@
+package timestamp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestZeroIsOldest(t *testing.T) {
+	if !Zero.Less(TS{Seq: 1, Writer: 0}) {
+		t.Fatal("Zero should be less than seq 1")
+	}
+	if Zero.Less(Zero) {
+		t.Fatal("Zero < Zero")
+	}
+}
+
+func TestLessOrdersBySeqThenWriter(t *testing.T) {
+	tests := []struct {
+		a, b TS
+		want bool
+	}{
+		{TS{1, 1}, TS{2, 1}, true},
+		{TS{2, 1}, TS{1, 1}, false},
+		{TS{1, 1}, TS{1, 2}, true}, // same seq: writer breaks tie
+		{TS{1, 2}, TS{1, 1}, false},
+		{TS{1, 1}, TS{1, 1}, false},
+		{TS{5, 9}, TS{6, 0}, true}, // seq dominates writer
+	}
+	for _, tt := range tests {
+		if got := tt.a.Less(tt.b); got != tt.want {
+			t.Errorf("%v.Less(%v)=%v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareConsistentWithLess(t *testing.T) {
+	f := func(s1, s2 int64, w1, w2 int32) bool {
+		a := TS{Seq: s1, Writer: types.NodeID(w1)}
+		b := TS{Seq: s2, Writer: types.NodeID(w2)}
+		c := a.Compare(b)
+		switch {
+		case a.Less(b):
+			return c == -1 && b.Compare(a) == 1
+		case b.Less(a):
+			return c == 1 && b.Compare(a) == -1
+		default:
+			return c == 0 && a == b
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTotalOrder(t *testing.T) {
+	// P5: strict total order — trichotomy and transitivity.
+	tri := func(s1, s2 int64, w1, w2 int32) bool {
+		a := TS{s1, types.NodeID(w1)}
+		b := TS{s2, types.NodeID(w2)}
+		n := 0
+		if a.Less(b) {
+			n++
+		}
+		if b.Less(a) {
+			n++
+		}
+		if a == b {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(tri, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatalf("trichotomy: %v", err)
+	}
+	trans := func(s1, s2, s3 int16, w1, w2, w3 int8) bool {
+		// Narrow types make coincidences (and thus real chains) likely.
+		a := TS{int64(s1), types.NodeID(w1)}
+		b := TS{int64(s2), types.NodeID(w2)}
+		c := TS{int64(s3), types.NodeID(w3)}
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(trans, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatalf("transitivity: %v", err)
+	}
+}
+
+func TestNext(t *testing.T) {
+	t1 := Zero.Next(3)
+	if t1.Seq != 1 || t1.Writer != 3 {
+		t.Fatalf("Next: %v", t1)
+	}
+	if !Zero.Less(t1) {
+		t.Fatal("Next not greater than base")
+	}
+	// A writer observing a rival's timestamp must produce something newer.
+	rival := TS{Seq: 10, Writer: 9}
+	mine := rival.Next(1)
+	if !rival.Less(mine) {
+		t.Fatalf("Next(%v) = %v not newer", rival, mine)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := (TS{Seq: 7, Writer: 2}).String(); got != "7@n2" {
+		t.Fatalf("String()=%q", got)
+	}
+}

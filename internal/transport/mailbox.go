@@ -1,0 +1,101 @@
+package transport
+
+import "sync"
+
+// Mailbox is an unbounded FIFO queue of messages bridging a producer that
+// must never block (the network's delivery path) to a consumer reading from
+// a channel. Both netsim and tcpnet deliveries go through a Mailbox so a
+// slow protocol loop can never back-pressure the substrate — matching the
+// asynchronous model, where the network buffers arbitrarily many in-flight
+// messages.
+type Mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	out      chan Message
+	closedCh chan struct{}
+	done     chan struct{}
+}
+
+// NewMailbox returns a running mailbox. The caller must eventually call
+// Close to release the pump goroutine.
+func NewMailbox() *Mailbox {
+	m := &Mailbox{
+		out:      make(chan Message),
+		closedCh: make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	go m.pump()
+	return m
+}
+
+// Put appends a message. It never blocks. Messages put after Close are
+// silently dropped (the endpoint is gone; the model allows message loss to a
+// crashed processor).
+func (m *Mailbox) Put(msg Message) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Signal()
+}
+
+// Out returns the consumer channel. It is closed once Close has been called
+// and the pump has stopped.
+func (m *Mailbox) Out() <-chan Message { return m.out }
+
+// Len returns the number of queued, not-yet-consumed messages.
+func (m *Mailbox) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close stops the mailbox. Queued but unconsumed messages are discarded.
+// Safe to call multiple times; blocks until the pump goroutine has exited.
+func (m *Mailbox) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.done
+		return
+	}
+	m.closed = true
+	m.queue = nil
+	close(m.closedCh)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+	<-m.done
+}
+
+func (m *Mailbox) pump() {
+	defer close(m.done)
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return
+		}
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+
+		// Block until the consumer takes it, but stay responsive to Close:
+		// the consumer may have gone away first.
+		select {
+		case m.out <- msg:
+		case <-m.closedCh:
+			return
+		}
+	}
+}

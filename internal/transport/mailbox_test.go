@@ -1,0 +1,147 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func msg(i int) Message {
+	return Message{From: types.NodeID(i), To: 0, Payload: []byte{byte(i)}}
+}
+
+func TestMailboxFIFO(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		m.Put(msg(i))
+	}
+	for i := 0; i < n; i++ {
+		got := <-m.Out()
+		if got.From != types.NodeID(i) {
+			t.Fatalf("message %d: got from=%v", i, got.From)
+		}
+	}
+}
+
+func TestMailboxPutNeverBlocks(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+
+	done := make(chan struct{})
+	go func() {
+		// 10k puts with no consumer must complete promptly.
+		for i := 0; i < 10000; i++ {
+			m.Put(msg(i))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Put blocked with no consumer")
+	}
+	if got := m.Len(); got < 9998 { // pump may hold one message in its channel handoff
+		t.Fatalf("queue length %d, want >= 9998", got)
+	}
+}
+
+func TestMailboxCloseUnblocksAndClosesOut(t *testing.T) {
+	m := NewMailbox()
+	m.Put(msg(1))
+	m.Close()
+
+	// Out must be closed (possibly after delivering the in-flight message).
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, ok := <-m.Out():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("Out not closed after Close")
+		}
+	}
+}
+
+func TestMailboxPutAfterCloseDropped(t *testing.T) {
+	m := NewMailbox()
+	m.Close()
+	m.Put(msg(1)) // must not panic or deadlock
+	if m.Len() != 0 {
+		t.Fatal("message enqueued after close")
+	}
+}
+
+func TestMailboxCloseIdempotent(t *testing.T) {
+	m := NewMailbox()
+	m.Close()
+	m.Close()
+	m.Close()
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := NewMailbox()
+	defer m.Close()
+
+	const producers, per = 8, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Put(Message{From: types.NodeID(p)})
+			}
+		}(p)
+	}
+
+	counts := make(map[types.NodeID]int)
+	recvDone := make(chan struct{})
+	go func() {
+		defer close(recvDone)
+		for i := 0; i < producers*per; i++ {
+			got := <-m.Out()
+			counts[got.From]++
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case <-recvDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("did not receive all messages")
+	}
+	for p := 0; p < producers; p++ {
+		if counts[types.NodeID(p)] != per {
+			t.Fatalf("producer %d: got %d messages, want %d", p, counts[types.NodeID(p)], per)
+		}
+	}
+}
+
+func TestMailboxConcurrentCloseWithTraffic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		m := NewMailbox()
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Put(msg(i))
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for range m.Out() {
+				// drain until closed
+			}
+		}()
+		m.Close()
+		wg.Wait()
+	}
+}

@@ -1,0 +1,71 @@
+// Package types holds identifiers and values shared by every layer of the
+// ABD emulation: node identities, register values, and the errors that cross
+// package boundaries.
+package types
+
+import (
+	"errors"
+	"strconv"
+)
+
+// NodeID identifies a processor in the message-passing system. Replicas and
+// clients both occupy the same identifier space, mirroring the paper's model
+// in which every processor keeps a copy of the register and may also invoke
+// operations on it.
+type NodeID int32
+
+// String renders the identifier as "n<id>", e.g. "n3".
+func (id NodeID) String() string {
+	return "n" + strconv.FormatInt(int64(id), 10)
+}
+
+// Value is the contents of an emulated register. A nil Value is the initial
+// register state (distinct from an empty, non-nil write).
+type Value []byte
+
+// Clone returns an independent copy of v, preserving nil-ness.
+func (v Value) Clone() Value {
+	if v == nil {
+		return nil
+	}
+	out := make(Value, len(v))
+	copy(out, v)
+	return out
+}
+
+// Equal reports whether two values are byte-wise equal. nil and empty
+// values are considered distinct, because the protocol distinguishes the
+// initial state from a written empty value.
+func (v Value) Equal(o Value) bool {
+	if (v == nil) != (o == nil) {
+		return false
+	}
+	if len(v) != len(o) {
+		return false
+	}
+	for i := range v {
+		if v[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors shared across the protocol stack.
+var (
+	// ErrClosed is returned when an endpoint, replica, or client has been
+	// shut down and can no longer send or receive.
+	ErrClosed = errors.New("abd: closed")
+
+	// ErrUnknownNode is returned when a message is addressed to a node the
+	// transport has never heard of.
+	ErrUnknownNode = errors.New("abd: unknown node")
+
+	// ErrNoQuorum is returned when an operation's context expires before a
+	// quorum of replicas responded — the liveness loss the paper proves
+	// unavoidable once a majority is unreachable.
+	ErrNoQuorum = errors.New("abd: no quorum of replicas responded")
+
+	// ErrBadMessage is returned when a wire payload fails to decode.
+	ErrBadMessage = errors.New("abd: malformed message")
+)

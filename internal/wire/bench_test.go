@@ -1,0 +1,41 @@
+package wire
+
+import "testing"
+
+func BenchmarkAppendMixed(b *testing.B) {
+	val := make([]byte, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := make([]byte, 0, 300)
+		buf = AppendUint(buf, uint64(i))
+		buf = AppendString(buf, "registers/benchmark")
+		buf = AppendInt(buf, -1234567)
+		buf = AppendBytes(buf, val)
+		buf = AppendBool(buf, true)
+		_ = buf
+	}
+}
+
+func BenchmarkReaderMixed(b *testing.B) {
+	val := make([]byte, 256)
+	var buf []byte
+	buf = AppendUint(buf, 42)
+	buf = AppendString(buf, "registers/benchmark")
+	buf = AppendInt(buf, -1234567)
+	buf = AppendBytes(buf, val)
+	buf = AppendBool(buf, true)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		_ = r.Uint()
+		_ = r.String()
+		_ = r.Int()
+		_ = r.Bytes()
+		_ = r.Bool()
+		if r.Err() != nil {
+			b.Fatal(r.Err())
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package wire
+
+import "testing"
+
+func FuzzReaderNeverPanics(f *testing.F) {
+	var seed []byte
+	seed = AppendUint(seed, 42)
+	seed = AppendString(seed, "hello")
+	seed = AppendBytes(seed, []byte{1, 2, 3})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decode an arbitrary field sequence: must never panic, and once an
+		// error occurs the reader stays poisoned.
+		r := NewReader(data)
+		_ = r.Uint()
+		_ = r.String()
+		_ = r.Int()
+		_ = r.Bytes()
+		_ = r.Bool()
+		_ = r.Byte()
+		firstErr := r.Err()
+		_ = r.Uint()
+		if firstErr != nil && r.Err() != firstErr {
+			t.Fatal("error not sticky")
+		}
+		if r.Len() < 0 {
+			t.Fatal("negative remaining length")
+		}
+	})
+}
