@@ -1,0 +1,34 @@
+# Developer entry points. Everything is pure stdlib Go; no tool downloads.
+
+GO ?= go
+
+.PHONY: all build test race vet check bench eval clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The instrumentation layer (obs histograms/tracers, client/replica counters,
+# netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
+# under the race detector. These are the packages with real concurrency.
+race:
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every evaluation table (EXPERIMENTS.md appendix).
+eval:
+	$(GO) run ./cmd/abd-bench -exp all -seed 1
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,8 @@
 //   - internal/tcpnet: the TCP transport for real deployments,
 //   - internal/quorum, internal/timestamp: the protocol's building blocks,
 //   - internal/lincheck, internal/history: linearizability verification,
+//   - internal/obs: latency histograms, span tracing, and the Prometheus
+//     text exposition behind cmd/abd-node's /metrics,
 //   - internal/snapshot, internal/bakery, internal/maxreg: shared-memory
 //     algorithms running unchanged over the emulation.
 //
@@ -29,6 +31,7 @@ import (
 	"context"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -67,5 +70,22 @@ type ReplicaStats = core.ReplicaStats
 
 // MetricsSnapshot re-exports the client counter snapshot.
 type MetricsSnapshot = core.MetricsSnapshot
+
+// ReplicaMetrics re-exports the replica protocol counter set served by
+// cmd/abd-node's /metrics endpoint.
+type ReplicaMetrics = core.ReplicaMetrics
+
+// LatencySnapshot re-exports the per-client latency histogram snapshot;
+// merge snapshots across clients (or use Cluster.Latency) for fleet-wide
+// quantiles.
+type LatencySnapshot = core.LatencySnapshot
+
+// Tracer re-exports the span sink interface. Attach one to a client with
+// core.WithTracer to stream per-operation and per-phase spans; obs.NewRing
+// and obs.NewJSONL are the built-in sinks.
+type Tracer = obs.Tracer
+
+// Span re-exports the traced span record.
+type Span = obs.Span
 
 var _ Register = (*core.Register)(nil)

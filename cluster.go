@@ -169,6 +169,18 @@ func (c *Cluster) Replica(i int) *core.Replica { return c.replicas[i] }
 // NetStats returns the simulated network's counters.
 func (c *Cluster) NetStats() netsim.Stats { return c.net.Stats() }
 
+// Latency merges every cluster client's latency histograms into one
+// fleet-wide snapshot (see core.Client.Latency). The merge is exact:
+// quantiles of the result are quantiles over the union of all samples,
+// up to the histograms' bucket resolution.
+func (c *Cluster) Latency() core.LatencySnapshot {
+	var out core.LatencySnapshot
+	for _, cli := range c.clients {
+		out = out.Merge(cli.Latency())
+	}
+	return out
+}
+
 // ResetNetStats zeroes the network counters (between benchmark phases).
 func (c *Cluster) ResetNetStats() { c.net.ResetStats() }
 

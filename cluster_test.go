@@ -221,3 +221,38 @@ func TestClusterNetStats(t *testing.T) {
 		t.Fatalf("per-kind counts: %v", st.ByKind)
 	}
 }
+
+func TestClusterLatencyMergesClients(t *testing.T) {
+	cluster, err := NewCluster(3, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	ctx := testCtx(t)
+
+	w := cluster.Client()
+	r := cluster.Client()
+	const ops = 5
+	for i := 0; i < ops; i++ {
+		if err := w.Write(ctx, "x", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Read(ctx, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lat := cluster.Latency()
+	if lat.Write.Count != ops || lat.Read.Count != ops {
+		t.Fatalf("merged counts: writes=%d reads=%d, want %d each",
+			lat.Write.Count, lat.Read.Count, ops)
+	}
+	// Each op runs two phases (MW write: query+update; read: query+write-back).
+	phases := lat.PhaseQuery.Count + lat.PhaseUpdate.Count
+	if phases != 4*ops {
+		t.Fatalf("merged phase count %d, want %d", phases, 4*ops)
+	}
+	if lat.Write.Quantile(0.99) <= 0 || lat.Read.Quantile(0.99) <= 0 {
+		t.Fatalf("zero quantiles: %+v", lat)
+	}
+}

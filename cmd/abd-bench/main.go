@@ -1,10 +1,12 @@
 // Command abd-bench regenerates the evaluation's tables and figures
 // (DESIGN.md §3) and prints them as aligned text, suitable for pasting into
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. The L1 experiment prints p50/p95/p99/max latency per
+// operation kind from the internal/obs histograms; -trace-out additionally
+// dumps its operation and phase spans as JSONL for offline analysis.
 //
 // Usage:
 //
-//	abd-bench [-exp all|T1|T2|F1|F2|F3|T3|F4|F5|T4|T5|F6] [-quick] [-seed N]
+//	abd-bench [-exp all|T1..T6|F1..F7|L1] [-quick] [-seed N] [-trace-out spans.jsonl]
 package main
 
 import (
@@ -23,13 +25,23 @@ func main() {
 
 func run() int {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (T1..T5, F1..F6) or 'all'")
-		quick = flag.Bool("quick", false, "smaller sweeps and op counts")
-		seed  = flag.Int64("seed", 1, "simulation seed")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1) or 'all'")
+		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
 	)
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		opts.TraceWriter = f
+	}
 
 	var runners []experiments.Runner
 	if strings.EqualFold(*exp, "all") {

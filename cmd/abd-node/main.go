@@ -3,20 +3,38 @@
 //
 // Usage:
 //
-//	abd-node -id 0 -listen 127.0.0.1:7000 [-bounded-window L]
+//	abd-node -id 0 -listen 127.0.0.1:7000 [-bounded-window L] \
+//	         [-metrics-addr 127.0.0.1:9100] \
+//	         [-peers "0=127.0.0.1:7000,1=...,2=..." -probe-interval 1s]
 //
 // Replicas need no peer table: they answer clients over the connections the
-// clients opened. Stop with SIGINT/SIGTERM.
+// clients opened. With -metrics-addr set, the node serves Prometheus text
+// metrics on /metrics (client, replica, transport, and process series — see
+// the README's Observability section for the naming conventions) and a
+// liveness probe on /healthz. With -peers also set, the node runs an
+// embedded probe client against the whole replica group: one end-to-end
+// write+read pair per -probe-interval, whose latency histograms populate
+// the abd_client_* series (without -peers those series export zero
+// samples). Stop with SIGINT/SIGTERM.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
 )
@@ -31,6 +49,9 @@ func run() int {
 		listen  = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
 		bounded = flag.Int64("bounded-window", 0, "enable bounded labels with this liveness window (0 = unbounded)")
 		wal     = flag.String("wal", "", "write-ahead log path for crash-recovery (empty = in-memory only)")
+		metrics = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
+		peers   = flag.String("peers", "", "replica addresses id=host:port,... for the embedded probe client (empty = no probing)")
+		probeIv = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
 	)
 	flag.Parse()
 
@@ -60,13 +81,149 @@ func run() int {
 	replica.Start()
 	fmt.Printf("abd-node: replica %d serving on %s\n", *id, ep.Addr())
 
+	var prober *core.Client
+	if *peers != "" {
+		prober, err = startProber(types.NodeID(*id), *peers, *probeIv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: probe client: %v\n", err)
+			return 1
+		}
+		defer prober.Close()
+	}
+
+	if *metrics != "" {
+		handler := obs.Expose(nodeGatherer(replica, ep, prober))
+		srv := &http.Server{Addr: *metrics, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "abd-node: metrics server: %v\n", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("abd-node: metrics on http://%s/metrics\n", *metrics)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
 	replica.Stop()
-	st := replica.Stats()
-	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d)\n",
-		st.Queries, st.Updates, st.Adoptions)
+	st := replica.ReplicaMetrics()
+	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d stale=%d registers=%d)\n",
+		st.Queries, st.Updates, st.Adoptions, st.StaleRejects, st.Registers)
 	return 0
+}
+
+// startProber connects an embedded client to the replica group and probes
+// one end-to-end write+read pair per interval against a per-node register,
+// so the node's own /metrics carries real client-side latency histograms.
+// The goroutine stops when the returned client is closed.
+func startProber(id types.NodeID, peersSpec string, interval time.Duration) (*core.Client, error) {
+	peers, order, err := parsePeers(peersSpec)
+	if err != nil {
+		return nil, err
+	}
+	// Client ids live in a range disjoint from replica ids.
+	cliID := 9000 + id
+	ep, err := tcpnet.Listen(tcpnet.Config{ID: cliID, Peers: peers})
+	if err != nil {
+		return nil, err
+	}
+	cli, err := core.NewClient(cliID, ep, order)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	reg := fmt.Sprintf("__probe.%d", id)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			ctx, cancel := context.WithTimeout(context.Background(), interval)
+			err := cli.Write(ctx, reg, []byte(strconv.Itoa(i)))
+			if err == nil {
+				_, err = cli.Read(ctx, reg)
+			}
+			cancel()
+			if errors.Is(err, types.ErrClosed) {
+				return
+			}
+			<-tick.C
+		}
+	}()
+	return cli, nil
+}
+
+// parsePeers parses "0=host:port,1=host:port"; replica order (and quorum
+// indexing) is ascending id, matching abd-cli.
+func parsePeers(s string) (map[types.NodeID]string, []types.NodeID, error) {
+	peers := make(map[types.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		idS, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, nil, fmt.Errorf("bad peer %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(idS)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad peer id %q: %w", idS, err)
+		}
+		if _, dup := peers[types.NodeID(id)]; dup {
+			return nil, nil, fmt.Errorf("duplicate peer id %d", id)
+		}
+		peers[types.NodeID(id)] = addr
+	}
+	order := make([]types.NodeID, 0, len(peers))
+	for id := range peers {
+		order = append(order, id)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	return peers, order, nil
+}
+
+// nodeGatherer exposes the probe client's latency histograms, the replica's
+// protocol counters, the TCP transport counters, and a few process gauges,
+// all labeled with the node id. prober may be nil; the client series are
+// still exported, with zero samples.
+func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client) obs.Gatherer {
+	start := time.Now()
+	labels := obs.Labels{"node": strconv.FormatInt(int64(replica.ID()), 10)}
+	return func(w *obs.Writer) {
+		var lat core.LatencySnapshot
+		var cm core.MetricsSnapshot
+		if prober != nil {
+			lat = prober.Latency()
+			cm = prober.Metrics()
+		}
+		w.Histogram("abd_client_read_seconds", "end-to-end read latency (embedded probe client)", labels, lat.Read)
+		w.Histogram("abd_client_write_seconds", "end-to-end write latency (embedded probe client)", labels, lat.Write)
+		w.Histogram("abd_client_phase_query_seconds", "query phase latency (embedded probe client)", labels, lat.PhaseQuery)
+		w.Histogram("abd_client_phase_update_seconds", "update/write-back phase latency (embedded probe client)", labels, lat.PhaseUpdate)
+		w.Counter("abd_client_phases_total", "broadcast-and-collect rounds run by the probe client", labels, cm.Phases)
+		w.Counter("abd_client_msgs_sent_total", "request messages sent by the probe client", labels, cm.MsgsSent)
+		rm := replica.ReplicaMetrics()
+		w.Counter("abd_replica_queries_total", "read queries handled", labels, rm.Queries)
+		w.Counter("abd_replica_updates_total", "write/update requests handled", labels, rm.Updates)
+		w.Counter("abd_replica_adoptions_total", "updates that replaced the stored pair", labels, rm.Adoptions)
+		w.Counter("abd_replica_stale_rejects_total", "updates with a tag at or below the stored one", labels, rm.StaleRejects)
+		w.Counter("abd_replica_order_violations_total", "bounded-mode comparisons outside the sound window", labels, rm.OrderViolations)
+		w.Counter("abd_replica_bad_msgs_total", "undecodable payloads", labels, rm.BadMsgs)
+		w.Gauge("abd_replica_registers", "named registers stored", labels, float64(rm.Registers))
+
+		ts := ep.Stats()
+		w.Counter("abd_transport_frames_sent_total", "TCP frames written", labels, ts.FramesSent)
+		w.Counter("abd_transport_frames_recv_total", "TCP frames parsed", labels, ts.FramesRecv)
+		w.Counter("abd_transport_bytes_sent_total", "TCP bytes written (incl. frame headers)", labels, ts.BytesSent)
+		w.Counter("abd_transport_bytes_recv_total", "TCP bytes parsed (incl. frame headers)", labels, ts.BytesRecv)
+		w.Counter("abd_transport_dials_total", "outbound connections established", labels, ts.Dials)
+		w.Counter("abd_transport_dial_failures_total", "outbound connection attempts that failed", labels, ts.DialFailures)
+		w.Counter("abd_transport_accepts_total", "inbound connections accepted", labels, ts.Accepts)
+		w.Counter("abd_transport_write_failures_total", "frame writes that errored", labels, ts.WriteFailures)
+		w.Gauge("abd_transport_conns_active", "cached TCP connections", labels, float64(ts.ConnsActive))
+
+		var mem runtime.MemStats
+		runtime.ReadMemStats(&mem)
+		w.Gauge("abd_node_uptime_seconds", "seconds since process start", labels, time.Since(start).Seconds())
+		w.Gauge("abd_node_goroutines", "live goroutines", labels, float64(runtime.NumGoroutine()))
+		w.Gauge("abd_node_heap_alloc_bytes", "heap bytes in use", labels, float64(mem.HeapAlloc))
+	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/types"
 )
 
@@ -94,10 +95,15 @@ func run() int {
 	var mu sync.Mutex
 
 	nextID := types.NodeID(10000)
+	var allClients []*core.Client
 	mkClient := func() (*core.Client, error) {
 		id := nextID
 		nextID++
-		return core.NewClient(id, net.Node(id), ids, copts...)
+		cli, err := core.NewClient(id, net.Node(id), ids, copts...)
+		if err == nil {
+			allClients = append(allClients, cli)
+		}
+		return cli, err
 	}
 
 	start := time.Now()
@@ -168,6 +174,26 @@ func run() int {
 	st := net.Stats()
 	fmt.Printf("abd-sim: %d ok, %d pending/timed-out ops in %v (%d messages sent, %d dropped)\n",
 		okOps, pendingOps, elapsed.Round(time.Millisecond), st.Sent, st.Dropped)
+
+	// Latency profile, merged over every client's obs histograms. Only
+	// completed operations record, so the pending ops above are absent.
+	var lat core.LatencySnapshot
+	for _, cli := range allClients {
+		lat = lat.Merge(cli.Latency())
+	}
+	row := func(kind string, s obs.HistSnapshot) {
+		if s.Count == 0 {
+			return
+		}
+		fmt.Printf("  %-22s %6d  p50=%-9v p95=%-9v p99=%-9v max=%v\n",
+			kind, s.Count, s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.MaxValue())
+	}
+	fmt.Printf("abd-sim: latency over %d client(s):\n", len(allClients))
+	row("read", lat.Read)
+	row("write", lat.Write)
+	row("phase: query", lat.PhaseQuery)
+	row("phase: update/wb", lat.PhaseUpdate)
+	row("net one-way delay", st.Delay)
 
 	histOps := rec.Ops()
 	if *out != "" {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/timestamp"
 	"repro/internal/transport"
@@ -58,6 +59,8 @@ type Client struct {
 	done    chan struct{}
 
 	metrics Metrics
+	lat     latencySet
+	tracer  obs.Tracer // nil = tracing disabled (the default)
 }
 
 // NewClient creates a client for the given replica group. The client takes
@@ -109,6 +112,10 @@ func (c *Client) ID() types.NodeID { return c.id }
 
 // Metrics returns a snapshot of the client's operation counters.
 func (c *Client) Metrics() MetricsSnapshot { return c.metrics.snapshot() }
+
+// Latency returns a snapshot of the client's operation and phase latency
+// histograms. Histograms are always on; only completed operations record.
+func (c *Client) Latency() LatencySnapshot { return c.lat.snapshot() }
 
 func (c *Client) start() {
 	if !c.started.CompareAndSwap(false, true) {
@@ -190,7 +197,13 @@ func (in *opInbox) drain() []message {
 // phase broadcasts one request to every replica and collects replies until
 // the responder set satisfies pred. It returns the replies that formed the
 // quorum (one per replica, duplicates discarded).
-func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool) ([]message, error) {
+//
+// parent and label feed the observability layer: completed phases record
+// into the phase latency histograms, and — when a tracer is attached — emit
+// a child span under the operation span parent, carrying the quorum size,
+// the first/quorum-completing reply offsets, and every counted replica's
+// reply RTT.
+func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool, parent uint64, label string) ([]message, error) {
 	op := c.opSeq.Add(1)
 	req.Op = op
 	inbox := newOpInbox()
@@ -203,6 +216,16 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 		delete(c.pending, op)
 		c.pendMu.Unlock()
 	}()
+
+	start := time.Now()
+	var (
+		firstReply time.Duration
+		lastReply  time.Duration
+		rtts       map[int64]time.Duration
+	)
+	if c.tracer != nil {
+		rtts = make(map[int64]time.Duration, len(c.replicas))
+	}
 
 	payload := req.encode()
 	targets := c.targets(req.Kind)
@@ -226,6 +249,11 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 		seen    = make([]bool, len(c.replicas))
 		replies = make([]message, 0, len(c.replicas))
 	)
+	fail := func(err error) ([]message, error) {
+		c.emitPhase(parent, label, req.Reg, start, err,
+			len(targets), set.Count(), firstReply, lastReply, rtts)
+		return nil, err
+	}
 	for {
 		select {
 		case <-inbox.notify:
@@ -238,8 +266,18 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 				seen[i] = true
 				set = set.Add(i)
 				replies = append(replies, m)
+				lastReply = time.Since(start)
+				if len(replies) == 1 {
+					firstReply = lastReply
+				}
+				if rtts != nil {
+					rtts[int64(m.fromReplica)] = lastReply
+				}
 			}
 			if pred(set) {
+				c.recordPhase(req.Kind, time.Since(start))
+				c.emitPhase(parent, label, req.Reg, start, nil,
+					len(targets), set.Count(), firstReply, lastReply, rtts)
 				return replies, nil
 			}
 		case <-retransmitCh:
@@ -256,13 +294,64 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 				c.metrics.retransmits.Add(1)
 			}
 		case <-ctx.Done():
-			return nil, fmt.Errorf("%w: %s phase got %d/%d replies: %v",
-				types.ErrNoQuorum, req.Kind, set.Count(), len(c.replicas), ctx.Err())
+			return fail(fmt.Errorf("%w: %s phase got %d/%d replies: %v",
+				types.ErrNoQuorum, req.Kind, set.Count(), len(c.replicas), ctx.Err()))
 		case <-c.done:
 			// The client was closed under us: no more replies can arrive.
-			return nil, fmt.Errorf("%s phase: %w", req.Kind, types.ErrClosed)
+			return fail(fmt.Errorf("%s phase: %w", req.Kind, types.ErrClosed))
 		}
 	}
+}
+
+// recordPhase files a completed phase's latency under its kind's histogram.
+func (c *Client) recordPhase(kind Kind, d time.Duration) {
+	if kind == KindReadQuery {
+		c.lat.phaseQuery.Record(d)
+	} else {
+		c.lat.phaseUpdate.Record(d)
+	}
+}
+
+// emitPhase sends a phase child span to the tracer, if one is attached.
+func (c *Client) emitPhase(parent uint64, label, reg string, start time.Time, err error,
+	targets, quorumSize int, first, last time.Duration, rtts map[int64]time.Duration) {
+	if c.tracer == nil {
+		return
+	}
+	sp := obs.Span{
+		ID: obs.NextID(), Parent: parent,
+		Kind: "phase", Phase: label, Reg: reg, Node: int64(c.id),
+		Start: start, Dur: time.Since(start),
+		Targets: targets, Quorum: quorumSize,
+		FirstReply: first, LastReply: last, ReplicaRTT: rtts,
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c.tracer.Emit(sp)
+}
+
+// beginOp allocates an operation span id, or 0 when tracing is off.
+func (c *Client) beginOp() uint64 {
+	if c.tracer == nil {
+		return 0
+	}
+	return obs.NextID()
+}
+
+// endOp emits the operation's root span.
+func (c *Client) endOp(id uint64, kind, reg string, start time.Time, err error) {
+	if c.tracer == nil {
+		return
+	}
+	sp := obs.Span{
+		ID: id, Kind: kind, Reg: reg, Node: int64(c.id),
+		Start: start, Dur: time.Since(start),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	c.tracer.Emit(sp)
 }
 
 // targets returns the replicas a phase contacts: everyone by default, or a
@@ -342,6 +431,17 @@ func (c *Client) vouched(replies []message) []message {
 // write it back to a write quorum, return the value. A register that was
 // never written reads as nil.
 func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
+	start := time.Now()
+	op := c.beginOp()
+	val, err := c.read(ctx, reg, op)
+	if err == nil {
+		c.lat.read.Record(time.Since(start))
+	}
+	c.endOp(op, "read", reg, start, err)
+	return val, err
+}
+
+func (c *Client) read(ctx context.Context, reg string, op uint64) (types.Value, error) {
 	var (
 		best    Tag
 		val     types.Value
@@ -349,7 +449,7 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	)
 	for {
 		var err error
-		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
 		if err != nil {
 			return nil, fmt.Errorf("read %q: %w", reg, err)
 		}
@@ -384,7 +484,7 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	}
 
 	wb := message{Kind: KindWrite, Reg: reg, Tag: best, Val: val}
-	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum); err != nil {
+	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum, op, "write-back"); err != nil {
 		return nil, fmt.Errorf("read %q write-back: %w", reg, err)
 	}
 	c.metrics.writeBacks.Add(1)
@@ -405,12 +505,23 @@ func unanimous(replies []message, tag Tag) bool {
 // broadcasts its successor; in single-writer mode it uses its local
 // sequence counter and needs no query phase.
 func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
-	tag, err := c.nextTag(ctx, reg)
+	start := time.Now()
+	op := c.beginOp()
+	err := c.write(ctx, reg, val, op)
+	if err == nil {
+		c.lat.write.Record(time.Since(start))
+	}
+	c.endOp(op, "write", reg, start, err)
+	return err
+}
+
+func (c *Client) write(ctx context.Context, reg string, val types.Value, op uint64) error {
+	tag, err := c.nextTag(ctx, reg, op)
 	if err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
 	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
-	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum); err != nil {
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, op, "update"); err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
 	c.metrics.writes.Add(1)
@@ -418,10 +529,10 @@ func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 }
 
 // nextTag chooses the tag for a new write.
-func (c *Client) nextTag(ctx context.Context, reg string) (Tag, error) {
+func (c *Client) nextTag(ctx context.Context, reg string, op uint64) (Tag, error) {
 	switch {
 	case c.bounded:
-		return c.nextBoundedTag(ctx, reg)
+		return c.nextBoundedTag(ctx, reg, op)
 	case c.singleWriter:
 		// The local counter is the whole point of the single-writer fast
 		// path: no query phase, one round trip per write. A sequence number
@@ -437,7 +548,7 @@ func (c *Client) nextTag(ctx context.Context, reg string) (Tag, error) {
 		// exceed it. Write quorums must pairwise intersect for this to
 		// observe every completed write (quorum.VerifyWriteIntersection).
 		for {
-			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
 			if err != nil {
 				return Tag{}, err
 			}
@@ -457,8 +568,8 @@ func (c *Client) nextTag(ctx context.Context, reg string) (Tag, error) {
 // nextBoundedTag implements the bounded-label write: collect the labels
 // live at a read quorum (plus the writer's own last label) and pick a
 // dominating label from the cyclic domain.
-func (c *Client) nextBoundedTag(ctx context.Context, reg string) (Tag, error) {
-	replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+func (c *Client) nextBoundedTag(ctx context.Context, reg string, op uint64) (Tag, error) {
+	replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
 	if err != nil {
 		return Tag{}, err
 	}
@@ -495,7 +606,7 @@ func (c *Client) nextBoundedTag(ctx context.Context, reg string) (Tag, error) {
 // bare QueryMax is only a regular read, not an atomic one.
 func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, error) {
 	for {
-		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum)
+		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, 0, "query")
 		if err != nil {
 			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
 		}
@@ -515,7 +626,7 @@ func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, er
 // store. Used for cross-configuration state transfer and repair tools.
 func (c *Client) Propagate(ctx context.Context, reg string, tag Tag, val types.Value) error {
 	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
-	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum); err != nil {
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, 0, "update"); err != nil {
 		return fmt.Errorf("propagate %q: %w", reg, err)
 	}
 	return nil

@@ -467,3 +467,43 @@ func TestProtocolIdempotentUnderDuplication(t *testing.T) {
 		}
 	}
 }
+
+// TestClientReplicaPhaseReconciliation cross-checks the client-side and
+// replica-side counter sets: on a loss-free instant network with full
+// fanout, every client phase reaches every replica as exactly one request,
+// so per replica Queries+Updates == client Phases, and summed over the
+// group == client MsgsSent. The update split must also account for every
+// update: Adoptions + StaleRejects + OrderViolations == Updates.
+func TestClientReplicaPhaseReconciliation(t *testing.T) {
+	const n = 3
+	c := newTestCluster(t, n, netsim.Config{Seed: 11})
+	cli := c.client()
+	ctx := shortCtx(t)
+
+	for i := 0; i < 5; i++ {
+		mustWrite(t, ctx, cli, "x", fmt.Sprintf("v%d", i))
+		_ = mustRead(t, ctx, cli, "x")
+		_ = mustRead(t, ctx, cli, "never-written")
+	}
+	time.Sleep(50 * time.Millisecond) // let in-flight requests land
+
+	cs := cli.Metrics()
+	var sumHandled int64
+	for _, r := range c.replicas {
+		rm := r.ReplicaMetrics()
+		if handled := rm.Queries + rm.Updates; handled != cs.Phases {
+			t.Errorf("replica %d handled %d requests, client ran %d phases", r.ID(), handled, cs.Phases)
+		}
+		if got := rm.Adoptions + rm.StaleRejects + rm.OrderViolations; got != rm.Updates {
+			t.Errorf("replica %d: adoptions %d + stale %d + violations %d != updates %d",
+				r.ID(), rm.Adoptions, rm.StaleRejects, rm.OrderViolations, rm.Updates)
+		}
+		if rm.Registers != 1 { // only "x" was ever written
+			t.Errorf("replica %d stores %d registers, want 1", r.ID(), rm.Registers)
+		}
+		sumHandled += rm.Queries + rm.Updates
+	}
+	if sumHandled != cs.MsgsSent {
+		t.Errorf("replicas handled %d requests in total, client sent %d", sumHandled, cs.MsgsSent)
+	}
+}

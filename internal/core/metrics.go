@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
 
 // Metrics holds a client's operation counters. All fields are updated
 // atomically; read them through snapshot.
@@ -60,5 +64,45 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		BadMsgs:           m.badMsgs.Load(),
 		Retransmits:       m.retransmits.Load(),
 		MaskRetries:       m.maskRetries.Load(),
+	}
+}
+
+// latencySet holds a client's always-on latency histograms. Recording is
+// a few atomic adds per operation, cheap enough to never gate behind an
+// option; spans (WithTracer) carry the expensive per-phase detail instead.
+type latencySet struct {
+	read        obs.Histogram // whole Read operations (both phases)
+	write       obs.Histogram // whole Write operations (incl. query phase)
+	phaseQuery  obs.Histogram // individual query phases
+	phaseUpdate obs.Histogram // individual update / write-back phases
+}
+
+// LatencySnapshot is a point-in-time copy of a client's latency
+// histograms. Only completed (error-free) operations and phases are
+// recorded; failures are visible in the counters instead.
+type LatencySnapshot struct {
+	Read        obs.HistSnapshot
+	Write       obs.HistSnapshot
+	PhaseQuery  obs.HistSnapshot
+	PhaseUpdate obs.HistSnapshot
+}
+
+// Merge folds another client's snapshot into this one, histogram by
+// histogram, for fleet-wide quantiles.
+func (s LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
+	return LatencySnapshot{
+		Read:        s.Read.Merge(o.Read),
+		Write:       s.Write.Merge(o.Write),
+		PhaseQuery:  s.PhaseQuery.Merge(o.PhaseQuery),
+		PhaseUpdate: s.PhaseUpdate.Merge(o.PhaseUpdate),
+	}
+}
+
+func (l *latencySet) snapshot() LatencySnapshot {
+	return LatencySnapshot{
+		Read:        l.read.Snapshot(),
+		Write:       l.write.Snapshot(),
+		PhaseQuery:  l.phaseQuery.Snapshot(),
+		PhaseUpdate: l.phaseUpdate.Snapshot(),
 	}
 }

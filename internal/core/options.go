@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/quorum"
 )
 
@@ -88,6 +89,19 @@ func WithRetransmit(interval time.Duration) ClientOption {
 // than wait-free, the standard trade-off for this Byzantine extension.
 func WithMaskingFaults(f int) ClientOption {
 	return func(c *Client) { c.maskF = f }
+}
+
+// WithTracer attaches a span tracer to the client. Every Read and Write
+// emits an operation span, and every broadcast-and-collect phase emits a
+// child span carrying the quorum-assembly detail (targets contacted,
+// quorum size, first/last reply offsets, per-replica reply RTTs). The
+// default is no tracer: spans cost nothing unless one is attached. Latency
+// histograms (Latency) are always on regardless.
+//
+// Sinks in internal/obs: NewRing for tests and tools, NewJSONL for offline
+// analysis, Multi to fan out. A nil t keeps tracing disabled.
+func WithTracer(t obs.Tracer) ClientOption {
+	return func(c *Client) { c.tracer = t }
 }
 
 // WithBoundedLabels switches the client to the bounded cyclic label mode

@@ -34,11 +34,12 @@ type Replica struct {
 	started atomic.Bool
 	done    chan struct{}
 
-	queries    atomic.Int64 // KindReadQuery handled
-	updates    atomic.Int64 // KindWrite handled
-	adoptions  atomic.Int64 // updates that replaced the stored pair
-	violations atomic.Int64 // order-comparison failures (bounded mode)
-	badMsgs    atomic.Int64 // undecodable payloads
+	queries      atomic.Int64 // KindReadQuery handled
+	updates      atomic.Int64 // KindWrite handled
+	adoptions    atomic.Int64 // updates that replaced the stored pair
+	staleRejects atomic.Int64 // updates carrying a tag at or below the stored one
+	violations   atomic.Int64 // order-comparison failures (bounded mode)
+	badMsgs      atomic.Int64 // undecodable payloads
 }
 
 // ReplicaOption configures a replica.
@@ -155,6 +156,11 @@ func (r *Replica) handleWrite(from types.NodeID, m message) {
 		r.regs[m.Reg] = regEntry{tag: m.Tag, val: m.Val}
 		r.adoptions.Add(1)
 		adopted = true
+	default:
+		// Stale or duplicate update: the stored pair is at least as new.
+		// Normal under read write-backs and retransmission, but the rate
+		// is a direct measure of write contention.
+		r.staleRejects.Add(1)
 	}
 	if adopted && r.persist != nil {
 		// Log (and fsync) before acking: an acknowledged update must
@@ -200,5 +206,42 @@ func (r *Replica) Stats() ReplicaStats {
 		Adoptions:  r.adoptions.Load(),
 		Violations: r.violations.Load(),
 		BadMsgs:    r.badMsgs.Load(),
+	}
+}
+
+// ReplicaMetrics is the replica-side counterpart of the client's
+// MetricsSnapshot: the full server-side counter set, plus the store size.
+// Every client phase lands here as exactly one query or update per
+// contacted replica, so the two sides reconcile (see core_test.go).
+type ReplicaMetrics struct {
+	// Queries and Updates count handled requests by kind; their sum is the
+	// number of protocol requests this replica answered.
+	Queries, Updates int64
+	// Adoptions counts updates that replaced the stored pair ("applies");
+	// StaleRejects counts updates whose tag was at or below the stored one
+	// (write-back echoes, retransmissions, losing concurrent writers).
+	// Adoptions + StaleRejects + OrderViolations == Updates.
+	Adoptions, StaleRejects int64
+	// OrderViolations counts bounded-mode comparisons outside the sound
+	// window; BadMsgs counts undecodable payloads.
+	OrderViolations, BadMsgs int64
+	// Registers is the store size: how many named registers hold a pair.
+	Registers int
+}
+
+// ReplicaMetrics returns a snapshot of the replica's counters and store
+// size.
+func (r *Replica) ReplicaMetrics() ReplicaMetrics {
+	r.mu.Lock()
+	registers := len(r.regs)
+	r.mu.Unlock()
+	return ReplicaMetrics{
+		Queries:         r.queries.Load(),
+		Updates:         r.updates.Load(),
+		Adoptions:       r.adoptions.Load(),
+		StaleRejects:    r.staleRejects.Load(),
+		OrderViolations: r.violations.Load(),
+		BadMsgs:         r.badMsgs.Load(),
+		Registers:       registers,
 	}
 }

@@ -24,6 +24,10 @@ type Options struct {
 	Quick bool
 	// Seed feeds every simulation in the run.
 	Seed int64
+	// TraceWriter, when non-nil, receives the JSONL span stream from the
+	// experiments that trace their workload (L1). The caller owns the
+	// writer; experiments only flush.
+	TraceWriter io.Writer
 }
 
 func (o Options) seed() int64 {
@@ -130,6 +134,7 @@ func All() []Runner {
 		{"F6", "shared-memory algorithms over the emulation", F6Applications},
 		{"T6", "Byzantine replicas vs masking quorums (extension)", T6Byzantine},
 		{"F7", "ablations: phase fanout and retransmission", F7Ablations},
+		{"L1", "latency profile per operation kind (obs histograms)", L1LatencyProfile},
 	}
 }
 

@@ -273,9 +273,43 @@ func TestF7AblationShapes(t *testing.T) {
 	}
 }
 
+func TestL1LatencyShapes(t *testing.T) {
+	var trace bytes.Buffer
+	opts := quick()
+	opts.TraceWriter = &trace
+	tbl, err := L1LatencyProfile(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50 := make(map[string]float64)
+	for _, row := range tbl.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(row[2], "µs"), 64)
+		if err != nil {
+			t.Fatalf("bad p50 cell %q", row[2])
+		}
+		p50[row[0]] = v
+	}
+	mw, sw := p50["write (MW)"], p50["write (SW)"]
+	if mw == 0 || sw == 0 {
+		t.Fatalf("missing rows: %v", p50)
+	}
+	// Two phases vs one: MW write p50 should be roughly twice SW write p50.
+	if mw < 1.4*sw {
+		t.Errorf("MW write p50 %.0fµs not ~2x SW write p50 %.0fµs", mw, sw)
+	}
+	if trace.Len() == 0 {
+		t.Error("TraceWriter received no spans")
+	}
+	for _, line := range strings.Split(strings.TrimSpace(trace.String()), "\n") {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("trace line is not a JSON object: %q", line)
+		}
+	}
+}
+
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")

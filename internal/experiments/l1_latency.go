@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/obs"
+)
+
+// L1LatencyProfile measures where the two-phase structure spends its time.
+// Unlike T2, which counts rounds, L1 reports the realized latency
+// distribution per operation kind — read, multi-writer write, single-writer
+// write — and per phase kind, straight from the internal/obs histograms the
+// clients record into on every operation. The phase rows decompose the
+// operation rows: a read is one query phase plus (usually) one write-back;
+// an MW write is one query plus one update; an SW write is a single update
+// phase, which is the paper's one-round-trip claim made visible as a
+// distribution rather than a ratio.
+//
+// With Options.TraceWriter set, the workload's operation and phase spans
+// (quorum sizes, first/last reply offsets, per-replica RTTs) stream out as
+// JSONL for offline analysis.
+func L1LatencyProfile(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "L1",
+		Title:   "latency profile per operation kind (p50/p95/p99/max)",
+		Claim:   "read ≈ 2 phases, MW write ≈ 2 phases, SW write ≈ 1 phase, each phase ≈ one majority RTT",
+		Headers: []string{"kind", "ops", "p50", "p95", "p99", "max", "mean"},
+	}
+	const n = 5
+	ops := o.scale(300, 40)
+
+	// Delays wide enough that the quantiles separate: a phase waits for
+	// the majority-completing reply, so its distribution is a visible
+	// order statistic of the per-message delays below.
+	cl := newSimCluster(n, netsim.Config{
+		Seed:     o.seed(),
+		MinDelay: 200 * time.Microsecond,
+		MaxDelay: 2 * time.Millisecond,
+	})
+	defer cl.close()
+
+	var tracer obs.Tracer
+	var jsonl *obs.JSONL
+	if o.TraceWriter != nil {
+		jsonl = obs.NewJSONL(o.TraceWriter)
+		tracer = jsonl
+	}
+	copts := func(extra ...core.ClientOption) []core.ClientOption {
+		if tracer != nil {
+			extra = append(extra, core.WithTracer(tracer))
+		}
+		return extra
+	}
+
+	writer, err := cl.client(copts()...)
+	if err != nil {
+		return nil, err
+	}
+	reader, err := cl.client(copts()...)
+	if err != nil {
+		return nil, err
+	}
+	swWriter, err := cl.client(copts(core.WithSingleWriter())...)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	for i := 0; i < ops; i++ {
+		if err := writer.Write(ctx, "mw", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			return nil, fmt.Errorf("mw write %d: %w", i, err)
+		}
+		if _, err := reader.Read(ctx, "mw"); err != nil {
+			return nil, fmt.Errorf("read %d: %w", i, err)
+		}
+		if err := swWriter.Write(ctx, "sw", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			return nil, fmt.Errorf("sw write %d: %w", i, err)
+		}
+	}
+
+	row := func(kind string, s obs.HistSnapshot) {
+		tbl.AddRow(kind, fmt.Sprintf("%d", s.Count),
+			us(s.Quantile(0.50)), us(s.Quantile(0.95)), us(s.Quantile(0.99)),
+			us(s.MaxValue()), us(s.Mean()))
+	}
+	row("read", reader.Latency().Read)
+	row("write (MW)", writer.Latency().Write)
+	row("write (SW)", swWriter.Latency().Write)
+
+	// Phase rows merge every client's histograms: the decomposition holds
+	// fleet-wide, not just per client.
+	merged := writer.Latency().Merge(reader.Latency()).Merge(swWriter.Latency())
+	row("phase: query", merged.PhaseQuery)
+	row("phase: update/write-back", merged.PhaseUpdate)
+
+	// The network's own delivery-delay distribution anchors the phase
+	// numbers: a phase should cost roughly two one-way delays (request +
+	// the quorum-completing reply).
+	delay := cl.net.Stats().Delay
+	tbl.Notes = append(tbl.Notes, fmt.Sprintf(
+		"one-way delivery delay: p50=%s p95=%s p99=%s (n=%d msgs)",
+		us(delay.Quantile(0.50)), us(delay.Quantile(0.95)), us(delay.Quantile(0.99)), delay.Count))
+	tbl.Notes = append(tbl.Notes,
+		"sourced from internal/obs histograms recorded by the clients, not ad-hoc timing")
+	if jsonl != nil {
+		if err := jsonl.Close(); err != nil {
+			return nil, fmt.Errorf("flush trace: %w", err)
+		}
+		tbl.Notes = append(tbl.Notes, "operation/phase spans written as JSONL via -trace-out")
+	}
+	return tbl, nil
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -40,6 +41,13 @@ type Config struct {
 }
 
 // Stats is a snapshot of network counters.
+//
+// Counters are scoped to a stats epoch: ResetStats starts a new epoch, and
+// a message is accounted to the epoch in which it was *sent*. A message in
+// flight across a reset is still delivered, but lands in neither the old
+// snapshot (already taken) nor the new epoch's counters — so benches that
+// reset between phases never see a phase's counters perturbed by the
+// previous phase's stragglers.
 type Stats struct {
 	Sent      int64
 	Delivered int64
@@ -50,6 +58,13 @@ type Stats struct {
 	// protocol layer uses as its message-kind tag. This is how the message
 	// complexity experiments (T1) count round trips exactly.
 	ByKind map[byte]int64
+	// BytesByKind sums payload bytes of sent messages per kind byte, for
+	// bandwidth accounting alongside ByKind's message counts.
+	BytesByKind map[byte]int64
+	// Delay is the distribution of realized send-to-delivery latencies
+	// (sampled delay plus scheduling slop) of this epoch's delivered
+	// messages.
+	Delay obs.HistSnapshot
 }
 
 // Net is a simulated network. All methods are safe for concurrent use.
@@ -64,11 +79,14 @@ type Net struct {
 	partition  map[types.NodeID]int // node -> group; empty map means no partition
 	delayScale float64              // multiplies the sampled delay; 1 by default
 
-	sent       int64
-	delivered  int64
-	dropped    int64
-	duplicated int64
-	byKind     map[byte]int64
+	epoch       uint64 // advanced by ResetStats; messages carry their send epoch
+	sent        int64
+	delivered   int64
+	dropped     int64
+	duplicated  int64
+	byKind      map[byte]int64
+	bytesByKind map[byte]int64
+	delay       *obs.Histogram // per-epoch; swapped out by ResetStats
 
 	closed bool
 	wg     sync.WaitGroup
@@ -86,14 +104,16 @@ func New(cfg Config) *Net {
 		cfg.MaxDelay = cfg.MinDelay
 	}
 	return &Net{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(seed)),
-		nodes:      make(map[types.NodeID]*endpoint),
-		crashed:    make(map[types.NodeID]bool),
-		blocked:    make(map[link]bool),
-		partition:  make(map[types.NodeID]int),
-		delayScale: 1,
-		byKind:     make(map[byte]int64),
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(seed)),
+		nodes:       make(map[types.NodeID]*endpoint),
+		crashed:     make(map[types.NodeID]bool),
+		blocked:     make(map[link]bool),
+		partition:   make(map[types.NodeID]int),
+		delayScale:  1,
+		byKind:      make(map[byte]int64),
+		bytesByKind: make(map[byte]int64),
+		delay:       new(obs.Histogram),
 	}
 }
 
@@ -204,7 +224,7 @@ func (n *Net) SetDelayScale(s float64) {
 	n.delayScale = s
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the current epoch's counters.
 func (n *Net) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -212,15 +232,30 @@ func (n *Net) Stats() Stats {
 	for k, v := range n.byKind {
 		byKind[k] = v
 	}
-	return Stats{Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped, Duplicated: n.duplicated, ByKind: byKind}
+	bytesByKind := make(map[byte]int64, len(n.bytesByKind))
+	for k, v := range n.bytesByKind {
+		bytesByKind[k] = v
+	}
+	return Stats{
+		Sent: n.sent, Delivered: n.delivered, Dropped: n.dropped, Duplicated: n.duplicated,
+		ByKind: byKind, BytesByKind: bytesByKind, Delay: n.delay.Snapshot(),
+	}
 }
 
-// ResetStats zeroes the counters (used between benchmark phases).
+// ResetStats zeroes the counters by starting a new stats epoch (used
+// between benchmark phases). The reset is atomic with respect to in-flight
+// deliveries: a message is accounted to the epoch it was sent in, so
+// deliveries racing the reset update the *old* epoch's (now discarded)
+// counters and histogram, never the new epoch's. See Stats for the full
+// contract.
 func (n *Net) ResetStats() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.epoch++
 	n.sent, n.delivered, n.dropped, n.duplicated = 0, 0, 0, 0
 	n.byKind = make(map[byte]int64)
+	n.bytesByKind = make(map[byte]int64)
+	n.delay = new(obs.Histogram)
 }
 
 // Close shuts down the network and all endpoints, waiting for in-flight
@@ -261,6 +296,7 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 	n.sent++
 	if len(payload) > 0 {
 		n.byKind[payload[0]]++
+		n.bytesByKind[payload[0]] += int64(len(payload))
 	}
 
 	drop := false
@@ -289,30 +325,40 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 	for i := range delays {
 		delays[i] = n.sampleDelayLocked()
 	}
+	// Pin the message to this epoch's accounting: deliveries racing a
+	// ResetStats record into this (old) histogram and are not counted in
+	// the new epoch's counters.
+	epoch, delayHist := n.epoch, n.delay
 	n.wg.Add(copies)
 	n.mu.Unlock()
 
+	sentAt := time.Now()
 	msg := transport.Message{From: from, To: to, Payload: payload}
 	for _, delay := range delays {
 		if delay <= 0 {
-			n.deliver(dst, to, msg)
+			n.deliver(dst, to, msg, epoch, delayHist, sentAt)
 			continue
 		}
-		time.AfterFunc(delay, func() { n.deliver(dst, to, msg) })
+		time.AfterFunc(delay, func() { n.deliver(dst, to, msg, epoch, delayHist, sentAt) })
 	}
 	return nil
 }
 
-func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message) {
+func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message, epoch uint64, delayHist *obs.Histogram, sentAt time.Time) {
 	defer n.wg.Done()
 	n.mu.Lock()
 	if n.closed || n.crashed[to] {
-		n.dropped++
+		if epoch == n.epoch {
+			n.dropped++
+		}
 		n.mu.Unlock()
 		return
 	}
-	n.delivered++
+	if epoch == n.epoch {
+		n.delivered++
+	}
 	n.mu.Unlock()
+	delayHist.Record(time.Since(sentAt))
 	dst.mbox.Put(msg)
 }
 

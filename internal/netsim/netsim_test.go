@@ -325,3 +325,87 @@ func TestDupProbDeliversTwice(t *testing.T) {
 		t.Fatalf("stats %+v", st)
 	}
 }
+
+func TestBytesByKind(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a := n.Node(1)
+	n.Node(2)
+
+	if err := a.Send(2, []byte{7, 1, 2, 3}); err != nil { // 4 bytes of kind 7
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte{7}); err != nil { // 1 byte of kind 7
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte{9, 0}); err != nil { // 2 bytes of kind 9
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.BytesByKind[7] != 5 || st.BytesByKind[9] != 2 {
+		t.Fatalf("BytesByKind=%v", st.BytesByKind)
+	}
+}
+
+func TestDelayHistogramCountsDeliveries(t *testing.T) {
+	n := New(Config{Seed: 5, MinDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond})
+	defer n.Close()
+	a := n.Node(1)
+	n.Node(2)
+
+	const msgs = 10
+	for i := 0; i < msgs; i++ {
+		if err := a.Send(2, []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < msgs; i++ {
+		if _, _, ok := waitMsg(t, n, 2, time.Second); !ok {
+			t.Fatalf("delivery %d missing", i)
+		}
+	}
+	st := n.Stats()
+	if st.Delay.Count != msgs {
+		t.Fatalf("delay histogram count=%d, want %d", st.Delay.Count, msgs)
+	}
+	// Realized delay = sampled delay + scheduling slop, so it can only be
+	// at or above the configured minimum.
+	if p0 := st.Delay.Quantile(0); p0 < time.Millisecond {
+		t.Fatalf("min realized delay %v below configured MinDelay", p0)
+	}
+}
+
+// TestResetStatsEpoch: a message in flight across ResetStats must not leak
+// into the new epoch's counters or delay histogram — the reset's contract.
+func TestResetStatsEpoch(t *testing.T) {
+	n := New(Config{Seed: 3, MinDelay: 20 * time.Millisecond, MaxDelay: 30 * time.Millisecond})
+	defer n.Close()
+	a := n.Node(1)
+	n.Node(2)
+
+	if err := a.Send(2, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	n.ResetStats() // message from the old epoch still in flight
+
+	if _, _, ok := waitMsg(t, n, 2, time.Second); !ok {
+		t.Fatal("in-flight message must still be delivered after reset")
+	}
+	st := n.Stats()
+	if st.Sent != 0 || st.Delivered != 0 || st.Delay.Count != 0 {
+		t.Fatalf("old-epoch delivery leaked into new epoch: %+v", st)
+	}
+
+	// The new epoch accounts its own traffic normally.
+	if err := a.Send(2, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := waitMsg(t, n, 2, time.Second); !ok {
+		t.Fatal("new-epoch message not delivered")
+	}
+	st = n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Delay.Count != 1 {
+		t.Fatalf("new epoch counters wrong: sent=%d delivered=%d delay.count=%d",
+			st.Sent, st.Delivered, st.Delay.Count)
+	}
+}

@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// Labels name one metric series. Serialization sorts keys, so equal maps
+// always render identically.
+type Labels map[string]string
+
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%q", k, l[k])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// renderWith appends le to the label set without mutating it.
+func (l Labels) renderWith(extraKey, extraVal string) string {
+	merged := make(Labels, len(l)+1)
+	for k, v := range l {
+		merged[k] = v
+	}
+	merged[extraKey] = extraVal
+	return merged.render()
+}
+
+// defaultLE is the exported histogram's upper-bound ladder: powers of four
+// from 1µs to ~17s (in nanoseconds). Latencies in this system span from
+// sub-millisecond simulated RTTs to multi-second timeout tails, so a 4x
+// ladder keeps the page short while still separating the regimes.
+var defaultLE = []int64{
+	1_000, 4_000, 16_000, 64_000, 256_000,
+	1_024_000, 4_096_000, 16_384_000, 65_536_000, 262_144_000,
+	1_048_576_000, 4_194_304_000, 16_777_216_000,
+}
+
+// Writer accumulates one scrape's worth of metrics in Prometheus text
+// exposition format (version 0.0.4). Calls for the same metric name must be
+// contiguous (standard Prometheus grouping); # HELP / # TYPE headers are
+// emitted once per name.
+type Writer struct {
+	b    strings.Builder
+	seen map[string]bool
+}
+
+// NewWriter creates an empty Writer.
+func NewWriter() *Writer {
+	return &Writer{seen: make(map[string]bool)}
+}
+
+func (w *Writer) header(name, help, typ string) {
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Counter writes one cumulative counter sample. Names should end in
+// `_total` by convention.
+func (w *Writer) Counter(name, help string, labels Labels, v int64) {
+	w.header(name, help, "counter")
+	fmt.Fprintf(&w.b, "%s%s %d\n", name, labels.render(), v)
+}
+
+// Gauge writes one gauge sample.
+func (w *Writer) Gauge(name, help string, labels Labels, v float64) {
+	w.header(name, help, "gauge")
+	fmt.Fprintf(&w.b, "%s%s %g\n", name, labels.render(), v)
+}
+
+// Histogram writes a full histogram family — `name_bucket` lines over the
+// default upper-bound ladder plus +Inf, `name_sum`, and `name_count`.
+// Durations are exported in seconds, the Prometheus base unit.
+func (w *Writer) Histogram(name, help string, labels Labels, s HistSnapshot) {
+	w.header(name, help, "histogram")
+	for _, le := range defaultLE {
+		fmt.Fprintf(&w.b, "%s_bucket%s %d\n",
+			name, labels.renderWith("le", formatSeconds(le)), s.CumulativeLE(le))
+	}
+	fmt.Fprintf(&w.b, "%s_bucket%s %d\n", name, labels.renderWith("le", "+Inf"), s.Count)
+	fmt.Fprintf(&w.b, "%s_sum%s %g\n", name, labels.render(), float64(s.Sum)/1e9)
+	fmt.Fprintf(&w.b, "%s_count%s %d\n", name, labels.render(), s.Count)
+}
+
+// String returns the accumulated exposition page.
+func (w *Writer) String() string { return w.b.String() }
+
+// formatSeconds renders nanoseconds as a seconds le label without trailing
+// zeros (1_024_000 -> "0.001024").
+func formatSeconds(ns int64) string {
+	s := fmt.Sprintf("%.9f", float64(ns)/1e9)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimSuffix(s, ".")
+}
+
+// Gatherer fills a Writer with the current metric values. It is called
+// once per scrape; implementations snapshot live counters inside the call.
+type Gatherer func(*Writer)
+
+// Expose returns an http.Handler serving the observability endpoints:
+//
+//	/metrics — the Gatherer's output in Prometheus text format
+//	/healthz — 200 "ok" while the process is serving
+//
+// Mount it on any mux or hand it straight to http.Serve; see
+// cmd/abd-node's -metrics-addr flag for the reference deployment.
+func Expose(g Gatherer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
+		w := NewWriter()
+		g(w)
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = rw.Write([]byte(w.String()))
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = rw.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestQuantileAccuracy compares histogram quantiles against the exact
+// sorted-sample quantiles on 10k log-uniform samples: the bucketing bounds
+// the relative error by the sub-bucket width.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 10_000
+	samples := make([]time.Duration, n)
+	var h Histogram
+	for i := range samples {
+		// Log-uniform over ~1µs..1s, the range real phases live in.
+		d := time.Duration(math.Pow(10, 3+rng.Float64()*6)) // 10^3 .. 10^9 ns
+		samples[i] = d
+		h.Record(d)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		exact := samples[int(p*float64(n-1))]
+		got := h.Quantile(p)
+		relErr := abs(float64(got-exact)) / float64(exact)
+		if relErr > 0.05 {
+			t.Errorf("p=%v: got %v, exact %v, rel err %.3f > 5%%", p, got, exact, relErr)
+		}
+	}
+	if h.Count() != n {
+		t.Errorf("count = %d, want %d", h.Count(), n)
+	}
+	if got, want := h.Snapshot().MaxValue(), samples[n-1]; got != want {
+		t.Errorf("max = %v, want %v", got, want)
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+// TestSmallValuesExact: values under 2*subCount nanoseconds have unit-width
+// buckets, so quantiles there are exact.
+func TestSmallValuesExact(t *testing.T) {
+	var h Histogram
+	for v := 1; v <= 50; v++ {
+		h.Record(time.Duration(v))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("p0 = %v, want 1ns", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("p100 = %v, want 50ns", got)
+	}
+}
+
+// TestMergeAssociativity: (a+b)+c must equal a+(b+c) bucket-for-bucket,
+// so per-client snapshots can be folded in any order.
+func TestMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a, b, c Histogram
+	for i := 0; i < 1000; i++ {
+		a.Record(time.Duration(rng.Int63n(1e6)))
+		b.Record(time.Duration(rng.Int63n(1e9)))
+		c.Record(time.Duration(rng.Int63n(1e3)))
+	}
+	sa, sb, sc := a.Snapshot(), b.Snapshot(), c.Snapshot()
+	left := sa.Merge(sb).Merge(sc)
+	right := sa.Merge(sb.Merge(sc))
+
+	if left.Count != right.Count || left.Sum != right.Sum || left.Max != right.Max {
+		t.Fatalf("summary mismatch: %+v vs %+v",
+			[3]int64{left.Count, left.Sum, left.Max}, [3]int64{right.Count, right.Sum, right.Max})
+	}
+	for i := range left.Buckets {
+		if left.Buckets[i] != right.Buckets[i] {
+			t.Fatalf("bucket %d: %d vs %d", i, left.Buckets[i], right.Buckets[i])
+		}
+	}
+	if left.Count != 3000 {
+		t.Fatalf("merged count = %d, want 3000", left.Count)
+	}
+	// A merge with the zero snapshot is the identity on every counter.
+	id := sa.Merge(HistSnapshot{})
+	for i := range id.Buckets {
+		if id.Buckets[i] != sa.Buckets[i] {
+			t.Fatalf("zero-merge changed bucket %d", i)
+		}
+	}
+}
+
+// TestConcurrentRecord exercises the lock-free path under the race
+// detector and checks no observation is lost.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(rng.Int63n(1e8)))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	s := h.Snapshot()
+	var sum int64
+	for _, c := range s.Buckets {
+		sum += c
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}
+
+// TestCumulativeLE checks the Prometheus bucket counts are monotone and
+// consistent with the total.
+func TestCumulativeLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for i := 0; i < 5000; i++ {
+		h.Record(time.Duration(rng.Int63n(2e9)))
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for _, le := range defaultLE {
+		c := s.CumulativeLE(le)
+		if c < prev {
+			t.Fatalf("CumulativeLE not monotone at le=%d: %d < %d", le, c, prev)
+		}
+		prev = c
+	}
+	if last := s.CumulativeLE(1 << 62); last != s.Count {
+		t.Fatalf("CumulativeLE(huge) = %d, want count %d", last, s.Count)
+	}
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one traced interval: either a whole client operation (a read or a
+// write) or one of its broadcast-and-collect phases. Phase spans point at
+// their operation span via Parent and carry the quorum-assembly detail the
+// latency analysis needs: how many replicas were contacted, how large the
+// satisfying quorum was, when the first and the quorum-completing replies
+// arrived, and every counted replica's reply round-trip offset.
+type Span struct {
+	// ID is unique within the process; Parent is the enclosing operation
+	// span's ID, or 0 for root spans.
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	// Kind is "read", "write", or "phase". Phase spans name their role in
+	// Phase: "query", "update", or "write-back".
+	Kind  string `json:"kind"`
+	Phase string `json:"phase,omitempty"`
+	// Reg is the register operated on; Node the emitting client's node id.
+	Reg  string `json:"reg"`
+	Node int64  `json:"node"`
+
+	Start time.Time     `json:"start"`
+	Dur   time.Duration `json:"dur_ns"`
+	// Err is set when the interval ended in an error (no quorum, closed).
+	Err string `json:"err,omitempty"`
+
+	// Phase-only fields.
+	Targets    int                     `json:"targets,omitempty"`     // replicas contacted
+	Quorum     int                     `json:"quorum,omitempty"`      // replies when pred was satisfied
+	FirstReply time.Duration           `json:"first_reply,omitempty"` // offset of first counted reply
+	LastReply  time.Duration           `json:"last_reply,omitempty"`  // offset of the quorum-completing reply
+	ReplicaRTT map[int64]time.Duration `json:"replica_rtt,omitempty"` // per-replica reply offsets
+}
+
+// Tracer receives completed spans. Implementations must be safe for
+// concurrent Emit calls; Emit must not block on the caller's hot path.
+type Tracer interface {
+	Emit(Span)
+}
+
+var spanID atomic.Uint64
+
+// NextID returns a process-unique span id (never 0).
+func NextID() uint64 { return spanID.Add(1) }
+
+// NopTracer discards every span; it is the implicit default everywhere.
+type NopTracer struct{}
+
+// Emit discards the span.
+func (NopTracer) Emit(Span) {}
+
+// Ring is a fixed-capacity in-memory tracer for tests and tools: the last
+// cap spans are kept, older ones are overwritten.
+type Ring struct {
+	mu    sync.Mutex
+	spans []Span
+	next  int   // write cursor
+	total int64 // lifetime emit count
+}
+
+// NewRing creates a ring tracer keeping the most recent capacity spans
+// (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{spans: make([]Span, 0, capacity)}
+}
+
+// Emit stores the span, overwriting the oldest when full.
+func (r *Ring) Emit(s Span) {
+	r.mu.Lock()
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, s)
+	} else {
+		r.spans[r.next] = s
+	}
+	r.next = (r.next + 1) % cap(r.spans)
+	r.total++
+	r.mu.Unlock()
+}
+
+// Spans returns the retained spans, oldest first.
+func (r *Ring) Spans() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) < cap(r.spans) {
+		return append([]Span(nil), r.spans...)
+	}
+	out := make([]Span, 0, len(r.spans))
+	out = append(out, r.spans[r.next:]...)
+	out = append(out, r.spans[:r.next]...)
+	return out
+}
+
+// Total returns how many spans were ever emitted (retained or not).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONL writes each span as one JSON line, for offline analysis (jq,
+// pandas). Writes are buffered; call Close to flush.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL creates a JSONL tracer writing to w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit writes the span as one line. The first write error sticks and
+// silences later writes; Close reports it.
+func (j *JSONL) Emit(s Span) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = j.enc.Encode(s)
+	}
+	j.mu.Unlock()
+}
+
+// Close flushes the buffer and returns the first error seen.
+func (j *JSONL) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if ferr := j.w.Flush(); j.err == nil {
+		j.err = ferr
+	}
+	return j.err
+}
+
+// Multi fans every span out to each tracer in order.
+type Multi []Tracer
+
+// Emit forwards the span to every tracer.
+func (m Multi) Emit(s Span) {
+	for _, t := range m {
+		t.Emit(s)
+	}
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 1; i <= 10; i++ {
+		r.Emit(Span{ID: uint64(i), Kind: "read"})
+	}
+	got := r.Spans()
+	if len(got) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(7 + i); s.ID != want {
+			t.Errorf("span[%d].ID = %d, want %d (oldest-first)", i, s.ID, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	for i := 1; i <= 3; i++ {
+		r.Emit(Span{ID: uint64(i)})
+	}
+	got := r.Spans()
+	if len(got) != 3 || got[0].ID != 1 || got[2].ID != 3 {
+		t.Fatalf("partial ring = %v", got)
+	}
+}
+
+func TestRingConcurrentEmit(t *testing.T) {
+	r := NewRing(64)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit(Span{ID: NextID(), Node: int64(g)})
+				if i%100 == 0 {
+					_ = r.Spans() // concurrent reads must be safe too
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != goroutines*per {
+		t.Fatalf("total = %d, want %d", r.Total(), goroutines*per)
+	}
+	if got := r.Spans(); len(got) != 64 {
+		t.Fatalf("retained %d, want 64", len(got))
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJSONL(&buf)
+	in := Span{
+		ID: 7, Parent: 3, Kind: "phase", Phase: "query", Reg: "x", Node: 42,
+		Start: time.Unix(100, 0).UTC(), Dur: 250 * time.Microsecond,
+		Targets: 5, Quorum: 3,
+		FirstReply: 80 * time.Microsecond, LastReply: 240 * time.Microsecond,
+		ReplicaRTT: map[int64]time.Duration{0: 80 * time.Microsecond, 2: 240 * time.Microsecond},
+	}
+	j.Emit(in)
+	j.Emit(Span{ID: 8, Kind: "read", Reg: "x"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	var first Span
+	for sc.Scan() {
+		var s Span
+		if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines+1, err)
+		}
+		if lines == 0 {
+			first = s
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d lines, want 2", lines)
+	}
+	if first.ID != 7 || first.Phase != "query" || first.Quorum != 3 || first.ReplicaRTT[2] != 240*time.Microsecond {
+		t.Fatalf("round-trip mismatch: %+v", first)
+	}
+}
+
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("disk full")
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	j := NewJSONL(&errWriter{})
+	for i := 0; i < 10_000; i++ { // enough to overflow the bufio buffer
+		j.Emit(Span{ID: uint64(i), Reg: "r"})
+	}
+	if err := j.Close(); err == nil {
+		t.Fatal("want sticky write error, got nil")
+	}
+}
+
+func TestMultiAndNop(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := Multi{NopTracer{}, a, b}
+	m.Emit(Span{ID: 1})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("multi fan-out: a=%d b=%d", a.Total(), b.Total())
+	}
+}
+
+func TestNextIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				id := NextID()
+				mu.Lock()
+				if id == 0 || seen[id] {
+					t.Errorf("duplicate or zero id %d", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -57,6 +57,54 @@ type Endpoint struct {
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
+
+	framesSent    atomic.Int64
+	framesRecv    atomic.Int64
+	bytesSent     atomic.Int64
+	bytesRecv     atomic.Int64
+	dials         atomic.Int64
+	dialFailures  atomic.Int64
+	accepts       atomic.Int64
+	writeFailures atomic.Int64
+}
+
+// Stats is a snapshot of an endpoint's transport counters.
+type Stats struct {
+	// FramesSent/BytesSent count successfully written frames (the frame
+	// header's 8 bytes included); a frame that failed mid-write still
+	// counts as sent plus one WriteFailure, mirroring Send's loss
+	// semantics.
+	FramesSent, BytesSent int64
+	// FramesRecv/BytesRecv count fully parsed inbound frames.
+	FramesRecv, BytesRecv int64
+	// Dials counts successful outbound connections, DialFailures failed
+	// attempts (each surfaces to the protocol as message loss).
+	Dials, DialFailures int64
+	// Accepts counts inbound connections taken from the listener.
+	Accepts int64
+	// WriteFailures counts frame writes that errored (connection then
+	// dropped and redialed lazily).
+	WriteFailures int64
+	// ConnsActive is the current number of cached connections.
+	ConnsActive int
+}
+
+// Stats returns a snapshot of the endpoint's counters.
+func (e *Endpoint) Stats() Stats {
+	e.mu.Lock()
+	active := len(e.conns)
+	e.mu.Unlock()
+	return Stats{
+		FramesSent:    e.framesSent.Load(),
+		BytesSent:     e.bytesSent.Load(),
+		FramesRecv:    e.framesRecv.Load(),
+		BytesRecv:     e.bytesRecv.Load(),
+		Dials:         e.dials.Load(),
+		DialFailures:  e.dialFailures.Load(),
+		Accepts:       e.accepts.Load(),
+		WriteFailures: e.writeFailures.Load(),
+		ConnsActive:   active,
+	}
 }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
@@ -127,7 +175,10 @@ func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
 	binary.BigEndian.PutUint32(frame[4:8], uint32(e.cfg.ID))
 	copy(frame[8:], payload)
+	e.framesSent.Add(1)
+	e.bytesSent.Add(int64(len(frame)))
 	if _, err := conn.Write(frame); err != nil {
+		e.writeFailures.Add(1)
 		e.dropConn(to, conn)
 	}
 	return nil
@@ -149,8 +200,10 @@ func (e *Endpoint) conn(to types.NodeID) (net.Conn, error) {
 
 	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
 	if err != nil {
+		e.dialFailures.Add(1)
 		return nil, nil // loss
 	}
+	e.dials.Add(1)
 	e.mu.Lock()
 	if e.closed.Load() {
 		e.mu.Unlock()
@@ -188,6 +241,7 @@ func (e *Endpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		e.accepts.Add(1)
 		e.wg.Add(1)
 		go e.readLoop(conn, -1)
 	}
@@ -220,6 +274,8 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		e.framesRecv.Add(1)
+		e.bytesRecv.Add(int64(8 + len(payload)))
 		if registered < 0 {
 			// Learn the peer so replies go back on this connection.
 			e.mu.Lock()

@@ -275,3 +275,46 @@ func TestConcurrentSendsShareConnection(t *testing.T) {
 		}
 	}
 }
+
+func TestEndpointStats(t *testing.T) {
+	a := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	b := listenT(t, Config{ID: 2, ListenAddr: "127.0.0.1:0",
+		Peers: map[types.NodeID]string{1: a.Addr()}})
+
+	payload := []byte("ping-pong")
+	if err := b.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-a.Recv():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+
+	bs := b.Stats()
+	if bs.FramesSent != 1 || bs.BytesSent != int64(8+len(payload)) {
+		t.Errorf("sender stats: %+v", bs)
+	}
+	if bs.Dials != 1 || bs.DialFailures != 0 {
+		t.Errorf("sender dials: %+v", bs)
+	}
+	if bs.ConnsActive != 1 {
+		t.Errorf("sender conns = %d, want 1", bs.ConnsActive)
+	}
+	as := a.Stats()
+	if as.FramesRecv != 1 || as.BytesRecv != int64(8+len(payload)) {
+		t.Errorf("receiver stats: %+v", as)
+	}
+	if as.Accepts != 1 {
+		t.Errorf("receiver accepts = %d, want 1", as.Accepts)
+	}
+
+	// A dial to a dead address is a counted failure and message loss.
+	b.cfg.Peers[9] = "127.0.0.1:1"
+	if err := b.Send(9, []byte("x")); err != nil {
+		t.Fatalf("dial failure must read as loss, got %v", err)
+	}
+	if bs := b.Stats(); bs.DialFailures != 1 {
+		t.Errorf("dial failures = %d, want 1", bs.DialFailures)
+	}
+}
