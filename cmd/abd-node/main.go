@@ -15,7 +15,10 @@
 // embedded probe client against the whole replica group: one end-to-end
 // write+read pair per -probe-interval, whose latency histograms populate
 // the abd_client_* series (without -peers those series export zero
-// samples). Stop with SIGINT/SIGTERM.
+// samples). SIGINT/SIGTERM shut the node down gracefully: the probe client
+// stops, the WAL is compacted to one record per register, the replica
+// drains, and the final counters are printed; a second signal kills the
+// process immediately.
 package main
 
 import (
@@ -82,35 +85,56 @@ func run() int {
 	fmt.Printf("abd-node: replica %d serving on %s\n", *id, ep.Addr())
 
 	var prober *core.Client
+	var proberEp *tcpnet.Endpoint
 	if *peers != "" {
-		prober, err = startProber(types.NodeID(*id), *peers, *probeIv)
+		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abd-node: probe client: %v\n", err)
 			return 1
 		}
-		defer prober.Close()
 	}
 
+	var srv *http.Server
 	if *metrics != "" {
-		handler := obs.Expose(nodeGatherer(replica, ep, prober))
-		srv := &http.Server{Addr: *metrics, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		handler := obs.Expose(nodeGatherer(replica, ep, prober, proberEp))
+		srv = &http.Server{Addr: *metrics, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "abd-node: metrics server: %v\n", err)
 			}
 		}()
-		defer srv.Close()
 		fmt.Printf("abd-node: metrics on http://%s/metrics\n", *metrics)
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	s := <-sig
+	signal.Stop(sig) // a second signal kills the process the default way
+	fmt.Printf("abd-node: %v: shutting down\n", s)
 
+	// Orderly teardown: stop taking probe traffic, compact the WAL down to
+	// one record per register while the replica is still consistent, then
+	// stop the replica (closes the endpoint, drains the message loop, and
+	// closes the log). The metrics server goes last so a final scrape can
+	// still observe the drained counters.
+	if prober != nil {
+		prober.Close()
+	}
+	if err := replica.CompactLog(); err != nil {
+		fmt.Fprintf(os.Stderr, "abd-node: wal compaction: %v\n", err)
+	}
 	replica.Stop()
+	if srv != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = srv.Shutdown(sctx)
+		cancel()
+	}
 	st := replica.ReplicaMetrics()
-	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d stale=%d registers=%d)\n",
-		st.Queries, st.Updates, st.Adoptions, st.StaleRejects, st.Registers)
+	ts := ep.Stats()
+	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d stale=%d registers=%d "+
+		"frames_sent=%d write_timeouts=%d breaker_opens=%d)\n",
+		st.Queries, st.Updates, st.Adoptions, st.StaleRejects, st.Registers,
+		ts.FramesSent, ts.WriteTimeouts, ts.BreakerOpens)
 	return 0
 }
 
@@ -118,21 +142,21 @@ func run() int {
 // one end-to-end write+read pair per interval against a per-node register,
 // so the node's own /metrics carries real client-side latency histograms.
 // The goroutine stops when the returned client is closed.
-func startProber(id types.NodeID, peersSpec string, interval time.Duration) (*core.Client, error) {
+func startProber(id types.NodeID, peersSpec string, interval time.Duration) (*core.Client, *tcpnet.Endpoint, error) {
 	peers, order, err := parsePeers(peersSpec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// Client ids live in a range disjoint from replica ids.
 	cliID := 9000 + id
 	ep, err := tcpnet.Listen(tcpnet.Config{ID: cliID, Peers: peers})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cli, err := core.NewClient(cliID, ep, order)
 	if err != nil {
 		ep.Close()
-		return nil, err
+		return nil, nil, err
 	}
 	reg := fmt.Sprintf("__probe.%d", id)
 	go func() {
@@ -151,7 +175,7 @@ func startProber(id types.NodeID, peersSpec string, interval time.Duration) (*co
 			<-tick.C
 		}
 	}()
-	return cli, nil
+	return cli, ep, nil
 }
 
 // parsePeers parses "0=host:port,1=host:port"; replica order (and quorum
@@ -183,8 +207,11 @@ func parsePeers(s string) (map[types.NodeID]string, []types.NodeID, error) {
 // nodeGatherer exposes the probe client's latency histograms, the replica's
 // protocol counters, the TCP transport counters, and a few process gauges,
 // all labeled with the node id. prober may be nil; the client series are
-// still exported, with zero samples.
-func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client) obs.Gatherer {
+// still exported, with zero samples. When proberEp is non-nil its transport
+// counters are exported under the same series names with an extra
+// endpoint="probe" label — that endpoint dials the whole replica group, so
+// it is where circuit-breaker transitions show when a peer replica dies.
+func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client, proberEp *tcpnet.Endpoint) obs.Gatherer {
 	start := time.Now()
 	labels := obs.Labels{"node": strconv.FormatInt(int64(replica.ID()), 10)}
 	return func(w *obs.Writer) {
@@ -209,16 +236,29 @@ func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Clien
 		w.Counter("abd_replica_bad_msgs_total", "undecodable payloads", labels, rm.BadMsgs)
 		w.Gauge("abd_replica_registers", "named registers stored", labels, float64(rm.Registers))
 
-		ts := ep.Stats()
-		w.Counter("abd_transport_frames_sent_total", "TCP frames written", labels, ts.FramesSent)
-		w.Counter("abd_transport_frames_recv_total", "TCP frames parsed", labels, ts.FramesRecv)
-		w.Counter("abd_transport_bytes_sent_total", "TCP bytes written (incl. frame headers)", labels, ts.BytesSent)
-		w.Counter("abd_transport_bytes_recv_total", "TCP bytes parsed (incl. frame headers)", labels, ts.BytesRecv)
-		w.Counter("abd_transport_dials_total", "outbound connections established", labels, ts.Dials)
-		w.Counter("abd_transport_dial_failures_total", "outbound connection attempts that failed", labels, ts.DialFailures)
-		w.Counter("abd_transport_accepts_total", "inbound connections accepted", labels, ts.Accepts)
-		w.Counter("abd_transport_write_failures_total", "frame writes that errored", labels, ts.WriteFailures)
-		w.Gauge("abd_transport_conns_active", "cached TCP connections", labels, float64(ts.ConnsActive))
+		transport := func(lb obs.Labels, ts tcpnet.Stats) {
+			w.Counter("abd_transport_frames_sent_total", "TCP frames written", lb, ts.FramesSent)
+			w.Counter("abd_transport_frames_recv_total", "TCP frames parsed", lb, ts.FramesRecv)
+			w.Counter("abd_transport_bytes_sent_total", "TCP bytes written (incl. frame headers)", lb, ts.BytesSent)
+			w.Counter("abd_transport_bytes_recv_total", "TCP bytes parsed (incl. frame headers)", lb, ts.BytesRecv)
+			w.Counter("abd_transport_dials_total", "outbound connections established", lb, ts.Dials)
+			w.Counter("abd_transport_dial_failures_total", "outbound connection attempts that failed", lb, ts.DialFailures)
+			w.Counter("abd_transport_accepts_total", "inbound connections accepted", lb, ts.Accepts)
+			w.Counter("abd_transport_write_failures_total", "frame writes that errored", lb, ts.WriteFailures)
+			w.Counter("abd_transport_write_timeouts_total", "frame writes that missed the write deadline", lb, ts.WriteTimeouts)
+			w.Counter("abd_transport_suppressed_sends_total", "sends swallowed as loss while a peer was backing off or broken", lb, ts.SuppressedSends)
+			w.Counter("abd_transport_breaker_opens_total", "circuit breakers tripped open", lb, ts.BreakerOpens)
+			w.Counter("abd_transport_breaker_probes_total", "half-open probe attempts", lb, ts.BreakerProbes)
+			w.Counter("abd_transport_breaker_closes_total", "circuit breakers recovered closed", lb, ts.BreakerCloses)
+			w.Gauge("abd_transport_breakers_open", "peers with an open or half-open breaker", lb, float64(ts.BreakersOpen))
+			w.Counter("abd_transport_resets_total", "connections torn down via ResetPeer", lb, ts.Resets)
+			w.Gauge("abd_transport_conns_active", "cached TCP connections", lb, float64(ts.ConnsActive))
+		}
+		transport(labels, ep.Stats())
+		if proberEp != nil {
+			plabels := obs.Labels{"node": labels["node"], "endpoint": "probe"}
+			transport(plabels, proberEp.Stats())
+		}
 
 		var mem runtime.MemStats
 		runtime.ReadMemStats(&mem)

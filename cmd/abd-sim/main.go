@@ -11,6 +11,17 @@
 // The fault script syntax is documented in internal/failure. Operations
 // that cannot reach a quorum during a fault window are recorded as pending
 // (crashed) and the run continues — exactly how the model treats them.
+//
+// With -nemesis the scenario instead runs on a real in-process TCP cluster
+// (persistent replicas over tcpnet, chaos fault injection, crash+restart
+// from the WAL) and the history is always checked:
+//
+//	abd-sim -nemesis -seed 101
+//	abd-sim -nemesis -faults "faults:*:drop=0.3@100ms; crash:2@1s; recover:2@2s"
+//
+// In nemesis mode -faults may additionally use the chaos events (faults:,
+// reset:) and reference client ids (9000, 9001, ...); when -faults is
+// empty a schedule is generated deterministically from -seed.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/history"
 	"repro/internal/lincheck"
+	"repro/internal/nemesis"
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/types"
@@ -49,8 +61,13 @@ func run() int {
 		check    = flag.Bool("check", false, "run the linearizability checker on the history")
 		out      = flag.String("out", "", "write the history as JSON lines to this file")
 		opT      = flag.Duration("op-timeout", 2*time.Second, "per-operation deadline")
+		nem      = flag.Bool("nemesis", false, "run on a real TCP cluster with chaos injection and crash+restart (see internal/nemesis)")
 	)
 	flag.Parse()
+
+	if *nem {
+		return runNemesis(*n, *writers, *readers, *ops, *regs, *seed, *faults, *out)
+	}
 
 	var copts []core.ClientOption
 	switch *mode {
@@ -227,6 +244,81 @@ func run() int {
 			}
 			return 1
 		}
+	}
+	return 0
+}
+
+// runNemesis executes one nemesis pass (internal/nemesis): a real TCP
+// cluster of persistent replicas under a seeded chaos schedule, with the
+// recorded history always checked for linearizability. A non-empty fault
+// script overrides the generated schedule.
+func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out string) int {
+	cfg := nemesis.Config{
+		N: n, Writers: writers, Readers: readers,
+		OpsPerClient: ops, Registers: regs, Seed: seed,
+	}
+	if faults != "" {
+		sched, err := failure.Parse(faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 2
+		}
+		if err := nemesis.ValidateSchedule(sched, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 2
+		}
+		cfg.Schedule = sched
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	res, err := nemesis.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "abd-sim: nemesis: %v\n", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("abd-sim: nemesis seed %d: %d ok, %d pending/timed-out ops in %v\n",
+		seed, res.Ops, res.Failed, elapsed.Round(time.Millisecond))
+	fmt.Printf("abd-sim: schedule: %s\n", res.Schedule)
+	fmt.Printf("abd-sim: chaos: %+v\n", res.Chaos)
+	fmt.Printf("abd-sim: transport: dials=%d dial_failures=%d write_failures=%d write_timeouts=%d "+
+		"suppressed=%d breaker_opens=%d breaker_probes=%d breaker_closes=%d resets=%d\n",
+		res.Transport.Dials, res.Transport.DialFailures, res.Transport.WriteFailures,
+		res.Transport.WriteTimeouts, res.Transport.SuppressedSends, res.Transport.BreakerOpens,
+		res.Transport.BreakerProbes, res.Transport.BreakerCloses, res.Transport.Resets)
+	fmt.Printf("abd-sim: client: phases=%d retransmits=%d msgs_sent=%d\n",
+		res.Client.Phases, res.Client.Retransmits, res.Client.MsgsSent)
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		if err := history.WriteJSON(f, res.History); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("abd-sim: history (%d ops) written to %s\n", len(res.History), out)
+	}
+
+	fmt.Printf("abd-sim: history of %d ops over %d register(s) is %s\n",
+		len(res.History), len(res.Results), res.Outcome)
+	if res.Outcome == lincheck.NotLinearizable {
+		for reg, r := range res.Results {
+			if r.Outcome == lincheck.NotLinearizable {
+				fmt.Printf("abd-sim: register %q NOT linearizable\n", reg)
+			}
+		}
+		return 1
 	}
 	return 0
 }

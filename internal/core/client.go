@@ -41,8 +41,14 @@ type Client struct {
 	readFanout    int
 	writeFanout   int
 	rrNext        atomic.Uint64 // round-robin cursor for partial fanout
-	retransmit    time.Duration // 0 = never (the model's reliable channels)
 	maskF         int           // Byzantine replicas tolerated (masking quorums)
+
+	// Retransmission policy; see options.go. The default is adaptive: the
+	// interval tracks the client's own observed phase latencies.
+	rtPolicy   retransmitPolicy
+	retransmit time.Duration // fixed interval (retransmitFixed only)
+	adaptFloor time.Duration
+	adaptCeil  time.Duration
 
 	// Single-writer state: the last sequence number (unbounded) or label
 	// (bounded) issued, per register.
@@ -86,6 +92,10 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 		swWrote:  make(map[string]bool),
 		pending:  make(map[uint64]*opInbox),
 		done:     make(chan struct{}),
+
+		rtPolicy:   retransmitAdaptive,
+		adaptFloor: DefaultRetransmitFloor,
+		adaptCeil:  DefaultRetransmitCeiling,
 	}
 	for i, rid := range c.replicas {
 		if _, dup := c.index[rid]; dup {
@@ -238,8 +248,8 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 	c.metrics.phases.Add(1)
 
 	var retransmitCh <-chan time.Time
-	if c.retransmit > 0 {
-		ticker := time.NewTicker(c.retransmit)
+	if interval := c.retransmitInterval(req.Kind); interval > 0 {
+		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		retransmitCh = ticker.C
 	}
@@ -301,6 +311,41 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 			return fail(fmt.Errorf("%s phase: %w", req.Kind, types.ErrClosed))
 		}
 	}
+}
+
+// retransmitInterval returns the rebroadcast period for a phase, or 0 for
+// no retransmission. Under the adaptive policy (the default) the interval
+// is derived from the client's own completed-phase latency histogram —
+// 3x the observed p99, clamped to [floor, ceiling] — so it sits safely
+// above the healthy round-trip time yet reacts within a fraction of a
+// second when a message is lost. Until enough phases have completed to
+// trust the histogram, the floor is used: a spurious retransmission is
+// harmless (all protocol messages are idempotent), a late one costs
+// liveness.
+func (c *Client) retransmitInterval(kind Kind) time.Duration {
+	switch c.rtPolicy {
+	case retransmitOff:
+		return 0
+	case retransmitFixed:
+		return c.retransmit
+	}
+	var snap obs.HistSnapshot
+	if kind == KindReadQuery {
+		snap = c.lat.phaseQuery.Snapshot()
+	} else {
+		snap = c.lat.phaseUpdate.Snapshot()
+	}
+	if snap.Count < adaptiveMinSamples {
+		return c.adaptFloor
+	}
+	d := 3 * snap.Quantile(0.99)
+	if d < c.adaptFloor {
+		d = c.adaptFloor
+	}
+	if d > c.adaptCeil {
+		d = c.adaptCeil
+	}
+	return d
 }
 
 // recordPhase files a completed phase's latency under its kind's histogram.

@@ -44,8 +44,7 @@ func FuzzDecodeMessage(f *testing.F) {
 }
 
 func FuzzDecodeRecord(f *testing.F) {
-	valid := encodeRecord(record{reg: "x", tag: Tag{Valid: true}, val: []byte("v")})
-	f.Add(valid[4:])
+	f.Add(encodeRecordBody(record{reg: "x", tag: Tag{Valid: true}, val: []byte("v")}))
 	f.Add([]byte{})
 	f.Add([]byte{1, 2, 3})
 
@@ -54,8 +53,7 @@ func FuzzDecodeRecord(f *testing.F) {
 		if err != nil {
 			return
 		}
-		enc := encodeRecord(rec)
-		re, err := decodeRecord(enc[4:])
+		re, err := decodeRecord(encodeRecordBody(rec))
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}

@@ -20,7 +20,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/timestamp"
 	"repro/internal/types"
@@ -89,9 +91,15 @@ type message struct {
 }
 
 // encode serializes m with the layout
-// [kind][op][reg][valid][seq][writer][bounded][label][val].
+// [kind][op][reg][valid][seq][writer][bounded][label][val][crc32].
+// The trailing IEEE CRC32 covers every preceding byte: a payload flipped
+// in transit fails decode and is dropped like a lost message, which the
+// protocol already tolerates (all messages are idempotent and clients
+// retransmit). Without it, a bit-flip inside the value bytes would decode
+// cleanly and poison a register with a value nobody wrote — found by the
+// nemesis harness under chaos corrupt faults.
 func (m message) encode() []byte {
-	b := make([]byte, 0, 16+len(m.Reg)+len(m.Val))
+	b := make([]byte, 0, 20+len(m.Reg)+len(m.Val))
 	b = append(b, byte(m.Kind))
 	b = wire.AppendUint(b, m.Op)
 	b = wire.AppendString(b, m.Reg)
@@ -101,16 +109,23 @@ func (m message) encode() []byte {
 	b = wire.AppendBool(b, m.Tag.Bounded)
 	b = wire.AppendInt(b, m.Tag.Label)
 	b = wire.AppendBytes(b, m.Val)
-	return b
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
+	return append(b, crc[:]...)
 }
 
-// decodeMessage parses a payload produced by encode.
+// decodeMessage parses a payload produced by encode, rejecting any whose
+// checksum does not match.
 func decodeMessage(payload []byte) (message, error) {
-	if len(payload) == 0 {
-		return message{}, fmt.Errorf("%w: empty payload", types.ErrBadMessage)
+	if len(payload) < 5 {
+		return message{}, fmt.Errorf("%w: payload too short", types.ErrBadMessage)
 	}
-	r := wire.NewReader(payload[1:])
-	m := message{Kind: Kind(payload[0])}
+	body := payload[:len(payload)-4]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[len(payload)-4:]) {
+		return message{}, fmt.Errorf("%w: checksum mismatch", types.ErrBadMessage)
+	}
+	r := wire.NewReader(body[1:])
+	m := message{Kind: Kind(body[0])}
 	m.Op = r.Uint()
 	m.Reg = r.String()
 	m.Tag.Valid = r.Bool()

@@ -62,16 +62,79 @@ func WithWriteFanout(k int) ClientOption {
 	return func(c *Client) { c.writeFanout = k }
 }
 
-// WithRetransmit makes a phase rebroadcast its request to replicas that
-// have not yet answered, every interval, until the quorum is assembled or
-// the context expires. The paper's model assumes reliable channels, so the
-// default is no retransmission; on lossy substrates (netsim with a drop
-// probability, or TCP across connection resets) this is the standard
+// Retransmission policies. The paper's model assumes reliable channels; on
+// lossy substrates (netsim with a drop probability, or TCP across
+// connection resets and partitions) phase retransmission is the standard
 // engineering step that restores the reliable-channel abstraction. All
 // protocol messages are idempotent — queries are read-only and updates are
-// adopt-if-newer — so retransmission never affects safety.
+// adopt-if-newer — so retransmission never affects safety, only liveness
+// and message count.
+type retransmitPolicy int
+
+const (
+	// retransmitAdaptive derives the interval from observed phase
+	// latencies (the default; see Client.retransmitInterval).
+	retransmitAdaptive retransmitPolicy = iota
+	// retransmitFixed rebroadcasts at a configured constant interval.
+	retransmitFixed
+	// retransmitOff never rebroadcasts — the pure model semantics.
+	retransmitOff
+)
+
+// Bounds for the adaptive retransmission interval. The floor keeps a cold
+// or fast client from spamming duplicates; the ceiling bounds how long a
+// lost message can stall an operation once latencies have been inflated by
+// faults.
+const (
+	DefaultRetransmitFloor   = 100 * time.Millisecond
+	DefaultRetransmitCeiling = 2 * time.Second
+
+	// adaptiveMinSamples is how many completed phases the latency
+	// histogram needs before its p99 is trusted over the floor.
+	adaptiveMinSamples = 8
+)
+
+// WithRetransmit makes a phase rebroadcast its request to replicas that
+// have not yet answered, every interval, until the quorum is assembled or
+// the context expires. An interval <= 0 disables retransmission entirely,
+// recovering the paper's pure reliable-channel model (useful for ablations
+// and message-count experiments). Without this option the client defaults
+// to adaptive retransmission — see WithAdaptiveRetransmit.
 func WithRetransmit(interval time.Duration) ClientOption {
-	return func(c *Client) { c.retransmit = interval }
+	return func(c *Client) {
+		if interval <= 0 {
+			c.rtPolicy = retransmitOff
+			c.retransmit = 0
+			return
+		}
+		c.rtPolicy = retransmitFixed
+		c.retransmit = interval
+	}
+}
+
+// WithAdaptiveRetransmit selects the adaptive retransmission policy with
+// explicit bounds (the policy itself is already the default, with
+// DefaultRetransmitFloor/DefaultRetransmitCeiling). The rebroadcast
+// interval for each phase is 3x the p99 of that phase kind's completed
+// latencies — per-client, per-phase-kind, from the always-on histograms —
+// clamped to [floor, ceiling]. A fast network earns a short interval and
+// quick loss recovery; a slow or congested one backs the interval off
+// automatically instead of amplifying the congestion. Non-positive floor
+// or ceiling values keep their defaults; a ceiling below the floor is
+// raised to it.
+func WithAdaptiveRetransmit(floor, ceiling time.Duration) ClientOption {
+	return func(c *Client) {
+		c.rtPolicy = retransmitAdaptive
+		if floor > 0 {
+			c.adaptFloor = floor
+		}
+		if ceiling > 0 {
+			c.adaptCeil = ceiling
+		}
+		if c.adaptCeil < c.adaptFloor {
+			c.adaptCeil = c.adaptFloor
+		}
+	}
 }
 
 // WithMaskingFaults hardens the client against up to f Byzantine replicas,

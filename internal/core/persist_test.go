@@ -1,6 +1,8 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -76,7 +78,7 @@ func TestPersistentReplicaToleratesTornTail(t *testing.T) {
 
 	// Build a log with two full records, then append garbage simulating a
 	// torn write during a crash.
-	p, err := openPersister(logPath, true)
+	p, _, err := openPersister(logPath, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,6 +117,198 @@ func TestPersistentReplicaToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestPersistDetectsCorruption flips one body byte in the middle of a log:
+// the open must refuse with ErrLogCorrupt rather than replay wrong state.
+func TestPersistDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "bitrot.wal")
+	p, _, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		rec := record{reg: "x", tag: Tag{Valid: true}, val: []byte(fmt.Sprintf("v%d", i))}
+		rec.tag.TS.Seq = int64(i)
+		if err := p.appendRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a byte inside the second record's body (well past the 8-byte
+	// magic and the first record).
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(data) / 2
+	data[mid] ^= 0xFF
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	net := netsim.New(netsim.Config{Seed: 75})
+	defer net.Close()
+	_, err = NewPersistentReplica(0, net.Node(0), logPath)
+	if err == nil {
+		t.Fatal("corrupted log opened without error")
+	}
+	if !errors.Is(err, ErrLogCorrupt) {
+		t.Fatalf("corrupted log error = %v, want ErrLogCorrupt", err)
+	}
+}
+
+// TestPersistUpgradesV1Log replays a checksum-less legacy log and rewrites
+// it in place as v2, so old deployments keep their state across the format
+// change.
+func TestPersistUpgradesV1Log(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "legacy.wal")
+
+	// Hand-write a v1 log: [4-byte len][body] records, no magic, no CRC.
+	var raw []byte
+	for i := 1; i <= 2; i++ {
+		rec := record{reg: "x", tag: Tag{Valid: true}, val: []byte(fmt.Sprintf("v%d", i))}
+		rec.tag.TS.Seq = int64(i)
+		body := encodeRecordBody(rec)
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+		raw = append(raw, hdr[:]...)
+		raw = append(raw, body...)
+	}
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	net := netsim.New(netsim.Config{Seed: 76})
+	defer net.Close()
+	r, err := NewPersistentReplica(0, net.Node(0), logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, val := r.State("x")
+	if !tag.Valid || tag.TS.Seq != 2 || string(val) != "v2" {
+		t.Fatalf("v1 replay got %q@%d", val, tag.TS.Seq)
+	}
+	r.Stop()
+
+	// The file now starts with the v2 magic and replays identically.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 8 || string(data[:8]) != persistMagic {
+		t.Fatal("log was not upgraded to v2")
+	}
+	net2 := netsim.New(netsim.Config{Seed: 77})
+	defer net2.Close()
+	r2, err := NewPersistentReplica(0, net2.Node(0), logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Stop()
+	if tag, val := r2.State("x"); tag.TS.Seq != 2 || string(val) != "v2" {
+		t.Fatalf("v2 re-replay got %q@%d", val, tag.TS.Seq)
+	}
+}
+
+// TestPersistTruncatesTornTailBeforeAppend pins the tail repair: after a
+// torn write, the reopened log appends on a clean boundary, so records
+// logged after the recovery survive the next replay (pre-repair, they were
+// unreachable behind the torn bytes).
+func TestPersistTruncatesTornTailBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "torn-append.wal")
+	p, _, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record{reg: "x", tag: Tag{Valid: true}, val: []byte("v1")}
+	rec.tag.TS.Seq = 1
+	if err := p.appendRecord(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0, 0, 0, 50, 9, 9, 9, 9, 1, 2}); err != nil { // torn record
+		t.Fatal(err)
+	}
+	f.Close()
+
+	p2, recs, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records, want 1", len(recs))
+	}
+	rec2 := record{reg: "x", tag: Tag{Valid: true}, val: []byte("v2")}
+	rec2.tag.TS.Seq = 2
+	if err := p2.appendRecord(rec2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs, err = openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1].val) != "v2" {
+		t.Fatalf("post-repair replay: %d records", len(recs))
+	}
+}
+
+// TestCompactLogShrinksOnDemand covers the graceful-shutdown entry point.
+func TestCompactLogShrinksOnDemand(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "ondemand.wal")
+	net := netsim.New(netsim.Config{Seed: 78})
+	defer net.Close()
+	r, err := NewPersistentReplica(0, net.Node(0), logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		rec := record{reg: "x", tag: Tag{Valid: true}, val: []byte(fmt.Sprintf("v%d", i))}
+		rec.tag.TS.Seq = int64(i)
+		if err := r.persist.appendRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+		r.regs["x"] = regEntry{tag: rec.tag, val: rec.val}
+	}
+	before, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CompactLog(); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("CompactLog did not shrink: %d -> %d", before.Size(), after.Size())
+	}
+	r.Stop()
+
+	// Non-persistent replicas: no-op.
+	plain := NewReplica(1, net.Node(1))
+	if err := plain.CompactLog(); err != nil {
+		t.Fatalf("CompactLog on plain replica: %v", err)
+	}
+	plain.Stop()
+}
+
 func TestPersistRecordRoundTrip(t *testing.T) {
 	rec := record{
 		reg: "registers/42",
@@ -125,7 +319,7 @@ func TestPersistRecordRoundTrip(t *testing.T) {
 	rec.tag.TS.Writer = 3
 
 	enc := encodeRecord(rec)
-	got, err := decodeRecord(enc[4:])
+	got, err := decodeRecord(enc[8:])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +331,7 @@ func TestPersistRecordRoundTrip(t *testing.T) {
 func TestPersistCompaction(t *testing.T) {
 	dir := t.TempDir()
 	logPath := filepath.Join(dir, "compact.wal")
-	p, err := openPersister(logPath, false)
+	p, _, err := openPersister(logPath, false)
 	if err != nil {
 		t.Fatal(err)
 	}

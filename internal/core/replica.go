@@ -100,6 +100,20 @@ func (r *Replica) Stop() {
 	r.closePersist()
 }
 
+// CompactLog rewrites the persistence log down to one record per register
+// (a no-op for non-persistent replicas). Compaction also runs
+// automatically every persistCompactThreshold appends; this entry point
+// lets a graceful shutdown leave the smallest possible log for the next
+// start to replay.
+func (r *Replica) CompactLog() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.persist == nil {
+		return nil
+	}
+	return r.persist.compact(r.regs)
+}
+
 func (r *Replica) closePersist() {
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -33,7 +33,7 @@ func TestRetransmitRestoresLivenessUnderLoss(t *testing.T) {
 // without retransmission.
 func TestNoRetransmitStallsUnderTotalEarlyLoss(t *testing.T) {
 	c := newTestCluster(t, 3, netsim.Config{Seed: 51})
-	noRetry := c.client(WithSingleWriter())
+	noRetry := c.client(WithSingleWriter(), WithRetransmit(0))
 	retry := c.client(WithSingleWriter(), WithRetransmit(5*time.Millisecond))
 
 	// Blackhole the path to replicas 1 and 2 briefly, then heal: messages
@@ -61,6 +61,82 @@ func TestNoRetransmitStallsUnderTotalEarlyLoss(t *testing.T) {
 	}
 	if m := retry.Metrics(); m.Retransmits == 0 {
 		t.Fatal("expected retransmissions")
+	}
+}
+
+// TestAdaptiveRetransmitIsDefault shows the out-of-the-box client recovers
+// from early total loss without any retransmission option: the adaptive
+// policy rebroadcasts at the floor interval until the quorum assembles.
+func TestAdaptiveRetransmitIsDefault(t *testing.T) {
+	c := newTestCluster(t, 3, netsim.Config{Seed: 53})
+	cli := c.client(WithSingleWriter())
+
+	c.net.BlockLink(cli.ID(), 1)
+	c.net.BlockLink(cli.ID(), 2)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		c.net.UnblockLink(cli.ID(), 1)
+		c.net.UnblockLink(cli.ID(), 2)
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cli.Write(ctx, "x", []byte("recovered")); err != nil {
+		t.Fatalf("default client did not recover from early loss: %v", err)
+	}
+	if m := cli.Metrics(); m.Retransmits == 0 {
+		t.Fatal("expected adaptive retransmissions by default")
+	}
+}
+
+// TestAdaptiveIntervalTracksObservedLatency pins the interval derivation:
+// floor before enough samples, 3x p99 once the histogram is warm, clamped
+// to the ceiling when latencies blow up.
+func TestAdaptiveIntervalTracksObservedLatency(t *testing.T) {
+	c := newTestCluster(t, 3, netsim.Config{Seed: 54})
+	cli := c.client()
+
+	if got := cli.retransmitInterval(KindReadQuery); got != DefaultRetransmitFloor {
+		t.Fatalf("cold interval = %v, want floor %v", got, DefaultRetransmitFloor)
+	}
+
+	// Warm the query-phase histogram at ~200ms: interval must move to
+	// roughly 3x p99 (log-bucketed, so allow the bucket width).
+	for i := 0; i < 100; i++ {
+		cli.lat.phaseQuery.Record(200 * time.Millisecond)
+	}
+	got := cli.retransmitInterval(KindReadQuery)
+	if got < 500*time.Millisecond || got > 700*time.Millisecond {
+		t.Errorf("warm interval = %v, want ~3x200ms", got)
+	}
+	// Update phases have their own histogram, still cold.
+	if got := cli.retransmitInterval(KindWrite); got != DefaultRetransmitFloor {
+		t.Errorf("update interval = %v, want floor (independent histogram)", got)
+	}
+
+	// Latency blow-up clamps at the ceiling.
+	for i := 0; i < 1000; i++ {
+		cli.lat.phaseQuery.Record(5 * time.Second)
+	}
+	if got := cli.retransmitInterval(KindReadQuery); got != DefaultRetransmitCeiling {
+		t.Errorf("inflated interval = %v, want ceiling %v", got, DefaultRetransmitCeiling)
+	}
+
+	// Custom bounds via the option.
+	tight := c.client(WithAdaptiveRetransmit(10*time.Millisecond, 50*time.Millisecond))
+	if got := tight.retransmitInterval(KindReadQuery); got != 10*time.Millisecond {
+		t.Errorf("custom floor = %v, want 10ms", got)
+	}
+	for i := 0; i < 100; i++ {
+		tight.lat.phaseQuery.Record(time.Second)
+	}
+	if got := tight.retransmitInterval(KindReadQuery); got != 50*time.Millisecond {
+		t.Errorf("custom ceiling = %v, want 50ms", got)
+	}
+
+	// WithRetransmit(0) turns retransmission off entirely.
+	off := c.client(WithRetransmit(0))
+	if got := off.retransmitInterval(KindReadQuery); got != 0 {
+		t.Errorf("disabled interval = %v, want 0", got)
 	}
 }
 

@@ -1,9 +1,14 @@
-// Package failure drives fault injection against the simulated network:
-// scripted schedules of crashes, partitions, link blocks, and delay spikes.
-// Schedules can be built programmatically or parsed from the compact script
-// syntax cmd/abd-sim accepts:
+// Package failure drives fault injection from scripted schedules of
+// crashes, partitions, link blocks, delay spikes, link-level fault mixes,
+// and connection resets. One schedule drives either backend: the simulated
+// network (internal/netsim) or the real-network chaos layer
+// (internal/chaos) — both implement Fabric, and actions a backend does not
+// support are no-ops there. Schedules can be built programmatically or
+// parsed from the compact script syntax cmd/abd-sim accepts:
 //
-//	crash:2@100ms; partition:0,1|2,3,4@200ms; heal@400ms; delay:3.0@1s; block:0>2@1.5s
+//	crash:2@100ms; partition:0,1|2,3,4@200ms; heal@400ms; delay:3.0@1s;
+//	block:0>2@1.5s; faults:*:drop=0.3,dup=0.1@2s; faults:0>1:delay=1ms..5ms@2s;
+//	reset:*@2.5s; faults:*:none@3s
 //
 // Each event is "<action>@<offset>", offsets relative to Run's start.
 package failure
@@ -16,13 +21,40 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/netsim"
+	"repro/internal/chaos"
 	"repro/internal/types"
 )
 
+// Fabric is the network substrate a schedule manipulates. Both
+// *netsim.Net and *chaos.Net implement it; internal/nemesis layers true
+// process crash/restart on top by overriding Crash and Recover.
+type Fabric interface {
+	Crash(types.NodeID)
+	Recover(types.NodeID)
+	Partition(groups ...[]types.NodeID)
+	Heal()
+	BlockLink(from, to types.NodeID)
+	UnblockLink(from, to types.NodeID)
+	SetDelayScale(float64)
+}
+
+// FaultInjector is the optional Fabric extension for link-level fault
+// mixes (implemented by *chaos.Net; the simulator ignores these actions).
+type FaultInjector interface {
+	SetDefaultFaults(chaos.Faults)
+	SetLinkFaults(from, to types.NodeID, f chaos.Faults)
+}
+
+// LinkResetter is the optional Fabric extension for connection resets
+// (implemented by *chaos.Net over resettable substrates like tcpnet).
+type LinkResetter interface {
+	ResetLink(from, to types.NodeID)
+	ResetAll()
+}
+
 // Action is one fault applied to the network.
 type Action interface {
-	Apply(net *netsim.Net)
+	Apply(f Fabric)
 	String() string
 }
 
@@ -30,7 +62,7 @@ type Action interface {
 type Crash struct{ Node types.NodeID }
 
 // Apply implements Action.
-func (a Crash) Apply(net *netsim.Net) { net.Crash(a.Node) }
+func (a Crash) Apply(f Fabric) { f.Crash(a.Node) }
 
 func (a Crash) String() string { return fmt.Sprintf("crash:%d", a.Node) }
 
@@ -39,7 +71,7 @@ func (a Crash) String() string { return fmt.Sprintf("crash:%d", a.Node) }
 type Recover struct{ Node types.NodeID }
 
 // Apply implements Action.
-func (a Recover) Apply(net *netsim.Net) { net.Recover(a.Node) }
+func (a Recover) Apply(f Fabric) { f.Recover(a.Node) }
 
 func (a Recover) String() string { return fmt.Sprintf("recover:%d", a.Node) }
 
@@ -47,7 +79,7 @@ func (a Recover) String() string { return fmt.Sprintf("recover:%d", a.Node) }
 type Partition struct{ Groups [][]types.NodeID }
 
 // Apply implements Action.
-func (a Partition) Apply(net *netsim.Net) { net.Partition(a.Groups...) }
+func (a Partition) Apply(f Fabric) { f.Partition(a.Groups...) }
 
 func (a Partition) String() string {
 	sides := make([]string, len(a.Groups))
@@ -65,7 +97,7 @@ func (a Partition) String() string {
 type Heal struct{}
 
 // Apply implements Action.
-func (a Heal) Apply(net *netsim.Net) { net.Heal() }
+func (a Heal) Apply(f Fabric) { f.Heal() }
 
 func (a Heal) String() string { return "heal" }
 
@@ -73,7 +105,7 @@ func (a Heal) String() string { return "heal" }
 type Block struct{ From, To types.NodeID }
 
 // Apply implements Action.
-func (a Block) Apply(net *netsim.Net) { net.BlockLink(a.From, a.To) }
+func (a Block) Apply(f Fabric) { f.BlockLink(a.From, a.To) }
 
 func (a Block) String() string { return fmt.Sprintf("block:%d>%d", a.From, a.To) }
 
@@ -81,7 +113,7 @@ func (a Block) String() string { return fmt.Sprintf("block:%d>%d", a.From, a.To)
 type Unblock struct{ From, To types.NodeID }
 
 // Apply implements Action.
-func (a Unblock) Apply(net *netsim.Net) { net.UnblockLink(a.From, a.To) }
+func (a Unblock) Apply(f Fabric) { f.UnblockLink(a.From, a.To) }
 
 func (a Unblock) String() string { return fmt.Sprintf("unblock:%d>%d", a.From, a.To) }
 
@@ -89,9 +121,67 @@ func (a Unblock) String() string { return fmt.Sprintf("unblock:%d>%d", a.From, a
 type Delay struct{ Factor float64 }
 
 // Apply implements Action.
-func (a Delay) Apply(net *netsim.Net) { net.SetDelayScale(a.Factor) }
+func (a Delay) Apply(f Fabric) { f.SetDelayScale(a.Factor) }
 
 func (a Delay) String() string { return fmt.Sprintf("delay:%g", a.Factor) }
+
+// LinkFaults installs a chaos fault mix on one directed link, or — with
+// All set — as the default for every link. A zero Faults value clears the
+// target. No-op on fabrics without the FaultInjector extension (netsim).
+type LinkFaults struct {
+	From, To types.NodeID
+	All      bool
+	Faults   chaos.Faults
+}
+
+// Apply implements Action.
+func (a LinkFaults) Apply(f Fabric) {
+	fi, ok := f.(FaultInjector)
+	if !ok {
+		return
+	}
+	if a.All {
+		fi.SetDefaultFaults(a.Faults)
+		return
+	}
+	fi.SetLinkFaults(a.From, a.To, a.Faults)
+}
+
+func (a LinkFaults) String() string {
+	target := "*"
+	if !a.All {
+		target = fmt.Sprintf("%d>%d", a.From, a.To)
+	}
+	return fmt.Sprintf("faults:%s:%s", target, a.Faults)
+}
+
+// Reset tears down the live connection under one directed link, or every
+// connection with All set. No-op on fabrics without the LinkResetter
+// extension (netsim has no connections to reset).
+type Reset struct {
+	From, To types.NodeID
+	All      bool
+}
+
+// Apply implements Action.
+func (a Reset) Apply(f Fabric) {
+	lr, ok := f.(LinkResetter)
+	if !ok {
+		return
+	}
+	if a.All {
+		lr.ResetAll()
+		return
+	}
+	lr.ResetLink(a.From, a.To)
+}
+
+func (a Reset) String() string {
+	if a.All {
+		return "reset:*"
+	}
+	return fmt.Sprintf("reset:%d>%d", a.From, a.To)
+}
 
 // Event is an action scheduled at an offset from the schedule's start.
 type Event struct {
@@ -102,11 +192,11 @@ type Event struct {
 // Schedule is a time-ordered fault script.
 type Schedule []Event
 
-// Run applies the schedule against net, sleeping between events. It returns
-// when all events have fired or the context is cancelled. Run is
+// Run applies the schedule against the fabric, sleeping between events. It
+// returns when all events have fired or the context is cancelled. Run is
 // synchronous; callers usually invoke it in a goroutine alongside the
 // workload.
-func (s Schedule) Run(ctx context.Context, net *netsim.Net) error {
+func (s Schedule) Run(ctx context.Context, f Fabric) error {
 	events := make([]Event, len(s))
 	copy(events, s)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
@@ -123,7 +213,7 @@ func (s Schedule) Run(ctx context.Context, net *netsim.Net) error {
 				return ctx.Err()
 			}
 		}
-		ev.Action.Apply(net)
+		ev.Action.Apply(f)
 	}
 	return nil
 }
@@ -137,7 +227,69 @@ func (s Schedule) String() string {
 	return strings.Join(parts, "; ")
 }
 
+// Nodes returns every node id the schedule references, deduplicated.
+func (s Schedule) Nodes() []types.NodeID {
+	seen := make(map[types.NodeID]bool)
+	for _, ev := range s {
+		for _, id := range actionNodes(ev.Action) {
+			seen[id] = true
+		}
+	}
+	out := make([]types.NodeID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func actionNodes(a Action) []types.NodeID {
+	switch a := a.(type) {
+	case Crash:
+		return []types.NodeID{a.Node}
+	case Recover:
+		return []types.NodeID{a.Node}
+	case Partition:
+		var ids []types.NodeID
+		for _, g := range a.Groups {
+			ids = append(ids, g...)
+		}
+		return ids
+	case Block:
+		return []types.NodeID{a.From, a.To}
+	case Unblock:
+		return []types.NodeID{a.From, a.To}
+	case LinkFaults:
+		if a.All {
+			return nil
+		}
+		return []types.NodeID{a.From, a.To}
+	case Reset:
+		if a.All {
+			return nil
+		}
+		return []types.NodeID{a.From, a.To}
+	default:
+		return nil
+	}
+}
+
+// Validate checks that every node id the schedule references lies in
+// [0, n) — the replica id range of an n-node cluster. Scripts are written
+// against a cluster size the parser cannot know, so out-of-range ids
+// (e.g. "crash:7" on a 5-node cluster) surface here instead of silently
+// doing nothing at run time.
+func (s Schedule) Validate(n int) error {
+	for _, id := range s.Nodes() {
+		if int(id) >= n {
+			return fmt.Errorf("failure: schedule references node %d, cluster has ids 0..%d", id, n-1)
+		}
+	}
+	return nil
+}
+
 // Parse reads the script syntax. Whitespace around separators is ignored.
+// Duplicate offsets are allowed; simultaneous events fire in script order.
 func Parse(script string) (Schedule, error) {
 	var out Schedule
 	for _, part := range strings.Split(script, ";") {
@@ -152,6 +304,9 @@ func Parse(script string) (Schedule, error) {
 		offset, err := time.ParseDuration(strings.TrimSpace(part[at+1:]))
 		if err != nil {
 			return nil, fmt.Errorf("failure: event %q: %w", part, err)
+		}
+		if offset < 0 {
+			return nil, fmt.Errorf("failure: event %q: negative offset", part)
 		}
 		action, err := parseAction(strings.TrimSpace(part[:at]))
 		if err != nil {
@@ -194,17 +349,9 @@ func parseAction(s string) (Action, error) {
 	case "heal":
 		return Heal{}, nil
 	case "block", "unblock":
-		fromS, toS, ok := strings.Cut(args, ">")
-		if !ok {
-			return nil, fmt.Errorf("failure: %s: want from>to, got %q", name, args)
-		}
-		from, err := parseNode(fromS)
+		from, to, err := parseLink(name, args)
 		if err != nil {
-			return nil, fmt.Errorf("failure: %s: %w", name, err)
-		}
-		to, err := parseNode(toS)
-		if err != nil {
-			return nil, fmt.Errorf("failure: %s: %w", name, err)
+			return nil, err
 		}
 		if name == "block" {
 			return Block{From: from, To: to}, nil
@@ -216,15 +363,62 @@ func parseAction(s string) (Action, error) {
 			return nil, fmt.Errorf("failure: delay: %w", err)
 		}
 		return Delay{Factor: f}, nil
+	case "faults":
+		target, spec, ok := strings.Cut(args, ":")
+		if !ok {
+			return nil, fmt.Errorf("failure: faults: want faults:<link|*>:<k=v,...>, got %q", args)
+		}
+		fl := LinkFaults{}
+		if strings.TrimSpace(target) == "*" {
+			fl.All = true
+		} else {
+			from, to, err := parseLink("faults", target)
+			if err != nil {
+				return nil, err
+			}
+			fl.From, fl.To = from, to
+		}
+		f, err := chaos.ParseFaults(spec)
+		if err != nil {
+			return nil, fmt.Errorf("failure: faults: %w", err)
+		}
+		fl.Faults = f
+		return fl, nil
+	case "reset":
+		if strings.TrimSpace(args) == "*" {
+			return Reset{All: true}, nil
+		}
+		from, to, err := parseLink("reset", args)
+		if err != nil {
+			return nil, err
+		}
+		return Reset{From: from, To: to}, nil
 	default:
 		return nil, fmt.Errorf("failure: unknown action %q", name)
 	}
+}
+
+func parseLink(action, args string) (from, to types.NodeID, err error) {
+	fromS, toS, ok := strings.Cut(args, ">")
+	if !ok {
+		return 0, 0, fmt.Errorf("failure: %s: want from>to, got %q", action, args)
+	}
+	if from, err = parseNode(fromS); err != nil {
+		return 0, 0, fmt.Errorf("failure: %s: %w", action, err)
+	}
+	if to, err = parseNode(toS); err != nil {
+		return 0, 0, fmt.Errorf("failure: %s: %w", action, err)
+	}
+	return from, to, nil
 }
 
 func parseNode(s string) (types.NodeID, error) {
 	id, err := strconv.Atoi(strings.TrimSpace(s))
 	if err != nil {
 		return 0, fmt.Errorf("node id %q: %w", s, err)
+	}
+	if id < 0 {
+		return 0, fmt.Errorf("node id %d: negative", id)
 	}
 	return types.NodeID(id), nil
 }

@@ -1,0 +1,655 @@
+// Package nemesis is the Jepsen-style end-to-end robustness harness: a
+// real tcpnet cluster run in-process, a concurrent read/write workload
+// recording a history, and a seeded fault schedule ("the nemesis")
+// injecting crashes, partitions, resets, loss, and latency while the
+// workload runs. Afterwards the history is checked for linearizability
+// with internal/lincheck — the paper's atomicity claim, verified on a real
+// network under real faults.
+//
+// Two fault mechanisms compose:
+//
+//   - Process faults: Crash stops a replica's process for real (endpoint
+//     closed, goroutines gone) and Recover restarts it on the same address
+//     from its persistence log, exercising the crash-recovery extension.
+//   - Message faults: everything else (drop/dup/corrupt/delay/reorder,
+//     connection resets, blocks, partitions) is injected by an
+//     internal/chaos controller wrapped around every endpoint.
+//
+// The Cluster implements failure.Fabric, so one scripted schedule drives
+// both mechanisms; GenerateSchedule derives a randomized-but-deterministic
+// schedule from a seed.
+package nemesis
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/tcpnet"
+	"repro/internal/types"
+)
+
+// clientBase is the node id of the first client; replicas are 0..N-1.
+const clientBase types.NodeID = 9000
+
+// ValidateSchedule checks that every node id a user-supplied schedule
+// references exists in the cluster cfg describes: replica ids 0..N-1 or
+// client ids clientBase..clientBase+Writers+Readers-1. The generic
+// failure.Schedule.Validate cannot be used here because nemesis schedules
+// legitimately reference client ids (e.g. to block client->replica links).
+func ValidateSchedule(sched failure.Schedule, cfg Config) error {
+	cfg = cfg.withDefaults()
+	nClients := types.NodeID(cfg.Writers + cfg.Readers)
+	for _, id := range sched.Nodes() {
+		if id >= 0 && int(id) < cfg.N {
+			continue
+		}
+		if id >= clientBase && id < clientBase+nClients {
+			continue
+		}
+		return fmt.Errorf("nemesis: schedule references node %d; cluster has replicas 0..%d and clients %d..%d",
+			id, cfg.N-1, clientBase, clientBase+nClients-1)
+	}
+	return nil
+}
+
+// Config parameterizes one nemesis run.
+type Config struct {
+	// N is the replica count (default 5; tolerates (N-1)/2 crashes).
+	N int
+	// Writers and Readers are the client counts (defaults 2 and 3).
+	Writers, Readers int
+	// OpsPerClient is how many operations each client issues (default 40).
+	OpsPerClient int
+	// Registers is how many named registers the workload spreads over
+	// (default 1; linearizability is checked per register).
+	Registers int
+	// Seed drives both GenerateSchedule and the chaos controller. The
+	// fault plan is a pure function of the seed; delivery timing on a real
+	// network of course is not.
+	Seed int64
+	// Dir holds the replicas' persistence logs. Empty means a fresh
+	// temporary directory (removed by Close).
+	Dir string
+	// OpTimeout bounds each client operation (default 5s). Operations
+	// that time out are recorded as pending: the checker decides whether
+	// their effects are visible.
+	OpTimeout time.Duration
+	// OpInterval is the mean think time between a client's operations.
+	// The default paces each client's OpsPerClient operations across the
+	// schedule's full span (Windows x Window), so the workload actually
+	// overlaps every fault episode instead of finishing before the first
+	// one fires. Negative disables pacing.
+	OpInterval time.Duration
+	// Schedule overrides the generated fault schedule when non-nil.
+	Schedule failure.Schedule
+	// Windows and Window shape the generated schedule: Windows fault
+	// episodes of duration Window each (defaults 6 and 700ms).
+	Windows int
+	Window  time.Duration
+	// CheckTimeout bounds the linearizability search (default 30s).
+	CheckTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.N == 0 {
+		c.N = 5
+	}
+	if c.Writers == 0 {
+		c.Writers = 2
+	}
+	if c.Readers == 0 {
+		c.Readers = 3
+	}
+	if c.OpsPerClient == 0 {
+		c.OpsPerClient = 40
+	}
+	if c.Registers == 0 {
+		c.Registers = 1
+	}
+	if c.OpTimeout == 0 {
+		c.OpTimeout = 5 * time.Second
+	}
+	if c.Windows == 0 {
+		c.Windows = 6
+	}
+	if c.Window == 0 {
+		c.Window = 700 * time.Millisecond
+	}
+	if c.OpInterval == 0 {
+		c.OpInterval = time.Duration(c.Windows) * c.Window / time.Duration(c.OpsPerClient)
+	}
+	if c.OpInterval < 0 {
+		c.OpInterval = 0
+	}
+	return c
+}
+
+// replicaProc is one replica "process": its protocol state machine plus
+// the real endpoint it owns.
+type replicaProc struct {
+	rep *core.Replica
+	ep  *tcpnet.Endpoint
+}
+
+// Cluster is an in-process tcpnet cluster under nemesis control. It
+// implements failure.Fabric (plus the FaultInjector and LinkResetter
+// extensions), overriding Crash/Recover with true process stop/restart.
+type Cluster struct {
+	cfg     Config
+	chaos   *chaos.Net
+	dir     string
+	ownsDir bool
+
+	mu       sync.Mutex
+	addrs    map[types.NodeID]string // pinned replica listen addresses
+	replicas map[types.NodeID]*replicaProc
+	// stats accumulates transport counters of endpoints that no longer
+	// exist (crashed replica generations).
+	stats tcpnet.Stats
+
+	clients   []*core.Client
+	clientEPs []*tcpnet.Endpoint
+}
+
+// tcpConfig is the aggressive-timeout endpoint configuration nemesis runs
+// with: short enough that every self-healing mechanism (write deadline,
+// backoff, breaker) cycles many times within one run.
+func tcpConfig(id types.NodeID) tcpnet.Config {
+	return tcpnet.Config{
+		ID:               id,
+		DialTimeout:      time.Second,
+		WriteTimeout:     500 * time.Millisecond,
+		BackoffMin:       20 * time.Millisecond,
+		BackoffMax:       500 * time.Millisecond,
+		BreakerThreshold: 4,
+	}
+}
+
+// NewCluster starts N persistent replicas on loopback and Writers+Readers
+// clients, every endpoint wrapped by one seeded chaos controller.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:      cfg,
+		chaos:    chaos.New(cfg.Seed),
+		dir:      cfg.Dir,
+		addrs:    make(map[types.NodeID]string),
+		replicas: make(map[types.NodeID]*replicaProc),
+	}
+	if c.dir == "" {
+		dir, err := os.MkdirTemp("", "nemesis-")
+		if err != nil {
+			return nil, fmt.Errorf("nemesis: temp dir: %w", err)
+		}
+		c.dir = dir
+		c.ownsDir = true
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		id := types.NodeID(i)
+		c.addrs[id] = "127.0.0.1:0" // pinned to the real port on first start
+		if err := c.startReplica(id); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+
+	replicaIDs := make([]types.NodeID, 0, cfg.N)
+	peers := make(map[types.NodeID]string, cfg.N)
+	c.mu.Lock()
+	for id, addr := range c.addrs {
+		replicaIDs = append(replicaIDs, id)
+		peers[id] = addr
+	}
+	c.mu.Unlock()
+
+	for i := 0; i < cfg.Writers+cfg.Readers; i++ {
+		id := clientBase + types.NodeID(i)
+		tc := tcpConfig(id)
+		tc.Peers = peers
+		ep, err := tcpnet.Listen(tc)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("nemesis: client %v endpoint: %w", id, err)
+		}
+		ids := append([]types.NodeID(nil), replicaIDs...)
+		cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids,
+			core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond))
+		if err != nil {
+			_ = ep.Close()
+			c.Close()
+			return nil, fmt.Errorf("nemesis: client %v: %w", id, err)
+		}
+		c.clients = append(c.clients, cli)
+		c.clientEPs = append(c.clientEPs, ep)
+	}
+	return c, nil
+}
+
+// startReplica boots (or reboots) replica id on its pinned address from
+// its persistence log. Callers must not hold c.mu.
+func (c *Cluster) startReplica(id types.NodeID) error {
+	c.mu.Lock()
+	addr := c.addrs[id]
+	c.mu.Unlock()
+
+	tc := tcpConfig(id)
+	tc.ListenAddr = addr
+	var ep *tcpnet.Endpoint
+	var err error
+	// A restart races the dying listener for the port: retry briefly.
+	for attempt := 0; attempt < 50; attempt++ {
+		ep, err = tcpnet.Listen(tc)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("nemesis: replica %v listen %s: %w", id, addr, err)
+	}
+
+	wal := filepath.Join(c.dir, fmt.Sprintf("replica-%d.wal", id))
+	rep, err := core.NewPersistentReplica(id, c.chaos.Wrap(ep), wal)
+	if err != nil {
+		_ = ep.Close()
+		return fmt.Errorf("nemesis: replica %v: %w", id, err)
+	}
+	rep.Start()
+
+	c.mu.Lock()
+	c.addrs[id] = ep.Addr() // pin the concrete port for future restarts
+	c.replicas[id] = &replicaProc{rep: rep, ep: ep}
+	c.mu.Unlock()
+	return nil
+}
+
+// Crash stops replica id's process: the protocol loop exits and the
+// listener closes, so peers see connection resets and refused dials — not
+// a silent message void. Crashing an unknown or already-crashed id is a
+// no-op. Clients are never crashed.
+func (c *Cluster) Crash(id types.NodeID) {
+	c.mu.Lock()
+	proc, ok := c.replicas[id]
+	if ok {
+		delete(c.replicas, id)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return
+	}
+	proc.rep.Stop()
+	c.mu.Lock()
+	c.stats = addStats(c.stats, proc.ep.Stats())
+	c.mu.Unlock()
+}
+
+// Recover restarts a crashed replica on its original address, replaying
+// its persistence log — the crash-recovery path under test. No-op if the
+// replica is running.
+func (c *Cluster) Recover(id types.NodeID) {
+	c.mu.Lock()
+	_, running := c.replicas[id]
+	_, known := c.addrs[id]
+	c.mu.Unlock()
+	if running || !known {
+		return
+	}
+	// Best effort: a failed restart leaves the replica crashed, which the
+	// protocol tolerates anyway.
+	_ = c.startReplica(id)
+}
+
+// Crashed reports whether replica id is currently stopped.
+func (c *Cluster) Crashed(id types.NodeID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, running := c.replicas[id]
+	_, known := c.addrs[id]
+	return known && !running
+}
+
+// RecoverAll restarts every crashed replica.
+func (c *Cluster) RecoverAll() {
+	c.mu.Lock()
+	var down []types.NodeID
+	for id := range c.addrs {
+		if _, running := c.replicas[id]; !running {
+			down = append(down, id)
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range down {
+		c.Recover(id)
+	}
+}
+
+// Message-fault controls delegate to the chaos layer.
+
+// Partition splits the listed groups (see chaos.Net.Partition: nodes in no
+// group — typically clients — are unaffected).
+func (c *Cluster) Partition(groups ...[]types.NodeID) { c.chaos.Partition(groups...) }
+
+// Heal removes the partition.
+func (c *Cluster) Heal() { c.chaos.Heal() }
+
+// BlockLink blackholes the directed link.
+func (c *Cluster) BlockLink(from, to types.NodeID) { c.chaos.BlockLink(from, to) }
+
+// UnblockLink reopens the directed link.
+func (c *Cluster) UnblockLink(from, to types.NodeID) { c.chaos.UnblockLink(from, to) }
+
+// SetDelayScale scales every configured fault delay.
+func (c *Cluster) SetDelayScale(s float64) { c.chaos.SetDelayScale(s) }
+
+// SetDefaultFaults configures the all-links fault mix.
+func (c *Cluster) SetDefaultFaults(f chaos.Faults) { c.chaos.SetDefaultFaults(f) }
+
+// SetLinkFaults configures one link's fault mix.
+func (c *Cluster) SetLinkFaults(from, to types.NodeID, f chaos.Faults) {
+	c.chaos.SetLinkFaults(from, to, f)
+}
+
+// ResetLink tears down the from->to connection.
+func (c *Cluster) ResetLink(from, to types.NodeID) { c.chaos.ResetLink(from, to) }
+
+// ResetAll tears down every connection.
+func (c *Cluster) ResetAll() { c.chaos.ResetAll() }
+
+var (
+	_ failure.Fabric        = (*Cluster)(nil)
+	_ failure.FaultInjector = (*Cluster)(nil)
+	_ failure.LinkResetter  = (*Cluster)(nil)
+)
+
+// Chaos exposes the underlying chaos controller (fault stats, tracing).
+func (c *Cluster) Chaos() *chaos.Net { return c.chaos }
+
+// Clients returns the cluster's clients: writers first, then readers.
+func (c *Cluster) Clients() []*core.Client { return c.clients }
+
+// ClientIDs returns the client node ids in Clients order.
+func (c *Cluster) ClientIDs() []types.NodeID {
+	ids := make([]types.NodeID, len(c.clients))
+	for i, cli := range c.clients {
+		ids[i] = cli.ID()
+	}
+	return ids
+}
+
+// TransportStats sums the tcpnet counters across every endpoint, past and
+// present — crashed replica generations included.
+func (c *Cluster) TransportStats() tcpnet.Stats {
+	c.mu.Lock()
+	total := c.stats
+	for _, proc := range c.replicas {
+		total = addStats(total, proc.ep.Stats())
+	}
+	c.mu.Unlock()
+	for _, ep := range c.clientEPs {
+		total = addStats(total, ep.Stats())
+	}
+	return total
+}
+
+func addStats(a, b tcpnet.Stats) tcpnet.Stats {
+	return tcpnet.Stats{
+		FramesSent:      a.FramesSent + b.FramesSent,
+		BytesSent:       a.BytesSent + b.BytesSent,
+		FramesRecv:      a.FramesRecv + b.FramesRecv,
+		BytesRecv:       a.BytesRecv + b.BytesRecv,
+		Dials:           a.Dials + b.Dials,
+		DialFailures:    a.DialFailures + b.DialFailures,
+		Accepts:         a.Accepts + b.Accepts,
+		WriteFailures:   a.WriteFailures + b.WriteFailures,
+		WriteTimeouts:   a.WriteTimeouts + b.WriteTimeouts,
+		SuppressedSends: a.SuppressedSends + b.SuppressedSends,
+		BreakerOpens:    a.BreakerOpens + b.BreakerOpens,
+		BreakerProbes:   a.BreakerProbes + b.BreakerProbes,
+		BreakerCloses:   a.BreakerCloses + b.BreakerCloses,
+		BreakersOpen:    a.BreakersOpen + b.BreakersOpen,
+		Resets:          a.Resets + b.Resets,
+		ConnsActive:     a.ConnsActive + b.ConnsActive,
+	}
+}
+
+// Close stops clients and replicas and removes the temp WAL directory if
+// the cluster created it.
+func (c *Cluster) Close() {
+	for _, cli := range c.clients {
+		cli.Close()
+	}
+	c.mu.Lock()
+	procs := make([]*replicaProc, 0, len(c.replicas))
+	for id, proc := range c.replicas {
+		procs = append(procs, proc)
+		delete(c.replicas, id)
+	}
+	c.mu.Unlock()
+	for _, proc := range procs {
+		proc.rep.Stop()
+	}
+	if c.ownsDir {
+		_ = os.RemoveAll(c.dir)
+	}
+}
+
+// GenerateSchedule derives a deterministic fault schedule from a seed:
+// `windows` sequential episodes of duration `window`, each picking one
+// nemesis genre — a loss/duplication/corruption storm, a latency spike, a
+// replica crash with restart, a connection-reset volley, or a replica
+// isolation (all client links to it blocked). Every episode undoes its
+// fault at the window's end, and at least one crash episode is guaranteed
+// (the harness must exercise crash-recovery). The same (seed, n, clients,
+// windows, window) always yields the same schedule — byte-for-byte as a
+// script — so a failing run can be replayed.
+func GenerateSchedule(seed int64, n int, clients []types.NodeID, windows int, window time.Duration) failure.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sched failure.Schedule
+	add := func(at time.Duration, a failure.Action) {
+		sched = append(sched, failure.Event{At: at, Action: a})
+	}
+	sawCrash := false
+	for w := 0; w < windows; w++ {
+		start := time.Duration(w)*window + window/8
+		end := time.Duration(w+1)*window - window/8
+		genre := rng.Intn(5)
+		if w == windows-1 && !sawCrash {
+			genre = 2 // guarantee one crash+restart episode per schedule
+		}
+		switch genre {
+		case 0: // message storm: loss plus some duplication and corruption
+			f := chaos.Faults{
+				Drop:    0.1 + 0.2*rng.Float64(),
+				Dup:     0.1 * rng.Float64(),
+				Corrupt: 0.05 * rng.Float64(),
+			}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		case 1: // latency spike with reordering
+			lo := time.Duration(1+rng.Intn(4)) * time.Millisecond
+			hi := lo + time.Duration(5+rng.Intn(20))*time.Millisecond
+			f := chaos.Faults{DelayMin: lo, DelayMax: hi, Reorder: 0.2 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		case 2: // crash one replica, restart it before the window closes
+			id := types.NodeID(rng.Intn(n))
+			add(start, failure.Crash{Node: id})
+			add(end, failure.Recover{Node: id})
+			sawCrash = true
+		case 3: // connection-reset volley
+			k := 2 + rng.Intn(3)
+			for j := 0; j < k; j++ {
+				add(start+time.Duration(j)*(end-start)/time.Duration(k), failure.Reset{All: true})
+			}
+		case 4: // isolate one replica from every client (a one-node partition)
+			id := types.NodeID(rng.Intn(n))
+			for _, cl := range clients {
+				add(start, failure.Block{From: cl, To: id})
+			}
+			for _, cl := range clients {
+				add(end, failure.Unblock{From: cl, To: id})
+			}
+		}
+	}
+	return sched
+}
+
+// Result is the outcome of one nemesis run.
+type Result struct {
+	// Outcome is the overall linearizability verdict; Results holds the
+	// per-register detail.
+	Outcome lincheck.Outcome
+	Results map[string]lincheck.Result
+	// History is the recorded operation history (sorted by invocation).
+	History []history.Op
+	// Ops counts completed operations, Failed the timed-out ones
+	// (recorded as pending — the checker decides if their effects show).
+	Ops, Failed int
+	// Schedule is the fault schedule that ran, in script syntax.
+	Schedule string
+	// Client aggregates the clients' protocol counters (retransmits etc.).
+	Client core.MetricsSnapshot
+	// Transport aggregates tcpnet counters across all endpoints; Chaos is
+	// the fault-injection tally.
+	Transport tcpnet.Stats
+	Chaos     chaos.Stats
+}
+
+// Run executes one full nemesis pass: start the cluster, run the workload
+// and the fault schedule concurrently, then check the recorded history.
+// The error covers harness failures only — a linearizability violation is
+// reported in Result.Outcome, not as an error.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	cl, err := NewCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	sched := cfg.Schedule
+	if sched == nil {
+		sched = GenerateSchedule(cfg.Seed, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
+	}
+
+	rec := history.NewRecorder()
+	var failed int
+	var failedMu sync.Mutex
+
+	sctx, stopSched := context.WithCancel(ctx)
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		_ = sched.Run(sctx, cl) // cancellation is the normal exit
+	}()
+
+	// pace sleeps a jittered think time (50%..150% of OpInterval) so the
+	// workload stays spread across the whole fault schedule.
+	pace := func(rng *rand.Rand) {
+		if cfg.OpInterval <= 0 {
+			return
+		}
+		time.Sleep(cfg.OpInterval/2 + time.Duration(rng.Int63n(int64(cfg.OpInterval))))
+	}
+
+	var wg sync.WaitGroup
+	clients := cl.Clients()
+	for i := 0; i < cfg.Writers; i++ {
+		wg.Add(1)
+		go func(i int, cli *core.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*997 + int64(i)))
+			reg := fmt.Sprintf("r%d", i%cfg.Registers)
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				val := []byte(fmt.Sprintf("w%d-%d", i, op))
+				p := rec.BeginWriteReg(int(cli.ID()), reg, val)
+				octx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+				err := cli.Write(octx, reg, val)
+				cancel()
+				if err != nil {
+					p.Crash() // pending: the write may still take effect
+					failedMu.Lock()
+					failed++
+					failedMu.Unlock()
+				} else {
+					p.EndWrite()
+				}
+				pace(rng)
+			}
+		}(i, clients[i])
+	}
+	for i := 0; i < cfg.Readers; i++ {
+		wg.Add(1)
+		go func(i int, cli *core.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed*991 + int64(i)))
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				reg := fmt.Sprintf("r%d", (i+op)%cfg.Registers)
+				p := rec.BeginReadReg(int(cli.ID()), reg)
+				octx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
+				val, err := cli.Read(octx, reg)
+				cancel()
+				if err != nil {
+					p.Crash() // pending read: imposes no obligation
+					failedMu.Lock()
+					failed++
+					failedMu.Unlock()
+				} else {
+					p.EndRead(val)
+				}
+				pace(rng)
+			}
+		}(i, clients[cfg.Writers+i])
+	}
+	wg.Wait()
+	stopSched()
+	<-schedDone
+
+	// Restore the cluster before teardown so Close sees live processes.
+	cl.RecoverAll()
+	cl.Chaos().ClearFaults()
+	cl.Chaos().Heal()
+
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("nemesis: run cancelled: %w", err)
+	}
+
+	ops := rec.Ops()
+	results := lincheck.CheckRegisters(ops, lincheck.Config{Timeout: cfg.CheckTimeout})
+	res := &Result{
+		Outcome:   lincheck.AllLinearizable(results),
+		Results:   results,
+		History:   ops,
+		Ops:       len(ops) - failed,
+		Failed:    failed,
+		Schedule:  sched.String(),
+		Transport: cl.TransportStats(),
+		Chaos:     cl.Chaos().Stats(),
+	}
+	for _, cli := range clients {
+		m := cli.Metrics()
+		res.Client.Reads += m.Reads
+		res.Client.Writes += m.Writes
+		res.Client.Phases += m.Phases
+		res.Client.MsgsSent += m.MsgsSent
+		res.Client.WriteBacks += m.WriteBacks
+		res.Client.WriteBacksSkipped += m.WriteBacksSkipped
+		res.Client.OrderViolations += m.OrderViolations
+		res.Client.Stragglers += m.Stragglers
+		res.Client.BadMsgs += m.BadMsgs
+		res.Client.Retransmits += m.Retransmits
+		res.Client.MaskRetries += m.MaskRetries
+	}
+	return res, nil
+}

@@ -12,12 +12,22 @@
 // surface as message loss (and a dropped cached connection), not as
 // operation failures — the protocol's quorum logic already tolerates loss
 // of a minority of its messages.
+//
+// Self-healing: every frame write carries a deadline (WriteTimeout), so a
+// stalled peer with a full TCP buffer can never wedge Send; failed peers
+// are redialed with exponential backoff plus jitter instead of
+// dial-per-send hammering; and each peer sits behind a circuit breaker
+// that opens after BreakerThreshold consecutive failures, fast-failing
+// sends (as loss) until a half-open probe succeeds. Breaker transitions
+// and suppressed sends are visible in Stats and, via cmd/abd-node, in
+// /metrics.
 package tcpnet
 
 import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -44,6 +54,43 @@ type Config struct {
 	Peers map[types.NodeID]string
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 3s; negative
+	// disables). A write that misses the deadline counts as a write
+	// failure: the frame is lost and the connection dropped — the
+	// protocol's retransmission recovers, while an unbounded write against
+	// a stalled peer would block Send forever.
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff after a
+	// peer failure (defaults 50ms and 5s). While a peer is backing off,
+	// sends that would have to dial are counted as suppressed and read as
+	// loss, so a dead peer costs one dial per backoff window rather than
+	// one per send.
+	BackoffMin, BackoffMax time.Duration
+	// BreakerThreshold is the number of consecutive failures after which a
+	// peer's circuit breaker opens (default 8; negative disables the
+	// breaker accounting, leaving only the dial backoff).
+	BreakerThreshold int
+}
+
+// Breaker states, per peer.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// peerState is the per-peer connection cache plus failure-handling state.
+// conn and the breaker fields are guarded by the endpoint mutex; wmu
+// serializes frame writes so concurrent Sends cannot interleave partial
+// frames on the shared connection.
+type peerState struct {
+	conn net.Conn
+	wmu  sync.Mutex
+
+	fails   int
+	state   int
+	backoff time.Duration
+	nextTry time.Time
 }
 
 // Endpoint is a TCP-backed transport endpoint.
@@ -53,7 +100,7 @@ type Endpoint struct {
 	mbox *transport.Mailbox
 
 	mu    sync.Mutex
-	conns map[types.NodeID]net.Conn
+	peers map[types.NodeID]*peerState
 
 	closed atomic.Bool
 	wg     sync.WaitGroup
@@ -66,6 +113,13 @@ type Endpoint struct {
 	dialFailures  atomic.Int64
 	accepts       atomic.Int64
 	writeFailures atomic.Int64
+	writeTimeouts atomic.Int64
+	suppressed    atomic.Int64
+	breakerOpens  atomic.Int64
+	breakerProbes atomic.Int64
+	breakerCloses atomic.Int64
+	breakersOpen  atomic.Int64
+	resets        atomic.Int64
 }
 
 // Stats is a snapshot of an endpoint's transport counters.
@@ -83,8 +137,21 @@ type Stats struct {
 	// Accepts counts inbound connections taken from the listener.
 	Accepts int64
 	// WriteFailures counts frame writes that errored (connection then
-	// dropped and redialed lazily).
-	WriteFailures int64
+	// dropped and redialed lazily); WriteTimeouts is the subset that
+	// missed the write deadline (stalled peer).
+	WriteFailures, WriteTimeouts int64
+	// SuppressedSends counts sends swallowed as loss without touching the
+	// network because the peer was backing off or its breaker was open.
+	SuppressedSends int64
+	// BreakerOpens/Probes/Closes count circuit-breaker transitions:
+	// closed→open after BreakerThreshold consecutive failures, open→
+	// half-open probe attempts, and half-open→closed recoveries.
+	BreakerOpens, BreakerProbes, BreakerCloses int64
+	// BreakersOpen is the current number of peers with an open or
+	// half-open breaker.
+	BreakersOpen int64
+	// Resets counts connections torn down via ResetPeer (chaos injection).
+	Resets int64
 	// ConnsActive is the current number of cached connections.
 	ConnsActive int
 }
@@ -92,18 +159,30 @@ type Stats struct {
 // Stats returns a snapshot of the endpoint's counters.
 func (e *Endpoint) Stats() Stats {
 	e.mu.Lock()
-	active := len(e.conns)
+	active := 0
+	for _, ps := range e.peers {
+		if ps.conn != nil {
+			active++
+		}
+	}
 	e.mu.Unlock()
 	return Stats{
-		FramesSent:    e.framesSent.Load(),
-		BytesSent:     e.bytesSent.Load(),
-		FramesRecv:    e.framesRecv.Load(),
-		BytesRecv:     e.bytesRecv.Load(),
-		Dials:         e.dials.Load(),
-		DialFailures:  e.dialFailures.Load(),
-		Accepts:       e.accepts.Load(),
-		WriteFailures: e.writeFailures.Load(),
-		ConnsActive:   active,
+		FramesSent:      e.framesSent.Load(),
+		BytesSent:       e.bytesSent.Load(),
+		FramesRecv:      e.framesRecv.Load(),
+		BytesRecv:       e.bytesRecv.Load(),
+		Dials:           e.dials.Load(),
+		DialFailures:    e.dialFailures.Load(),
+		Accepts:         e.accepts.Load(),
+		WriteFailures:   e.writeFailures.Load(),
+		WriteTimeouts:   e.writeTimeouts.Load(),
+		SuppressedSends: e.suppressed.Load(),
+		BreakerOpens:    e.breakerOpens.Load(),
+		BreakerProbes:   e.breakerProbes.Load(),
+		BreakerCloses:   e.breakerCloses.Load(),
+		BreakersOpen:    e.breakersOpen.Load(),
+		Resets:          e.resets.Load(),
+		ConnsActive:     active,
 	}
 }
 
@@ -114,6 +193,18 @@ func Listen(cfg Config) (*Endpoint, error) {
 	if cfg.DialTimeout == 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 3 * time.Second
+	}
+	if cfg.BackoffMin == 0 {
+		cfg.BackoffMin = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 8
+	}
 	peers := make(map[types.NodeID]string, len(cfg.Peers))
 	for id, addr := range cfg.Peers {
 		peers[id] = addr
@@ -123,7 +214,7 @@ func Listen(cfg Config) (*Endpoint, error) {
 	e := &Endpoint{
 		cfg:   cfg,
 		mbox:  transport.NewMailbox(),
-		conns: make(map[types.NodeID]net.Conn),
+		peers: make(map[types.NodeID]*peerState),
 	}
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
@@ -153,6 +244,56 @@ func (e *Endpoint) Addr() string {
 // Recv returns the incoming message channel.
 func (e *Endpoint) Recv() <-chan transport.Message { return e.mbox.Out() }
 
+// peer returns the peer's state record, creating it if needed. Caller
+// holds e.mu.
+func (e *Endpoint) peerLocked(id types.NodeID) *peerState {
+	ps, ok := e.peers[id]
+	if !ok {
+		ps = &peerState{}
+		e.peers[id] = ps
+	}
+	return ps
+}
+
+// noteFailure records one peer failure: the consecutive-failure counter
+// grows, the redial backoff doubles (with ±25% jitter), and at
+// BreakerThreshold the breaker opens. Caller holds e.mu.
+func (e *Endpoint) noteFailureLocked(ps *peerState) {
+	ps.fails++
+	if ps.backoff == 0 {
+		ps.backoff = e.cfg.BackoffMin
+	} else {
+		ps.backoff *= 2
+	}
+	if ps.backoff > e.cfg.BackoffMax {
+		ps.backoff = e.cfg.BackoffMax
+	}
+	jitter := 1 + (rand.Float64()-0.5)/2 // 0.75 .. 1.25
+	ps.nextTry = time.Now().Add(time.Duration(float64(ps.backoff) * jitter))
+	switch {
+	case ps.state == breakerHalfOpen:
+		// Failed probe: back to open, wait out another backoff window.
+		ps.state = breakerOpen
+	case ps.state == breakerClosed && e.cfg.BreakerThreshold > 0 && ps.fails >= e.cfg.BreakerThreshold:
+		ps.state = breakerOpen
+		e.breakerOpens.Add(1)
+		e.breakersOpen.Add(1)
+	}
+}
+
+// noteSuccess clears a peer's failure state, closing its breaker. Caller
+// holds e.mu.
+func (e *Endpoint) noteSuccessLocked(ps *peerState) {
+	if ps.state != breakerClosed {
+		ps.state = breakerClosed
+		e.breakerCloses.Add(1)
+		e.breakersOpen.Add(-1)
+	}
+	ps.fails = 0
+	ps.backoff = 0
+	ps.nextTry = time.Time{}
+}
+
 // Send transmits a message to the given node, dialing if necessary.
 // Transport failures are treated as message loss: the cached connection is
 // discarded and nil is returned, matching the asynchronous model where the
@@ -163,12 +304,13 @@ func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 	if e.closed.Load() {
 		return types.ErrClosed
 	}
-	conn, err := e.conn(to)
+	ps, conn, err := e.conn(to)
 	if err != nil {
 		return err
 	}
 	if conn == nil {
-		// Dial failed: counts as loss, the peer may come back later.
+		// Dial failed or suppressed: counts as loss, the peer may come
+		// back later.
 		return nil
 	}
 	frame := make([]byte, 8+len(payload))
@@ -177,60 +319,123 @@ func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 	copy(frame[8:], payload)
 	e.framesSent.Add(1)
 	e.bytesSent.Add(int64(len(frame)))
-	if _, err := conn.Write(frame); err != nil {
-		e.writeFailures.Add(1)
-		e.dropConn(to, conn)
+
+	ps.wmu.Lock()
+	if e.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
 	}
+	_, werr := conn.Write(frame)
+	ps.wmu.Unlock()
+
+	e.mu.Lock()
+	if werr != nil {
+		e.writeFailures.Add(1)
+		if ne, ok := werr.(net.Error); ok && ne.Timeout() {
+			e.writeTimeouts.Add(1)
+		}
+		e.noteFailureLocked(ps)
+		e.dropConnLocked(to, conn)
+	} else {
+		e.noteSuccessLocked(ps)
+	}
+	e.mu.Unlock()
 	return nil
 }
 
-// conn returns a connection to the peer, dialing if needed. A nil, nil
-// return means the dial failed (treated as loss by Send).
-func (e *Endpoint) conn(to types.NodeID) (net.Conn, error) {
+// conn returns the peer state and a connection to it, dialing if needed. A
+// nil connection with nil error means the send should read as loss: the
+// dial failed, or the peer is backing off / breaker-open and the attempt
+// was suppressed.
+func (e *Endpoint) conn(to types.NodeID) (*peerState, net.Conn, error) {
 	e.mu.Lock()
-	if c, ok := e.conns[to]; ok {
+	ps := e.peerLocked(to)
+	if c := ps.conn; c != nil {
 		e.mu.Unlock()
-		return c, nil
+		return ps, c, nil
 	}
 	addr, ok := e.cfg.Peers[to]
-	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %v not connected and not in peer table", types.ErrUnknownNode, to)
+		e.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %v not connected and not in peer table", types.ErrUnknownNode, to)
 	}
+	// No cached connection: the breaker/backoff state gates the dial.
+	if !ps.nextTry.IsZero() && time.Now().Before(ps.nextTry) {
+		e.suppressed.Add(1)
+		e.mu.Unlock()
+		return ps, nil, nil
+	}
+	if ps.state == breakerOpen {
+		// Backoff elapsed on an open breaker: this attempt is the
+		// half-open probe.
+		ps.state = breakerHalfOpen
+		e.breakerProbes.Add(1)
+	}
+	e.mu.Unlock()
 
 	c, err := net.DialTimeout("tcp", addr, e.cfg.DialTimeout)
 	if err != nil {
 		e.dialFailures.Add(1)
-		return nil, nil // loss
+		e.mu.Lock()
+		e.noteFailureLocked(ps)
+		e.mu.Unlock()
+		return ps, nil, nil // loss
 	}
 	e.dials.Add(1)
 	e.mu.Lock()
 	if e.closed.Load() {
 		e.mu.Unlock()
 		_ = c.Close()
-		return nil, types.ErrClosed
+		return nil, nil, types.ErrClosed
 	}
-	if existing, ok := e.conns[to]; ok {
+	if ps.conn != nil {
 		// Lost the race with a concurrent dial or an inbound connection.
+		existing := ps.conn
 		e.mu.Unlock()
 		_ = c.Close()
-		return existing, nil
+		return ps, existing, nil
 	}
-	e.conns[to] = c
+	ps.conn = c
 	e.mu.Unlock()
 
 	// Read replies arriving on this outbound connection.
 	e.wg.Add(1)
 	go e.readLoop(c, to)
-	return c, nil
+	return ps, c, nil
+}
+
+// ResetPeer tears down the cached connection to a peer, simulating a
+// connection reset (chaos.PeerResetter). The breaker state is untouched:
+// a reset is an injected fault, not evidence the peer is down. Returns
+// whether there was a connection to kill.
+func (e *Endpoint) ResetPeer(id types.NodeID) bool {
+	e.mu.Lock()
+	ps := e.peers[id]
+	var conn net.Conn
+	if ps != nil {
+		conn = ps.conn
+		ps.conn = nil
+	}
+	e.mu.Unlock()
+	if conn == nil {
+		return false
+	}
+	e.resets.Add(1)
+	_ = conn.Close()
+	return true
 }
 
 func (e *Endpoint) dropConn(id types.NodeID, conn net.Conn) {
 	e.mu.Lock()
-	if e.conns[id] == conn {
-		delete(e.conns, id)
-	}
+	e.dropConnLocked(id, conn)
 	e.mu.Unlock()
+}
+
+// dropConnLocked discards the peer's cached connection if it is still the
+// given one. Caller holds e.mu.
+func (e *Endpoint) dropConnLocked(id types.NodeID, conn net.Conn) {
+	if ps, ok := e.peers[id]; ok && ps.conn == conn {
+		ps.conn = nil
+	}
 	_ = conn.Close()
 }
 
@@ -277,11 +482,16 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 		e.framesRecv.Add(1)
 		e.bytesRecv.Add(int64(8 + len(payload)))
 		if registered < 0 {
-			// Learn the peer so replies go back on this connection.
+			// Learn the peer so replies go back on this connection. An
+			// inbound connection is proof of life: close any breaker.
 			e.mu.Lock()
-			if _, exists := e.conns[from]; !exists && !e.closed.Load() {
-				e.conns[from] = conn
-				registered = from
+			if !e.closed.Load() {
+				ps := e.peerLocked(from)
+				if ps.conn == nil {
+					ps.conn = conn
+					registered = from
+					e.noteSuccessLocked(ps)
+				}
 			}
 			e.mu.Unlock()
 		}
@@ -298,9 +508,11 @@ func (e *Endpoint) Close() error {
 		_ = e.ln.Close()
 	}
 	e.mu.Lock()
-	for id, c := range e.conns {
-		_ = c.Close()
-		delete(e.conns, id)
+	for _, ps := range e.peers {
+		if ps.conn != nil {
+			_ = ps.conn.Close()
+			ps.conn = nil
+		}
 	}
 	e.mu.Unlock()
 	e.wg.Wait()

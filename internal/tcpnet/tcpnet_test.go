@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -272,6 +273,190 @@ func TestConcurrentSendsShareConnection(t *testing.T) {
 			got++
 		case <-timeout:
 			t.Fatalf("received %d of %d", got, n)
+		}
+	}
+}
+
+// TestWriteDeadlineUnblocksStalledPeer is the regression test for the
+// per-send write deadline: a peer that accepts the connection but never
+// reads eventually fills the TCP buffer, and without a deadline Send would
+// block forever.
+func TestWriteDeadlineUnblocksStalledPeer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Accept and hold the connection open without ever reading from it.
+	stall := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			stall <- c
+		}
+	}()
+	t.Cleanup(func() {
+		close(stall)
+		for c := range stall {
+			_ = c.Close()
+		}
+	})
+
+	client := listenT(t, Config{ID: 100,
+		Peers:        map[types.NodeID]string{1: ln.Addr().String()},
+		WriteTimeout: 100 * time.Millisecond})
+
+	big := make([]byte, 4<<20) // larger than any default socket buffer
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if err := client.Send(1, big); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sends against stalled peer took %v", elapsed)
+	}
+	if st := client.Stats(); st.WriteTimeouts == 0 {
+		t.Errorf("no write timeouts recorded: %+v", st)
+	}
+}
+
+// TestBreakerLifecycle drives a peer's circuit breaker through
+// closed → open → half-open probe → closed and checks every transition is
+// visible in Stats.
+func TestBreakerLifecycle(t *testing.T) {
+	// Reserve an address with nothing behind it yet.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	client := listenT(t, Config{ID: 100,
+		Peers:            map[types.NodeID]string{1: addr},
+		DialTimeout:      200 * time.Millisecond,
+		BackoffMin:       5 * time.Millisecond,
+		BackoffMax:       20 * time.Millisecond,
+		BreakerThreshold: 3})
+
+	// Hammer the dead peer until the breaker opens. Each backoff window
+	// admits one dial, so pace slightly above BackoffMax.
+	deadline := time.After(10 * time.Second)
+	for client.Stats().BreakerOpens == 0 {
+		if err := client.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("breaker never opened: %+v", client.Stats())
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	st := client.Stats()
+	if st.BreakersOpen != 1 {
+		t.Fatalf("open breaker gauge = %d, want 1 (%+v)", st.BreakersOpen, st)
+	}
+	if st.DialFailures < 3 {
+		t.Fatalf("breaker opened after %d dial failures, threshold 3", st.DialFailures)
+	}
+
+	// With the breaker open, sends inside the backoff window are suppressed
+	// without touching the network.
+	fails := client.Stats().DialFailures
+	for i := 0; i < 20; i++ {
+		if err := client.Send(1, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = client.Stats()
+	if st.SuppressedSends == 0 {
+		t.Errorf("no suppressed sends while breaker open: %+v", st)
+	}
+	if st.DialFailures > fails+2 {
+		t.Errorf("breaker open but dials kept hammering: %d -> %d", fails, st.DialFailures)
+	}
+
+	// Bring the peer up on the reserved address: the next probe closes the
+	// breaker and delivery resumes.
+	server, err := Listen(Config{ID: 1, ListenAddr: addr})
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+
+	deadline = time.After(10 * time.Second)
+	for {
+		if err := client.Send(1, []byte("probe")); err != nil {
+			t.Fatal(err)
+		}
+		st = client.Stats()
+		if st.BreakerCloses >= 1 && st.BreakersOpen == 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("breaker never closed: %+v", st)
+		case <-time.After(25 * time.Millisecond):
+		}
+	}
+	if st.BreakerProbes == 0 {
+		t.Errorf("breaker closed without a recorded probe: %+v", st)
+	}
+	select {
+	case m := <-server.Recv():
+		if m.From != 100 {
+			t.Fatalf("server saw sender %v", m.From)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after breaker closed")
+	}
+}
+
+// TestResetPeerKillsConnection covers the chaos hook: ResetPeer drops the
+// cached connection but leaves the breaker closed, so the next send
+// redials immediately.
+func TestResetPeerKillsConnection(t *testing.T) {
+	server := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	client := listenT(t, Config{ID: 100, Peers: map[types.NodeID]string{1: server.Addr()}})
+
+	if err := client.Send(1, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-server.Recv():
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+	if !client.ResetPeer(1) {
+		t.Fatal("ResetPeer found no connection")
+	}
+	if client.ResetPeer(1) {
+		t.Fatal("second ResetPeer found a connection")
+	}
+	st := client.Stats()
+	if st.Resets != 1 || st.ConnsActive != 0 {
+		t.Fatalf("after reset: %+v", st)
+	}
+
+	// Next send redials (no backoff: resets aren't failures).
+	deadline := time.After(10 * time.Second)
+	for {
+		if err := client.Send(1, []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-server.Recv():
+			if st := client.Stats(); st.SuppressedSends != 0 {
+				t.Errorf("reset triggered backoff suppression: %+v", st)
+			}
+			return
+		case <-time.After(100 * time.Millisecond):
+		case <-deadline:
+			t.Fatal("never reconnected after reset")
 		}
 	}
 }
