@@ -2,12 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race vet check bench eval clean
+# Every command binary `make bin` produces under ./bin.
+CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace
+
+.PHONY: all build bin test race vet check smoke bench eval clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+bin:
+	$(GO) build -o bin/ $(addprefix ./cmd/,$(CMDS))
 
 test:
 	$(GO) test ./...
@@ -22,6 +28,15 @@ vet:
 	$(GO) vet ./...
 
 check: build vet test race
+
+# Tier-2 smoke: one seeded nemesis pass on a real TCP cluster (chaos faults,
+# crash+restart, linearizability check), its spans dumped as JSONL and fed
+# back through abd-trace, which exits nonzero unless at least 95% of the
+# replica/transport spans stitch to the client operation that caused them.
+SMOKE_SPANS ?= $(if $(TMPDIR),$(TMPDIR),/tmp)/abd-smoke-spans.jsonl
+smoke:
+	$(GO) run ./cmd/abd-sim -nemesis -seed 7 -trace-out $(SMOKE_SPANS)
+	$(GO) run ./cmd/abd-trace -min-stitch 0.95 $(SMOKE_SPANS)
 
 bench:
 	$(GO) test -bench=. -benchmem

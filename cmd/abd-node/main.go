@@ -10,12 +10,16 @@
 // Replicas need no peer table: they answer clients over the connections the
 // clients opened. With -metrics-addr set, the node serves Prometheus text
 // metrics on /metrics (client, replica, transport, and process series — see
-// the README's Observability section for the naming conventions) and a
-// liveness probe on /healthz. With -peers also set, the node runs an
-// embedded probe client against the whole replica group: one end-to-end
-// write+read pair per -probe-interval, whose latency histograms populate
-// the abd_client_* series (without -peers those series export zero
-// samples). SIGINT/SIGTERM shut the node down gracefully: the probe client
+// the README's Observability section for the naming conventions), a JSON
+// health report on /healthz (uptime, build revision, span-drop counter), and
+// the span collector on /spans (GET pulls collected spans as JSONL for
+// abd-trace; POST pushes spans from another process). With -peers also set,
+// the node runs an embedded probe client against the whole replica group:
+// one end-to-end write+read pair per -probe-interval, whose latency
+// histograms populate the abd_client_* series (without -peers those series
+// export zero samples) and whose spans — with -trace-out or -metrics-addr —
+// trace each probe through transport, replica handler, and WAL append.
+// SIGINT/SIGTERM shut the node down gracefully: the probe client
 // stops, the WAL is compacted to one record per register, the replica
 // drains, and the final counters are printed; a second signal kills the
 // process immediately.
@@ -48,19 +52,45 @@ func main() {
 
 func run() int {
 	var (
-		id      = flag.Int("id", 0, "this replica's node id")
-		listen  = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
-		bounded = flag.Int64("bounded-window", 0, "enable bounded labels with this liveness window (0 = unbounded)")
-		wal     = flag.String("wal", "", "write-ahead log path for crash-recovery (empty = in-memory only)")
-		metrics = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
-		peers   = flag.String("peers", "", "replica addresses id=host:port,... for the embedded probe client (empty = no probing)")
-		probeIv = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
+		id       = flag.Int("id", 0, "this replica's node id")
+		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
+		bounded  = flag.Int64("bounded-window", 0, "enable bounded labels with this liveness window (0 = unbounded)")
+		wal      = flag.String("wal", "", "write-ahead log path for crash-recovery (empty = in-memory only)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
+		peers    = flag.String("peers", "", "replica addresses id=host:port,... for the embedded probe client (empty = no probing)")
+		probeIv  = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
+		traceOut = flag.String("trace-out", "", "write every span (replica handlers, WAL appends, transport hops, probe ops) as JSONL to this file for abd-trace")
 	)
 	flag.Parse()
+
+	// Tracing is armed whenever anything can consume the spans: a -trace-out
+	// file, or the /spans endpoint next to /metrics. It stays zero-cost for
+	// untraced traffic either way — the replica and transport only emit spans
+	// for messages that arrive carrying a trace context.
+	var (
+		spanCol    *obs.Collector
+		tracer     obs.Tracer
+		traceFile  *os.File
+		traceJSONL *obs.JSONL
+	)
+	if *traceOut != "" || *metrics != "" {
+		spanCol = obs.NewCollector(0)
+		tracer = spanCol
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: %v\n", err)
+			return 1
+		}
+		traceFile, traceJSONL = f, obs.NewJSONL(f)
+		tracer = obs.Multi{spanCol, traceJSONL}
+	}
 
 	ep, err := tcpnet.Listen(tcpnet.Config{
 		ID:         types.NodeID(*id),
 		ListenAddr: *listen,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "abd-node: %v\n", err)
@@ -70,6 +100,9 @@ func run() int {
 	var ropts []core.ReplicaOption
 	if *bounded > 0 {
 		ropts = append(ropts, core.WithReplicaBoundedWindow(*bounded))
+	}
+	if tracer != nil {
+		ropts = append(ropts, core.WithReplicaTracer(tracer))
 	}
 	var replica *core.Replica
 	if *wal != "" {
@@ -87,7 +120,7 @@ func run() int {
 	var prober *core.Client
 	var proberEp *tcpnet.Endpoint
 	if *peers != "" {
-		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv)
+		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abd-node: probe client: %v\n", err)
 			return 1
@@ -96,7 +129,7 @@ func run() int {
 
 	var srv *http.Server
 	if *metrics != "" {
-		handler := obs.Expose(nodeGatherer(replica, ep, prober, proberEp))
+		handler := obs.ExposeFull(nodeGatherer(replica, ep, prober, proberEp), spanCol)
 		srv = &http.Server{Addr: *metrics, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -129,6 +162,16 @@ func run() int {
 		_ = srv.Shutdown(sctx)
 		cancel()
 	}
+	if traceJSONL != nil {
+		if err := traceJSONL.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: trace file: %v\n", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: trace file: %v\n", err)
+		}
+		fmt.Printf("abd-node: %d spans written to %s (%d dropped from /spans buffer)\n",
+			spanCol.Len(), *traceOut, spanCol.Dropped())
+	}
 	st := replica.ReplicaMetrics()
 	ts := ep.Stats()
 	fmt.Printf("abd-node: stopped (queries=%d updates=%d adoptions=%d stale=%d registers=%d "+
@@ -141,19 +184,25 @@ func run() int {
 // startProber connects an embedded client to the replica group and probes
 // one end-to-end write+read pair per interval against a per-node register,
 // so the node's own /metrics carries real client-side latency histograms.
-// The goroutine stops when the returned client is closed.
-func startProber(id types.NodeID, peersSpec string, interval time.Duration) (*core.Client, *tcpnet.Endpoint, error) {
+// The goroutine stops when the returned client is closed. With a tracer the
+// probe operations are traced end to end, so a node group with -trace-out
+// (or the /spans endpoint) continuously self-samples its own critical path.
+func startProber(id types.NodeID, peersSpec string, interval time.Duration, tracer obs.Tracer) (*core.Client, *tcpnet.Endpoint, error) {
 	peers, order, err := parsePeers(peersSpec)
 	if err != nil {
 		return nil, nil, err
 	}
 	// Client ids live in a range disjoint from replica ids.
 	cliID := 9000 + id
-	ep, err := tcpnet.Listen(tcpnet.Config{ID: cliID, Peers: peers})
+	ep, err := tcpnet.Listen(tcpnet.Config{ID: cliID, Peers: peers, Tracer: tracer})
 	if err != nil {
 		return nil, nil, err
 	}
-	cli, err := core.NewClient(cliID, ep, order)
+	var copts []core.ClientOption
+	if tracer != nil {
+		copts = append(copts, core.WithTracer(tracer))
+	}
+	cli, err := core.NewClient(cliID, ep, order, copts...)
 	if err != nil {
 		ep.Close()
 		return nil, nil, err

@@ -62,11 +62,16 @@ func run() int {
 		out      = flag.String("out", "", "write the history as JSON lines to this file")
 		opT      = flag.Duration("op-timeout", 2*time.Second, "per-operation deadline")
 		nem      = flag.Bool("nemesis", false, "run on a real TCP cluster with chaos injection and crash+restart (see internal/nemesis)")
+		traceOut = flag.String("trace-out", "", "nemesis mode: write every collected span as JSONL to this file (analyze with abd-trace)")
 	)
 	flag.Parse()
 
 	if *nem {
-		return runNemesis(*n, *writers, *readers, *ops, *regs, *seed, *faults, *out)
+		return runNemesis(*n, *writers, *readers, *ops, *regs, *seed, *faults, *out, *traceOut)
+	}
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "abd-sim: -trace-out requires -nemesis")
+		return 2
 	}
 
 	var copts []core.ClientOption
@@ -252,7 +257,7 @@ func run() int {
 // cluster of persistent replicas under a seeded chaos schedule, with the
 // recorded history always checked for linearizability. A non-empty fault
 // script overrides the generated schedule.
-func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out string) int {
+func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out, traceOut string) int {
 	cfg := nemesis.Config{
 		N: n, Writers: writers, Readers: readers,
 		OpsPerClient: ops, Registers: regs, Seed: seed,
@@ -291,6 +296,31 @@ func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out stri
 		res.Transport.BreakerProbes, res.Transport.BreakerCloses, res.Transport.Resets)
 	fmt.Printf("abd-sim: client: phases=%d retransmits=%d msgs_sent=%d\n",
 		res.Client.Phases, res.Client.Retransmits, res.Client.MsgsSent)
+	fmt.Printf("abd-sim: traces: %d spans (%d dropped), stitch %d/%d (%.1f%%) across %d traces\n",
+		len(res.Spans), res.SpansDropped, res.Stitch.Stitched, res.Stitch.Total,
+		100*res.Stitch.Ratio(), res.Stitch.Traces)
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		j := obs.NewJSONL(f)
+		for _, s := range res.Spans {
+			j.Emit(s)
+		}
+		if err := j.Close(); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "abd-sim: %v\n", err)
+			return 1
+		}
+		fmt.Printf("abd-sim: traces (%d spans) written to %s\n", len(res.Spans), traceOut)
+	}
 
 	if out != "" {
 		f, err := os.Create(out)

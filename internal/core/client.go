@@ -204,18 +204,35 @@ func (in *opInbox) drain() []message {
 	return out
 }
 
+// opTrace is one client operation's trace context: trace is the id shared
+// by every span and message the operation causes (0 = untraced), span the
+// operation's root span id that phase spans parent to.
+type opTrace struct {
+	trace uint64
+	span  uint64
+}
+
 // phase broadcasts one request to every replica and collects replies until
 // the responder set satisfies pred. It returns the replies that formed the
 // quorum (one per replica, duplicates discarded).
 //
-// parent and label feed the observability layer: completed phases record
-// into the phase latency histograms, and — when a tracer is attached — emit
-// a child span under the operation span parent, carrying the quorum size,
-// the first/quorum-completing reply offsets, and every counted replica's
-// reply RTT.
-func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool, parent uint64, label string) ([]message, error) {
+// ot and label feed the observability layer: completed phases record into
+// the phase latency histograms, and — when a tracer is attached — emit a
+// child span under the operation's root span, carrying the quorum size, the
+// first/quorum-completing reply offsets, and every counted replica's reply
+// RTT. When the operation is traced, the outgoing request is stamped with
+// (ot.trace, phase span id) so replica and transport spans on the far side
+// join the same trace.
+func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool, ot opTrace, label string) ([]message, error) {
 	op := c.opSeq.Add(1)
 	req.Op = op
+	var spanID uint64
+	if c.tracer != nil {
+		spanID = obs.NextID()
+	}
+	if ot.trace != 0 {
+		req.Trace, req.Span = ot.trace, spanID
+	}
 	inbox := newOpInbox()
 
 	c.pendMu.Lock()
@@ -260,7 +277,7 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 		replies = make([]message, 0, len(c.replicas))
 	)
 	fail := func(err error) ([]message, error) {
-		c.emitPhase(parent, label, req.Reg, start, err,
+		c.emitPhase(ot, spanID, label, req.Reg, start, err,
 			len(targets), set.Count(), firstReply, lastReply, rtts)
 		return nil, err
 	}
@@ -286,7 +303,7 @@ func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) b
 			}
 			if pred(set) {
 				c.recordPhase(req.Kind, time.Since(start))
-				c.emitPhase(parent, label, req.Reg, start, nil,
+				c.emitPhase(ot, spanID, label, req.Reg, start, nil,
 					len(targets), set.Count(), firstReply, lastReply, rtts)
 				return replies, nil
 			}
@@ -358,13 +375,13 @@ func (c *Client) recordPhase(kind Kind, d time.Duration) {
 }
 
 // emitPhase sends a phase child span to the tracer, if one is attached.
-func (c *Client) emitPhase(parent uint64, label, reg string, start time.Time, err error,
+func (c *Client) emitPhase(ot opTrace, id uint64, label, reg string, start time.Time, err error,
 	targets, quorumSize int, first, last time.Duration, rtts map[int64]time.Duration) {
 	if c.tracer == nil {
 		return
 	}
 	sp := obs.Span{
-		ID: obs.NextID(), Parent: parent,
+		Trace: ot.trace, ID: id, Parent: ot.span,
 		Kind: "phase", Phase: label, Reg: reg, Node: int64(c.id),
 		Start: start, Dur: time.Since(start),
 		Targets: targets, Quorum: quorumSize,
@@ -376,21 +393,22 @@ func (c *Client) emitPhase(parent uint64, label, reg string, start time.Time, er
 	c.tracer.Emit(sp)
 }
 
-// beginOp allocates an operation span id, or 0 when tracing is off.
-func (c *Client) beginOp() uint64 {
+// beginOp allocates an operation's trace context, or the zero opTrace when
+// tracing is off.
+func (c *Client) beginOp() opTrace {
 	if c.tracer == nil {
-		return 0
+		return opTrace{}
 	}
-	return obs.NextID()
+	return opTrace{trace: obs.NewTraceID(), span: obs.NextID()}
 }
 
 // endOp emits the operation's root span.
-func (c *Client) endOp(id uint64, kind, reg string, start time.Time, err error) {
+func (c *Client) endOp(ot opTrace, kind, reg string, start time.Time, err error) {
 	if c.tracer == nil {
 		return
 	}
 	sp := obs.Span{
-		ID: id, Kind: kind, Reg: reg, Node: int64(c.id),
+		Trace: ot.trace, ID: ot.span, Kind: kind, Reg: reg, Node: int64(c.id),
 		Start: start, Dur: time.Since(start),
 	}
 	if err != nil {
@@ -477,16 +495,16 @@ func (c *Client) vouched(replies []message) []message {
 // never written reads as nil.
 func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	start := time.Now()
-	op := c.beginOp()
-	val, err := c.read(ctx, reg, op)
+	ot := c.beginOp()
+	val, err := c.read(ctx, reg, ot)
 	if err == nil {
 		c.lat.read.Record(time.Since(start))
 	}
-	c.endOp(op, "read", reg, start, err)
+	c.endOp(ot, "read", reg, start, err)
 	return val, err
 }
 
-func (c *Client) read(ctx context.Context, reg string, op uint64) (types.Value, error) {
+func (c *Client) read(ctx context.Context, reg string, ot opTrace) (types.Value, error) {
 	var (
 		best    Tag
 		val     types.Value
@@ -494,7 +512,7 @@ func (c *Client) read(ctx context.Context, reg string, op uint64) (types.Value, 
 	)
 	for {
 		var err error
-		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
+		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, "query")
 		if err != nil {
 			return nil, fmt.Errorf("read %q: %w", reg, err)
 		}
@@ -529,7 +547,7 @@ func (c *Client) read(ctx context.Context, reg string, op uint64) (types.Value, 
 	}
 
 	wb := message{Kind: KindWrite, Reg: reg, Tag: best, Val: val}
-	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum, op, "write-back"); err != nil {
+	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum, ot, "write-back"); err != nil {
 		return nil, fmt.Errorf("read %q write-back: %w", reg, err)
 	}
 	c.metrics.writeBacks.Add(1)
@@ -551,22 +569,22 @@ func unanimous(replies []message, tag Tag) bool {
 // sequence counter and needs no query phase.
 func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 	start := time.Now()
-	op := c.beginOp()
-	err := c.write(ctx, reg, val, op)
+	ot := c.beginOp()
+	err := c.write(ctx, reg, val, ot)
 	if err == nil {
 		c.lat.write.Record(time.Since(start))
 	}
-	c.endOp(op, "write", reg, start, err)
+	c.endOp(ot, "write", reg, start, err)
 	return err
 }
 
-func (c *Client) write(ctx context.Context, reg string, val types.Value, op uint64) error {
-	tag, err := c.nextTag(ctx, reg, op)
+func (c *Client) write(ctx context.Context, reg string, val types.Value, ot opTrace) error {
+	tag, err := c.nextTag(ctx, reg, ot)
 	if err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
 	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
-	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, op, "update"); err != nil {
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, ot, "update"); err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
 	c.metrics.writes.Add(1)
@@ -574,10 +592,10 @@ func (c *Client) write(ctx context.Context, reg string, val types.Value, op uint
 }
 
 // nextTag chooses the tag for a new write.
-func (c *Client) nextTag(ctx context.Context, reg string, op uint64) (Tag, error) {
+func (c *Client) nextTag(ctx context.Context, reg string, ot opTrace) (Tag, error) {
 	switch {
 	case c.bounded:
-		return c.nextBoundedTag(ctx, reg, op)
+		return c.nextBoundedTag(ctx, reg, ot)
 	case c.singleWriter:
 		// The local counter is the whole point of the single-writer fast
 		// path: no query phase, one round trip per write. A sequence number
@@ -593,7 +611,7 @@ func (c *Client) nextTag(ctx context.Context, reg string, op uint64) (Tag, error
 		// exceed it. Write quorums must pairwise intersect for this to
 		// observe every completed write (quorum.VerifyWriteIntersection).
 		for {
-			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
+			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, "query")
 			if err != nil {
 				return Tag{}, err
 			}
@@ -613,8 +631,8 @@ func (c *Client) nextTag(ctx context.Context, reg string, op uint64) (Tag, error
 // nextBoundedTag implements the bounded-label write: collect the labels
 // live at a read quorum (plus the writer's own last label) and pick a
 // dominating label from the cyclic domain.
-func (c *Client) nextBoundedTag(ctx context.Context, reg string, op uint64) (Tag, error) {
-	replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, op, "query")
+func (c *Client) nextBoundedTag(ctx context.Context, reg string, ot opTrace) (Tag, error) {
+	replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, "query")
 	if err != nil {
 		return Tag{}, err
 	}
@@ -651,7 +669,7 @@ func (c *Client) nextBoundedTag(ctx context.Context, reg string, op uint64) (Tag
 // bare QueryMax is only a regular read, not an atomic one.
 func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, error) {
 	for {
-		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, 0, "query")
+		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, opTrace{}, "query")
 		if err != nil {
 			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
 		}
@@ -671,7 +689,7 @@ func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, er
 // store. Used for cross-configuration state transfer and repair tools.
 func (c *Client) Propagate(ctx context.Context, reg string, tag Tag, val types.Value) error {
 	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
-	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, 0, "update"); err != nil {
+	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, opTrace{}, "update"); err != nil {
 		return fmt.Errorf("propagate %q: %w", reg, err)
 	}
 	return nil

@@ -9,7 +9,10 @@ import (
 )
 
 func FuzzDecodeMessage(f *testing.F) {
-	// Seed with valid encodings of every kind plus junk.
+	// Seed with valid encodings of every kind — traced and untraced — plus
+	// junk. The untraced seeds are exactly the pre-trace wire format, so
+	// the fuzz corpus covers the mixed-version path (a traced client
+	// decoding an untraced replica's payload and vice versa).
 	seeds := []message{
 		{Kind: KindReadQuery, Op: 1, Reg: "r"},
 		{Kind: KindReadReply, Op: 2, Reg: "x",
@@ -17,6 +20,10 @@ func FuzzDecodeMessage(f *testing.F) {
 		{Kind: KindWrite, Op: 3, Reg: "y",
 			Tag: Tag{Valid: true, Bounded: true, Label: 7}, Val: []byte{}},
 		{Kind: KindWriteAck, Op: 4},
+		{Kind: KindReadQuery, Op: 5, Reg: "r", Trace: 0xA1B2C3D4, Span: 0x55},
+		{Kind: KindReadReply, Op: 6, Reg: "x", Trace: 1, Span: ^uint64(0),
+			Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 9, Writer: 2}}, Val: []byte("w")},
+		{Kind: KindWriteAck, Op: 7, Trace: ^uint64(0), Span: 1},
 	}
 	for _, m := range seeds {
 		f.Add(m.encode())
@@ -37,7 +44,7 @@ func FuzzDecodeMessage(f *testing.F) {
 			t.Fatalf("re-decode failed: %v", err)
 		}
 		if re.Kind != m.Kind || re.Op != m.Op || re.Reg != m.Reg || re.Tag != m.Tag ||
-			!bytes.Equal(re.Val, m.Val) {
+			!bytes.Equal(re.Val, m.Val) || re.Trace != m.Trace || re.Span != m.Span {
 			t.Fatalf("decode not stable: %+v vs %+v", re, m)
 		}
 	})

@@ -20,9 +20,7 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/crc32"
 
 	"repro/internal/timestamp"
 	"repro/internal/types"
@@ -85,21 +83,33 @@ type message struct {
 	Tag  Tag
 	Val  types.Value
 
+	// Trace and Span form the Dapper-style trace context: Trace groups
+	// every message caused by one client operation, Span is the emitting
+	// side's span (the phase span on requests, the replica's handle span on
+	// replies) so receiver-side spans can parent to it. Both zero means the
+	// message is untraced and encodes in the pre-trace wire format.
+	Trace uint64
+	Span  uint64
+
 	// fromReplica is filled in locally on receipt (from the transport
 	// envelope); it is not part of the wire format.
 	fromReplica types.NodeID
 }
 
 // encode serializes m with the layout
-// [kind][op][reg][valid][seq][writer][bounded][label][val][crc32].
-// The trailing IEEE CRC32 covers every preceding byte: a payload flipped
-// in transit fails decode and is dropped like a lost message, which the
-// protocol already tolerates (all messages are idempotent and clients
-// retransmit). Without it, a bit-flip inside the value bytes would decode
-// cleanly and poison a register with a value nobody wrote — found by the
-// nemesis harness under chaos corrupt faults.
+// [kind][op][reg][valid][seq][writer][bounded][label][val]{[trace][span]}[crc32].
+// The optional trace-context trailer and the trailing IEEE CRC32 are the
+// wire envelope (see internal/wire): traced payloads set the high bit of the
+// kind byte, untraced ones are byte-identical to the pre-trace format, so a
+// traced client interoperates with an untraced peer and vice versa. The CRC
+// covers every preceding byte: a payload flipped in transit fails decode and
+// is dropped like a lost message, which the protocol already tolerates (all
+// messages are idempotent and clients retransmit). Without it, a bit-flip
+// inside the value bytes would decode cleanly and poison a register with a
+// value nobody wrote — found by the nemesis harness under chaos corrupt
+// faults.
 func (m message) encode() []byte {
-	b := make([]byte, 0, 20+len(m.Reg)+len(m.Val))
+	b := make([]byte, 0, 40+len(m.Reg)+len(m.Val))
 	b = append(b, byte(m.Kind))
 	b = wire.AppendUint(b, m.Op)
 	b = wire.AppendString(b, m.Reg)
@@ -109,23 +119,23 @@ func (m message) encode() []byte {
 	b = wire.AppendBool(b, m.Tag.Bounded)
 	b = wire.AppendInt(b, m.Tag.Label)
 	b = wire.AppendBytes(b, m.Val)
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(b))
-	return append(b, crc[:]...)
+	return wire.Seal(b, m.Trace, m.Span)
 }
 
 // decodeMessage parses a payload produced by encode, rejecting any whose
 // checksum does not match.
 func decodeMessage(payload []byte) (message, error) {
-	if len(payload) < 5 {
-		return message{}, fmt.Errorf("%w: payload too short", types.ErrBadMessage)
+	body, trace, span, err := wire.Open(payload)
+	if err != nil {
+		return message{}, err
 	}
-	body := payload[:len(payload)-4]
-	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[len(payload)-4:]) {
-		return message{}, fmt.Errorf("%w: checksum mismatch", types.ErrBadMessage)
+	if len(body) < 1 {
+		return message{}, fmt.Errorf("%w: empty body", types.ErrBadMessage)
 	}
 	r := wire.NewReader(body[1:])
-	m := message{Kind: Kind(body[0])}
+	// The kind byte's high bit is the envelope's trace flag, not part of
+	// the kind; Open leaves it set (it never mutates the payload).
+	m := message{Kind: Kind(body[0] &^ wire.TraceFlag), Trace: trace, Span: span}
 	m.Op = r.Uint()
 	m.Reg = r.String()
 	m.Tag.Valid = r.Bool()
@@ -140,7 +150,7 @@ func decodeMessage(payload []byte) (message, error) {
 	switch m.Kind {
 	case KindReadQuery, KindReadReply, KindWrite, KindWriteAck:
 	default:
-		return message{}, fmt.Errorf("%w: unknown kind %#02x", types.ErrBadMessage, payload[0])
+		return message{}, fmt.Errorf("%w: unknown kind %#02x", types.ErrBadMessage, byte(m.Kind))
 	}
 	return m, nil
 }

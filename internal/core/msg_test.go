@@ -2,12 +2,15 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/timestamp"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 func TestMessageRoundTrip(t *testing.T) {
@@ -18,6 +21,13 @@ func TestMessageRoundTrip(t *testing.T) {
 		{Kind: KindWrite, Op: 9, Reg: "x",
 			Tag: Tag{Valid: true, Bounded: true, Label: 11}, Val: []byte{}},
 		{Kind: KindWriteAck, Op: 100000, Reg: ""},
+		// Traced variants: the trace context must survive the round trip on
+		// every kind, including edge ids.
+		{Kind: KindReadQuery, Op: 2, Reg: "r", Trace: 0xDEADBEEF, Span: 7},
+		{Kind: KindReadReply, Op: 43, Reg: "x", Trace: 1, Span: ^uint64(0),
+			Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 8, Writer: 2}}, Val: []byte("v8")},
+		{Kind: KindWrite, Op: 10, Reg: "y", Trace: ^uint64(0), Span: 1, Val: []byte("z")},
+		{Kind: KindWriteAck, Op: 100001, Trace: 5}, // span 0 with trace set still encodes
 	}
 	for _, m := range tests {
 		t.Run(m.Kind.String(), func(t *testing.T) {
@@ -31,7 +41,49 @@ func TestMessageRoundTrip(t *testing.T) {
 			if !got.Val.Equal(m.Val) {
 				t.Fatalf("val %v, want %v", got.Val, m.Val)
 			}
+			if got.Trace != m.Trace || got.Span != m.Span {
+				t.Fatalf("trace context (%d, %d), want (%d, %d)", got.Trace, got.Span, m.Trace, m.Span)
+			}
 		})
+	}
+}
+
+// TestDecodeOldFormatPayload proves the mixed-version contract byte-for-
+// byte: a payload laid out exactly as the pre-trace wire format — kind byte
+// without the flag bit, no trace trailer, CRC32 over the body — decodes on
+// a current node, and an untraced message still encodes to that same old
+// format.
+func TestDecodeOldFormatPayload(t *testing.T) {
+	// Hand-build the old format, independent of encode().
+	body := []byte{byte(KindReadReply)}
+	body = wire.AppendUint(body, 42)           // op
+	body = wire.AppendString(body, "r")        // reg
+	body = wire.AppendBool(body, true)         // tag.valid
+	body = wire.AppendInt(body, 7)             // seq
+	body = wire.AppendInt(body, 3)             // writer
+	body = wire.AppendBool(body, false)        // bounded
+	body = wire.AppendInt(body, 0)             // label
+	body = wire.AppendBytes(body, []byte("v")) // val
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	old := append(body, crc[:]...)
+
+	m, err := decodeMessage(old)
+	if err != nil {
+		t.Fatalf("old-format payload rejected: %v", err)
+	}
+	if m.Kind != KindReadReply || m.Op != 42 || m.Reg != "r" ||
+		m.Tag.TS.Seq != 7 || string(m.Val) != "v" {
+		t.Fatalf("old-format payload decoded wrong: %+v", m)
+	}
+	if m.Trace != 0 || m.Span != 0 {
+		t.Fatalf("old-format payload grew a trace context: (%d, %d)", m.Trace, m.Span)
+	}
+	// An untraced message emitted today is byte-identical to the old
+	// format — what an untraced (old) peer will be handed.
+	if got := (message{Kind: KindReadReply, Op: 42, Reg: "r",
+		Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 7, Writer: 3}}, Val: []byte("v")}).encode(); !bytes.Equal(got, old) {
+		t.Fatalf("untraced encode diverged from the old format:\n got %x\nwant %x", got, old)
 	}
 }
 
@@ -49,20 +101,23 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestQuickMessageRoundTrip(t *testing.T) {
-	f := func(op uint64, reg string, seq int64, writer int32, valid, bounded bool, label int64, val []byte) bool {
+	f := func(op uint64, reg string, seq int64, writer int32, valid, bounded bool, label int64, val []byte, trace, span uint64) bool {
 		m := message{
-			Kind: KindWrite,
-			Op:   op,
-			Reg:  reg,
-			Tag:  Tag{Valid: valid, TS: timestamp.TS{Seq: seq, Writer: types.NodeID(writer)}, Bounded: bounded, Label: label},
-			Val:  val,
+			Kind:  KindWrite,
+			Op:    op,
+			Reg:   reg,
+			Tag:   Tag{Valid: valid, TS: timestamp.TS{Seq: seq, Writer: types.NodeID(writer)}, Bounded: bounded, Label: label},
+			Val:   val,
+			Trace: trace,
+			Span:  span,
 		}
 		got, err := decodeMessage(m.encode())
 		if err != nil {
 			return false
 		}
 		return got.Kind == m.Kind && got.Op == m.Op && got.Reg == m.Reg &&
-			got.Tag == m.Tag && bytes.Equal(got.Val, m.Val) && (got.Val == nil) == (val == nil)
+			got.Tag == m.Tag && bytes.Equal(got.Val, m.Val) && (got.Val == nil) == (val == nil) &&
+			got.Trace == m.Trace && got.Span == m.Span
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)

@@ -3,7 +3,9 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
 )
@@ -34,6 +36,8 @@ type Replica struct {
 	started atomic.Bool
 	done    chan struct{}
 
+	tracer obs.Tracer // nil = tracing disabled (the default)
+
 	queries      atomic.Int64 // KindReadQuery handled
 	updates      atomic.Int64 // KindWrite handled
 	adoptions    atomic.Int64 // updates that replaced the stored pair
@@ -56,6 +60,15 @@ func WithReplicaBoundedWindow(l int64) ReplicaOption {
 		}
 		r.ord = dom
 	}
+}
+
+// WithReplicaTracer attaches a tracer: every traced request (one carrying a
+// propagated trace context) emits a "handle" span for the handler interval,
+// with "wal-append" (the fsync) and "stale-reject" child spans as they
+// occur. Untraced requests emit nothing, so an idle tracer costs only the
+// per-message nil check.
+func WithReplicaTracer(t obs.Tracer) ReplicaOption {
+	return func(r *Replica) { r.tracer = t }
 }
 
 // NewReplica creates a replica attached to ep. The replica takes ownership
@@ -144,18 +157,53 @@ func (r *Replica) loop() {
 	}
 }
 
+// beginHandle starts the handler span for a traced request, returning its
+// start time and span id — both zero when the request is untraced or no
+// tracer is attached, which disables every emit downstream.
+func (r *Replica) beginHandle(m message) (time.Time, uint64) {
+	if r.tracer == nil || m.Trace == 0 {
+		return time.Time{}, 0
+	}
+	return time.Now(), obs.NextID()
+}
+
+// endHandle emits the handler span (id 0 = request untraced, no-op). The
+// span parents to the client's phase span carried by the request, so the
+// stitched tree reads op → phase → handle.
+func (r *Replica) endHandle(m message, phase string, start time.Time, id uint64, err error) {
+	if id == 0 {
+		return
+	}
+	sp := obs.Span{
+		Trace: m.Trace, ID: id, Parent: m.Span,
+		Kind: "handle", Phase: phase, Reg: m.Reg, Node: int64(r.id),
+		Start: start, Dur: time.Since(start),
+	}
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	r.tracer.Emit(sp)
+}
+
 func (r *Replica) handleQuery(from types.NodeID, m message) {
 	r.queries.Add(1)
+	start, handleID := r.beginHandle(m)
 	r.mu.Lock()
 	e := r.regs[m.Reg]
 	r.mu.Unlock()
 
-	reply := message{Kind: KindReadReply, Op: m.Op, Reg: m.Reg, Tag: e.tag, Val: e.val}
+	// The reply echoes the trace and names the handle span as its span, so
+	// the reply leg's transport spans parent to the handler rather than to
+	// the client's phase — separating request network from reply network.
+	reply := message{Kind: KindReadReply, Op: m.Op, Reg: m.Reg, Tag: e.tag, Val: e.val,
+		Trace: m.Trace, Span: handleID}
+	r.endHandle(m, "query", start, handleID, nil)
 	_ = r.ep.Send(from, reply.encode())
 }
 
 func (r *Replica) handleWrite(from types.NodeID, m message) {
 	r.updates.Add(1)
+	start, handleID := r.beginHandle(m)
 	r.mu.Lock()
 	e := r.regs[m.Reg]
 	cmp, err := r.ord.compare(m.Tag, e.tag)
@@ -175,14 +223,33 @@ func (r *Replica) handleWrite(from types.NodeID, m message) {
 		// Normal under read write-backs and retransmission, but the rate
 		// is a direct measure of write contention.
 		r.staleRejects.Add(1)
+		if handleID != 0 {
+			r.tracer.Emit(obs.Span{
+				Trace: m.Trace, ID: obs.NextID(), Parent: handleID,
+				Kind: "stale-reject", Phase: "update", Reg: m.Reg, Node: int64(r.id),
+				Start: time.Now(),
+			})
+		}
 	}
 	if adopted && r.persist != nil {
 		// Log (and fsync) before acking: an acknowledged update must
 		// survive a crash-recovery cycle. Failure to persist means we must
 		// not ack, matching a crash from the client's perspective.
+		var walStart time.Time
+		if handleID != 0 {
+			walStart = time.Now()
+		}
 		if perr := r.persist.appendRecord(record{reg: m.Reg, tag: m.Tag, val: m.Val}); perr != nil {
 			r.mu.Unlock()
+			r.endHandle(m, "update", start, handleID, perr)
 			return
+		}
+		if handleID != 0 {
+			r.tracer.Emit(obs.Span{
+				Trace: m.Trace, ID: obs.NextID(), Parent: handleID,
+				Kind: "wal-append", Phase: "update", Reg: m.Reg, Node: int64(r.id),
+				Start: walStart, Dur: time.Since(walStart),
+			})
 		}
 		if r.persist.n >= persistCompactThreshold {
 			_ = r.persist.compact(r.regs)
@@ -190,7 +257,9 @@ func (r *Replica) handleWrite(from types.NodeID, m message) {
 	}
 	r.mu.Unlock()
 
-	ack := message{Kind: KindWriteAck, Op: m.Op, Reg: m.Reg}
+	ack := message{Kind: KindWriteAck, Op: m.Op, Reg: m.Reg,
+		Trace: m.Trace, Span: handleID}
+	r.endHandle(m, "update", start, handleID, nil)
 	_ = r.ep.Send(from, ack.encode())
 }
 

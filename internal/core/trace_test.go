@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// TestTracePropagationEndToEnd drives a fault-free simulated cluster with
+// tracing on at every layer — client, simulated network, and persistent
+// replicas — and checks the stitched picture: every replica- and
+// transport-side span's parent chain must reach the client operation that
+// caused it, and the tree must contain the full causal vocabulary (phase,
+// net-send, handle, wal-append).
+func TestTracePropagationEndToEnd(t *testing.T) {
+	col := obs.NewCollector(0)
+	net := netsim.New(netsim.Config{
+		Seed:     7,
+		MinDelay: 50 * time.Microsecond,
+		MaxDelay: 500 * time.Microsecond,
+		Tracer:   col,
+	})
+	ids := []types.NodeID{0, 1, 2}
+	dir := t.TempDir()
+	replicas := make([]*Replica, 0, len(ids))
+	for _, id := range ids {
+		r, err := NewPersistentReplica(id, net.Node(id),
+			filepath.Join(dir, fmt.Sprintf("wal-%d.log", id)), WithReplicaTracer(col))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		replicas = append(replicas, r)
+	}
+	cli, err := NewClient(1000, net.Node(1000), ids, WithTracer(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	const ops = 5
+	for i := 0; i < ops; i++ {
+		if err := cli.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if _, err := cli.Read(ctx, "x"); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	// Drain everything before snapshotting: the client first (no new
+	// operations), then the replicas, then the network — netsim's Close
+	// waits out in-flight deliveries, so every transport span has emitted.
+	cli.Close()
+	for _, r := range replicas {
+		r.Stop()
+	}
+	net.Close()
+
+	spans := col.Spans()
+	st := obs.Stitch(spans)
+	if st.Ops != 2*ops {
+		t.Fatalf("collected %d op spans, want %d", st.Ops, 2*ops)
+	}
+	if st.Total == 0 {
+		t.Fatal("no replica/transport spans collected")
+	}
+	if st.Ratio() != 1.0 {
+		t.Fatalf("fault-free stitch ratio %.3f (%d/%d), want 1.0",
+			st.Ratio(), st.Stitched, st.Total)
+	}
+
+	traces := obs.AssembleTraces(spans)
+	if len(traces) != 2*ops {
+		t.Fatalf("assembled %d traces, want %d", len(traces), 2*ops)
+	}
+	kinds := make(map[string]int)
+	for _, tr := range traces {
+		if tr.Root == nil {
+			t.Fatalf("trace %d has no op root", tr.ID)
+		}
+		if len(tr.Orphans) != 0 {
+			t.Fatalf("trace %d has %d orphans in a fault-free run", tr.ID, len(tr.Orphans))
+		}
+		for _, s := range tr.Spans() {
+			kinds[s.Kind]++
+		}
+	}
+	for _, want := range []string{"read", "write", "phase", "net-send", "handle", "wal-append"} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q span in any trace; kinds seen: %v", want, kinds)
+		}
+	}
+
+	// Tree shape: every handle span's parent must be a phase span, every
+	// wal-append's a handle.
+	byID := make(map[uint64]obs.Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case "handle":
+			if p, ok := byID[s.Parent]; !ok || p.Kind != "phase" {
+				t.Fatalf("handle span %d parents to %q, want phase", s.ID, p.Kind)
+			}
+		case "wal-append", "stale-reject":
+			if p, ok := byID[s.Parent]; !ok || p.Kind != "handle" {
+				t.Fatalf("%s span %d parents to %q, want handle", s.Kind, s.ID, p.Kind)
+			}
+		}
+	}
+}
+
+// TestUntracedClusterEmitsNothing pins the zero-cost contract: with no
+// tracers attached anywhere, operations must flow exactly as before and —
+// by construction — messages go out in the untraced (old) wire format,
+// which the fuzz corpus and TestDecodeOldFormatPayload verify decodes
+// everywhere.
+func TestUntracedClusterEmitsNothing(t *testing.T) {
+	c := newTestCluster(t, 3, netsim.Config{Seed: 3})
+	cli := c.client()
+	ctx := shortCtx(t)
+	mustWrite(t, ctx, cli, "x", "v")
+	if got := mustRead(t, ctx, cli, "x"); got != "v" {
+		t.Fatalf("read %q, want v", got)
+	}
+}
+
+// TestMixedTracingCluster runs a traced client against replicas without
+// tracers (the "untraced peer" deployment): operations must succeed, the
+// client's own spans must still stitch into op → phase trees, and replica
+// kinds are simply absent.
+func TestMixedTracingCluster(t *testing.T) {
+	col := obs.NewCollector(0)
+	net := netsim.New(netsim.Config{Seed: 11})
+	defer net.Close()
+	ids := []types.NodeID{0, 1, 2}
+	for _, id := range ids {
+		r := NewReplica(id, net.Node(id)) // no tracer
+		r.Start()
+		defer r.Stop()
+	}
+	cli, err := NewClient(1000, net.Node(1000), ids, WithTracer(col))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	ctx := shortCtx(t)
+	if err := cli.Write(ctx, "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cli.Read(ctx, "x"); err != nil || string(v) != "v" {
+		t.Fatalf("read %q, %v", v, err)
+	}
+	traces := obs.AssembleTraces(col.Spans())
+	if len(traces) != 2 {
+		t.Fatalf("got %d traces, want 2", len(traces))
+	}
+	for _, tr := range traces {
+		if tr.Root == nil || len(tr.Root.Children) == 0 {
+			t.Fatalf("trace %d lost its op → phase shape: %+v", tr.ID, tr.Root)
+		}
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/history"
 	"repro/internal/lincheck"
+	"repro/internal/obs"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
 )
@@ -98,6 +99,13 @@ type Config struct {
 	Window  time.Duration
 	// CheckTimeout bounds the linearizability search (default 30s).
 	CheckTimeout time.Duration
+	// Tracer, when non-nil, additionally receives every span live (e.g. a
+	// JSONL file for offline analysis). Tracing is always on in a nemesis
+	// cluster regardless: every operation's spans — client, transport, and
+	// replica side — are collected in-process and reported in Result.Spans
+	// with their stitch statistics, so a run can dump a fully stitched
+	// trace of every operation in the checked history.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -159,12 +167,17 @@ type Cluster struct {
 
 	clients   []*core.Client
 	clientEPs []*tcpnet.Endpoint
+
+	// spans collects every layer's spans in-process; tracer is what the
+	// layers emit into (the collector, fanned out to Config.Tracer too).
+	spans  *obs.Collector
+	tracer obs.Tracer
 }
 
 // tcpConfig is the aggressive-timeout endpoint configuration nemesis runs
 // with: short enough that every self-healing mechanism (write deadline,
 // backoff, breaker) cycles many times within one run.
-func tcpConfig(id types.NodeID) tcpnet.Config {
+func (c *Cluster) tcpConfig(id types.NodeID) tcpnet.Config {
 	return tcpnet.Config{
 		ID:               id,
 		DialTimeout:      time.Second,
@@ -172,6 +185,7 @@ func tcpConfig(id types.NodeID) tcpnet.Config {
 		BackoffMin:       20 * time.Millisecond,
 		BackoffMax:       500 * time.Millisecond,
 		BreakerThreshold: 4,
+		Tracer:           c.tracer,
 	}
 }
 
@@ -185,6 +199,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		dir:      cfg.Dir,
 		addrs:    make(map[types.NodeID]string),
 		replicas: make(map[types.NodeID]*replicaProc),
+		spans:    obs.NewCollector(0),
+	}
+	c.tracer = obs.Tracer(c.spans)
+	if cfg.Tracer != nil {
+		c.tracer = obs.Multi{c.spans, cfg.Tracer}
 	}
 	if c.dir == "" {
 		dir, err := os.MkdirTemp("", "nemesis-")
@@ -215,7 +234,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 
 	for i := 0; i < cfg.Writers+cfg.Readers; i++ {
 		id := clientBase + types.NodeID(i)
-		tc := tcpConfig(id)
+		tc := c.tcpConfig(id)
 		tc.Peers = peers
 		ep, err := tcpnet.Listen(tc)
 		if err != nil {
@@ -224,7 +243,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		ids := append([]types.NodeID(nil), replicaIDs...)
 		cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids,
-			core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond))
+			core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond),
+			core.WithTracer(c.tracer))
 		if err != nil {
 			_ = ep.Close()
 			c.Close()
@@ -243,7 +263,7 @@ func (c *Cluster) startReplica(id types.NodeID) error {
 	addr := c.addrs[id]
 	c.mu.Unlock()
 
-	tc := tcpConfig(id)
+	tc := c.tcpConfig(id)
 	tc.ListenAddr = addr
 	var ep *tcpnet.Endpoint
 	var err error
@@ -260,7 +280,8 @@ func (c *Cluster) startReplica(id types.NodeID) error {
 	}
 
 	wal := filepath.Join(c.dir, fmt.Sprintf("replica-%d.wal", id))
-	rep, err := core.NewPersistentReplica(id, c.chaos.Wrap(ep), wal)
+	rep, err := core.NewPersistentReplica(id, c.chaos.Wrap(ep), wal,
+		core.WithReplicaTracer(c.tracer))
 	if err != nil {
 		_ = ep.Close()
 		return fmt.Errorf("nemesis: replica %v: %w", id, err)
@@ -374,6 +395,12 @@ var (
 
 // Chaos exposes the underlying chaos controller (fault stats, tracing).
 func (c *Cluster) Chaos() *chaos.Net { return c.chaos }
+
+// Spans returns the spans collected so far across every layer of the
+// cluster, plus how many were dropped at the collector's capacity.
+func (c *Cluster) Spans() ([]obs.Span, int64) {
+	return c.spans.Spans(), c.spans.Dropped()
+}
 
 // Clients returns the cluster's clients: writers first, then readers.
 func (c *Cluster) Clients() []*core.Client { return c.clients }
@@ -524,6 +551,13 @@ type Result struct {
 	// the fault-injection tally.
 	Transport tcpnet.Stats
 	Chaos     chaos.Stats
+	// Spans is every span collected during the run — client operations and
+	// phases, transport hops, replica handlers and fsyncs — and
+	// SpansDropped how many the collector had to reject. Stitch summarizes
+	// how many remote spans trace back to their originating operation.
+	Spans        []obs.Span
+	SpansDropped int64
+	Stitch       obs.StitchStats
 }
 
 // Run executes one full nemesis pass: start the cluster, run the workload
@@ -625,6 +659,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("nemesis: run cancelled: %w", err)
 	}
 
+	// The workload is done and the schedule unwound: in-flight replies have
+	// had their timeouts, so the span picture is complete. Snapshot before
+	// the checker runs, not after, to keep teardown-time spans out.
+	spans, spansDropped := cl.Spans()
+
 	ops := rec.Ops()
 	results := lincheck.CheckRegisters(ops, lincheck.Config{Timeout: cfg.CheckTimeout})
 	res := &Result{
@@ -636,6 +675,10 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Schedule:  sched.String(),
 		Transport: cl.TransportStats(),
 		Chaos:     cl.Chaos().Stats(),
+
+		Spans:        spans,
+		SpansDropped: spansDropped,
+		Stitch:       obs.Stitch(spans),
 	}
 	for _, cli := range clients {
 		m := cli.Metrics()

@@ -71,6 +71,24 @@ func TestNemesisLinearizable(t *testing.T) {
 			if res.Ops < 150 {
 				t.Errorf("only %d/200 ops completed — liveness under nemesis too weak", res.Ops)
 			}
+			// Trace stitching must survive the nemesis: nearly every replica-
+			// and transport-side span collected during the run traces back to
+			// the client operation that caused it. Chaos corruption can
+			// scramble a trailer (a junk trace id on a frame the receiver then
+			// rejects by CRC), so the bar is 95%, not 100%.
+			t.Logf("seed %d: %d spans (%d dropped), stitch %d/%d (%.1f%%) across %d traces",
+				seed, len(res.Spans), res.SpansDropped, res.Stitch.Stitched,
+				res.Stitch.Total, 100*res.Stitch.Ratio(), res.Stitch.Traces)
+			if res.Stitch.Total == 0 {
+				t.Error("no remote spans collected — tracing is not wired through the nemesis cluster")
+			}
+			if res.Stitch.Ratio() < 0.95 {
+				t.Errorf("stitch ratio %.3f < 0.95 (%d/%d remote spans reached an op)",
+					res.Stitch.Ratio(), res.Stitch.Stitched, res.Stitch.Total)
+			}
+			if res.Stitch.Ops == 0 {
+				t.Error("no operation root spans collected")
+			}
 		})
 	}
 }

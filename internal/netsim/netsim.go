@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // Config controls the simulated network. The zero value is valid: zero
@@ -38,6 +39,12 @@ type Config struct {
 	// (at-least-once delivery). The protocol's messages are idempotent, so
 	// duplication must be harmless; tests verify that.
 	DupProb float64
+	// Tracer, when non-nil, receives a "net-send" span for every message
+	// carrying a trace context: its Dur is the realized send-to-delivery
+	// transit (the simulated delay plus scheduling slop), with Err set on
+	// messages lost to a crash, partition, block, or random drop. Untraced
+	// messages emit nothing.
+	Tracer obs.Tracer
 }
 
 // Stats is a snapshot of network counters.
@@ -295,8 +302,17 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 
 	n.sent++
 	if len(payload) > 0 {
-		n.byKind[payload[0]]++
-		n.bytesByKind[payload[0]] += int64(len(payload))
+		// The high bit of the kind byte is the envelope's trace flag; mask
+		// it so the per-kind message counts (experiment T1) are identical
+		// whether or not tracing is on.
+		kind := payload[0] &^ wire.TraceFlag
+		n.byKind[kind]++
+		n.bytesByKind[kind] += int64(len(payload))
+	}
+	var trace, parentSpan uint64
+	traced := false
+	if n.cfg.Tracer != nil {
+		trace, parentSpan, traced = wire.PeekTrace(payload)
 	}
 
 	drop := false
@@ -313,6 +329,13 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 	if drop {
 		n.dropped++
 		n.mu.Unlock()
+		if traced {
+			n.cfg.Tracer.Emit(obs.Span{
+				Trace: trace, ID: obs.NextID(), Parent: parentSpan,
+				Kind: "net-send", Node: int64(from), Peer: int64(to),
+				Start: time.Now(), Err: "dropped",
+			})
+		}
 		return nil
 	}
 
@@ -334,17 +357,27 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 
 	sentAt := time.Now()
 	msg := transport.Message{From: from, To: to, Payload: payload}
+	emit := func(errStr string) {
+		if !traced {
+			return
+		}
+		n.cfg.Tracer.Emit(obs.Span{
+			Trace: trace, ID: obs.NextID(), Parent: parentSpan,
+			Kind: "net-send", Node: int64(from), Peer: int64(to),
+			Start: sentAt, Dur: time.Since(sentAt), Err: errStr,
+		})
+	}
 	for _, delay := range delays {
 		if delay <= 0 {
-			n.deliver(dst, to, msg, epoch, delayHist, sentAt)
+			n.deliver(dst, to, msg, epoch, delayHist, sentAt, emit)
 			continue
 		}
-		time.AfterFunc(delay, func() { n.deliver(dst, to, msg, epoch, delayHist, sentAt) })
+		time.AfterFunc(delay, func() { n.deliver(dst, to, msg, epoch, delayHist, sentAt, emit) })
 	}
 	return nil
 }
 
-func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message, epoch uint64, delayHist *obs.Histogram, sentAt time.Time) {
+func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message, epoch uint64, delayHist *obs.Histogram, sentAt time.Time, emit func(string)) {
 	defer n.wg.Done()
 	n.mu.Lock()
 	if n.closed || n.crashed[to] {
@@ -352,6 +385,7 @@ func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message, epo
 			n.dropped++
 		}
 		n.mu.Unlock()
+		emit("dropped at delivery")
 		return
 	}
 	if epoch == n.epoch {
@@ -360,6 +394,7 @@ func (n *Net) deliver(dst *endpoint, to types.NodeID, msg transport.Message, epo
 	n.mu.Unlock()
 	delayHist.Record(time.Since(sentAt))
 	dst.mbox.Put(msg)
+	emit("")
 }
 
 func (n *Net) sampleDelayLocked() time.Duration {

@@ -1,10 +1,14 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Labels name one metric series. Serialization sorts keys, so equal maps
@@ -120,15 +124,77 @@ type Gatherer func(*Writer)
 // cmd/abd-node's -metrics-addr flag for the reference deployment.
 func Expose(g Gatherer) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, _ *http.Request) {
-		w := NewWriter()
-		g(w)
-		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_, _ = rw.Write([]byte(w.String()))
-	})
+	mux.Handle("/metrics", metricsHandler(g))
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
 		rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = rw.Write([]byte("ok\n"))
 	})
 	return mux
+}
+
+// Health is the /healthz body served by ExposeFull: enough to tell at a
+// glance whether the process is up, what build it is, and whether trace
+// data is being lost.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Revision      string  `json:"revision,omitempty"`
+	SpansKept     int     `json:"spans_kept"`
+	SpansDropped  int64   `json:"spans_dropped"`
+}
+
+// BuildRevision returns the VCS revision stamped into the binary, or "".
+func BuildRevision() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" {
+				return s.Value
+			}
+		}
+	}
+	return ""
+}
+
+// ExposeFull returns an http.Handler serving the full observability
+// surface of a long-lived node:
+//
+//	/metrics — the Gatherer's output in Prometheus text format
+//	/healthz — a JSON Health body: uptime, build info, span-drop counter
+//	/spans   — the collector's push/pull endpoint (absent when spans is nil)
+//
+// Uptime counts from the ExposeFull call.
+func ExposeFull(g Gatherer, spans *Collector) http.Handler {
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metricsHandler(g))
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, _ *http.Request) {
+		h := Health{
+			Status:        "ok",
+			UptimeSeconds: time.Since(started).Seconds(),
+			GoVersion:     runtime.Version(),
+			Revision:      BuildRevision(),
+		}
+		if spans != nil {
+			h.SpansKept = spans.Len()
+			h.SpansDropped = spans.Dropped()
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
+	})
+	if spans != nil {
+		mux.Handle("/spans", spans.Handler())
+	}
+	return mux
+}
+
+func metricsHandler(g Gatherer) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, _ *http.Request) {
+		w := NewWriter()
+		g(w)
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = rw.Write([]byte(w.String()))
+	})
 }

@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bufio"
+	"crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"io"
 	"sync"
@@ -9,24 +11,35 @@ import (
 	"time"
 )
 
-// Span is one traced interval: either a whole client operation (a read or a
-// write) or one of its broadcast-and-collect phases. Phase spans point at
-// their operation span via Parent and carry the quorum-assembly detail the
-// latency analysis needs: how many replicas were contacted, how large the
-// satisfying quorum was, when the first and the quorum-completing replies
-// arrived, and every counted replica's reply round-trip offset.
+// Span is one traced interval: a whole client operation (a read or a
+// write), one of its broadcast-and-collect phases, a replica-side handler
+// interval ("handle", "wal-append", "stale-reject"), or a transport hop
+// ("net-send", "net-recv"). Phase spans point at their operation span via
+// Parent and carry the quorum-assembly detail the latency analysis needs:
+// how many replicas were contacted, how large the satisfying quorum was,
+// when the first and the quorum-completing replies arrived, and every
+// counted replica's reply round-trip offset.
 type Span struct {
-	// ID is unique within the process; Parent is the enclosing operation
-	// span's ID, or 0 for root spans.
+	// Trace groups every span caused by one client operation, across
+	// processes; 0 on spans emitted outside any propagated trace.
+	Trace uint64 `json:"trace,omitempty"`
+	// ID is unique across cooperating processes (see NextID); Parent is
+	// the causally enclosing span's ID, or 0 for root spans.
 	ID     uint64 `json:"id"`
 	Parent uint64 `json:"parent,omitempty"`
-	// Kind is "read", "write", or "phase". Phase spans name their role in
-	// Phase: "query", "update", or "write-back".
+	// Kind is "read", "write", or "phase" on the client side; "handle",
+	// "wal-append", or "stale-reject" on the replica side; "net-send" or
+	// "net-recv" on a transport hop. Phase spans name their role in Phase:
+	// "query", "update", or "write-back"; replica spans echo the phase
+	// that caused them.
 	Kind  string `json:"kind"`
 	Phase string `json:"phase,omitempty"`
-	// Reg is the register operated on; Node the emitting client's node id.
+	// Reg is the register operated on; Node the emitting node's id.
 	Reg  string `json:"reg"`
 	Node int64  `json:"node"`
+	// Peer is the other endpoint of a transport span (destination of a
+	// net-send, sender of a net-recv); unused elsewhere.
+	Peer int64 `json:"peer,omitempty"`
 
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur_ns"`
@@ -47,10 +60,39 @@ type Tracer interface {
 	Emit(Span)
 }
 
-var spanID atomic.Uint64
+// Span ids must stay unique across every process contributing spans to one
+// collector, or two processes' trees would merge at a shared node id. Each
+// process walks its own Weyl sequence: a crypto-random starting point
+// advanced by a crypto-random odd stride, so the full 2^64 cycle is covered
+// before any in-process repeat and two processes collide with probability
+// ~k²/2^64 for k ids drawn.
+var (
+	spanID     atomic.Uint64
+	spanStride uint64 = 1
+)
 
-// NextID returns a process-unique span id (never 0).
-func NextID() uint64 { return spanID.Add(1) }
+func init() {
+	var seed [16]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return // fall back to the sequential 1,2,3,... sequence
+	}
+	spanID.Store(binary.LittleEndian.Uint64(seed[0:8]))
+	spanStride = binary.LittleEndian.Uint64(seed[8:16]) | 1
+}
+
+// NextID returns a span id unique in this process and collision-resistant
+// across processes (never 0).
+func NextID() uint64 {
+	for {
+		if id := spanID.Add(spanStride); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID returns a fresh trace id (never 0) with the same
+// cross-process collision resistance as NextID.
+func NewTraceID() uint64 { return NextID() }
 
 // NopTracer discards every span; it is the implicit default everywhere.
 type NopTracer struct{}

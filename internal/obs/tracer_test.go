@@ -65,6 +65,57 @@ func TestRingConcurrentEmit(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundOrderUnderConcurrency drives the ring far past its
+// capacity from several goroutines at once (with concurrent readers mixed
+// in) and then checks the ordering contract wraparound must preserve: the
+// retained window is emission-ordered, so each goroutine's own spans — which
+// it emitted with increasing sequence numbers — must still appear in
+// increasing order. Run with -race; the assertion catches a lost-update or
+// cursor race that -race alone might miss.
+func TestRingWraparoundOrderUnderConcurrency(t *testing.T) {
+	const capacity, goroutines, per = 32, 8, 2000
+	r := NewRing(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Node identifies the emitter, ID its per-emitter sequence.
+				r.Emit(Span{Node: int64(g), ID: uint64(i)})
+				if i%64 == 0 {
+					if got := r.Spans(); len(got) > capacity {
+						t.Errorf("mid-run snapshot has %d spans, cap %d", len(got), capacity)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != goroutines*per {
+		t.Fatalf("total = %d, want %d", r.Total(), goroutines*per)
+	}
+	got := r.Spans()
+	if len(got) != capacity {
+		t.Fatalf("retained %d spans, want %d", len(got), capacity)
+	}
+	lastSeq := make(map[int64]uint64)
+	for i, s := range got {
+		if prev, ok := lastSeq[s.Node]; ok && s.ID <= prev {
+			t.Fatalf("span[%d]: goroutine %d seq %d after seq %d — overwrite order broken",
+				i, s.Node, s.ID, prev)
+		}
+		lastSeq[s.Node] = s.ID
+		// Everything retained must come from the tail of the run: with
+		// goroutines*per emits into a cap-32 ring, seq 0 surviving for a
+		// goroutine that emitted 2000 spans means an overwritten slot
+		// resurfaced.
+		if s.ID < per-capacity*2 {
+			t.Fatalf("span[%d]: stale seq %d from goroutine %d survived wraparound", i, s.ID, s.Node)
+		}
+	}
+}
+
 func TestJSONLRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	j := NewJSONL(&buf)
@@ -137,6 +188,9 @@ func TestNextIDUnique(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				id := NextID()
+				if i%2 == 0 {
+					id = NewTraceID() // same uniqueness contract
+				}
 				mu.Lock()
 				if id == 0 || seen[id] {
 					t.Errorf("duplicate or zero id %d", id)

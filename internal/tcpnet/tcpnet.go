@@ -33,8 +33,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
+	"repro/internal/wire"
 )
 
 // maxFrameSize bounds a single message (16 MiB), protecting against corrupt
@@ -70,6 +72,13 @@ type Config struct {
 	// peer's circuit breaker opens (default 8; negative disables the
 	// breaker accounting, leaving only the dial backoff).
 	BreakerThreshold int
+	// Tracer, when non-nil, receives a "net-send" span for every outbound
+	// payload carrying a trace context (enqueue→write, Err set when the
+	// send read as loss) and a "net-recv" span for every such inbound
+	// payload (frame read→dispatch). Untraced payloads emit nothing; the
+	// trace context is read from the payload's envelope trailer
+	// (wire.PeekTrace) without decoding the protocol message.
+	Tracer obs.Tracer
 }
 
 // Breaker states, per peer.
@@ -304,13 +313,16 @@ func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 	if e.closed.Load() {
 		return types.ErrClosed
 	}
+	emit := e.beginSendSpan(to, payload)
 	ps, conn, err := e.conn(to)
 	if err != nil {
+		emit(err.Error())
 		return err
 	}
 	if conn == nil {
 		// Dial failed or suppressed: counts as loss, the peer may come
 		// back later.
+		emit("lost: peer unreachable or suppressed")
 		return nil
 	}
 	frame := make([]byte, 8+len(payload))
@@ -339,7 +351,34 @@ func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 		e.noteSuccessLocked(ps)
 	}
 	e.mu.Unlock()
+	if werr != nil {
+		emit("lost: " + werr.Error())
+	} else {
+		emit("")
+	}
 	return nil
+}
+
+// beginSendSpan starts the "net-send" span for a traced payload, returning
+// the closure that finishes it (errStr != "" marks the send as lost). For
+// untraced payloads or without a tracer it returns a no-op, keeping the
+// hot path to one nil check plus a constant-time envelope peek.
+func (e *Endpoint) beginSendSpan(to types.NodeID, payload []byte) func(errStr string) {
+	if e.cfg.Tracer == nil {
+		return func(string) {}
+	}
+	trace, parent, ok := wire.PeekTrace(payload)
+	if !ok {
+		return func(string) {}
+	}
+	start := time.Now()
+	return func(errStr string) {
+		e.cfg.Tracer.Emit(obs.Span{
+			Trace: trace, ID: obs.NextID(), Parent: parent,
+			Kind: "net-send", Node: int64(e.cfg.ID), Peer: int64(to),
+			Start: start, Dur: time.Since(start), Err: errStr,
+		})
+	}
 }
 
 // conn returns the peer state and a connection to it, dialing if needed. A
@@ -481,6 +520,14 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 		}
 		e.framesRecv.Add(1)
 		e.bytesRecv.Add(int64(8 + len(payload)))
+		var rstart time.Time
+		var rtrace, rparent uint64
+		traced := false
+		if e.cfg.Tracer != nil {
+			if rtrace, rparent, traced = wire.PeekTrace(payload); traced {
+				rstart = time.Now()
+			}
+		}
 		if registered < 0 {
 			// Learn the peer so replies go back on this connection. An
 			// inbound connection is proof of life: close any breaker.
@@ -496,6 +543,13 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 			e.mu.Unlock()
 		}
 		e.mbox.Put(transport.Message{From: from, To: e.cfg.ID, Payload: payload})
+		if traced {
+			e.cfg.Tracer.Emit(obs.Span{
+				Trace: rtrace, ID: obs.NextID(), Parent: rparent,
+				Kind: "net-recv", Node: int64(e.cfg.ID), Peer: int64(from),
+				Start: rstart, Dur: time.Since(rstart),
+			})
+		}
 	}
 }
 

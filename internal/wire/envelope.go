@@ -1,0 +1,96 @@
+package wire
+
+// This file defines the payload envelope shared by every protocol message:
+// an optional trace-context trailer followed by a CRC32 integrity trailer.
+//
+// Layout:
+//
+//	[body ...][trace id: 8 BE][span id: 8 BE]?[crc32: 4 BE]
+//
+// The trace trailer is present iff the body's first byte has TraceFlag set.
+// The first byte is the protocol's kind tag, whose real values are small
+// (< 0x80), so the flag bit is unambiguous and payloads produced before the
+// trace context existed decode unchanged — that is the mixed-version path:
+// a traced client can talk to an untraced peer and vice versa.
+//
+// The CRC covers everything before it, trace trailer included: a bit flipped
+// in transit (chaos corrupt faults, real networks) fails Open and the
+// message is dropped like a lost one, which the protocol already tolerates.
+//
+// The trailer uses fixed-width big-endian integers, not varints, so
+// transports can attribute a frame to its trace with PeekTrace — a
+// constant-time look at the payload's tail — without decoding the protocol
+// message or importing the protocol package.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/types"
+)
+
+// TraceFlag marks a payload whose envelope carries a trace-context trailer.
+// It is set on the body's first (kind) byte by Seal and must be masked off
+// when reading the kind: Kind(body[0] &^ wire.TraceFlag).
+const TraceFlag byte = 0x80
+
+const (
+	traceCtxSize = 16 // trace id + span id, 8 bytes big-endian each
+	crcSize      = 4
+)
+
+// Seal finalizes a payload: when a trace context is present (trace or span
+// non-zero) it sets TraceFlag on the body's first byte and appends the
+// 16-byte trace trailer, then appends the CRC32 of everything so far. Seal
+// takes ownership of body (it may mutate and extend it).
+func Seal(body []byte, trace, span uint64) []byte {
+	if len(body) > 0 && (trace != 0 || span != 0) {
+		body[0] |= TraceFlag
+		var ctx [traceCtxSize]byte
+		binary.BigEndian.PutUint64(ctx[0:8], trace)
+		binary.BigEndian.PutUint64(ctx[8:16], span)
+		body = append(body, ctx[:]...)
+	}
+	var crc [crcSize]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(body, crc[:]...)
+}
+
+// Open verifies a sealed payload and strips its trailers, returning the
+// body and the trace context (zero for untraced payloads). The returned
+// body aliases payload and still carries TraceFlag on its first byte when
+// the payload was traced — mask with TraceFlag when reading the kind. Open
+// never mutates payload: at-least-once substrates may deliver the same
+// backing array twice.
+func Open(payload []byte) (body []byte, trace, span uint64, err error) {
+	if len(payload) < 1+crcSize {
+		return nil, 0, 0, fmt.Errorf("%w: payload too short", types.ErrBadMessage)
+	}
+	body = payload[:len(payload)-crcSize]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(payload[len(payload)-crcSize:]) {
+		return nil, 0, 0, fmt.Errorf("%w: checksum mismatch", types.ErrBadMessage)
+	}
+	if body[0]&TraceFlag != 0 {
+		if len(body) < 1+traceCtxSize {
+			return nil, 0, 0, fmt.Errorf("%w: traced payload too short for trace trailer", types.ErrBadMessage)
+		}
+		ctx := body[len(body)-traceCtxSize:]
+		trace = binary.BigEndian.Uint64(ctx[0:8])
+		span = binary.BigEndian.Uint64(ctx[8:16])
+		body = body[:len(body)-traceCtxSize]
+	}
+	return body, trace, span, nil
+}
+
+// PeekTrace reads a sealed payload's trace context without verifying the
+// checksum or decoding the body — the constant-time hook transports use to
+// attribute a frame to its trace. ok is false for untraced or too-short
+// payloads.
+func PeekTrace(payload []byte) (trace, span uint64, ok bool) {
+	if len(payload) < 1+traceCtxSize+crcSize || payload[0]&TraceFlag == 0 {
+		return 0, 0, false
+	}
+	ctx := payload[len(payload)-crcSize-traceCtxSize : len(payload)-crcSize]
+	return binary.BigEndian.Uint64(ctx[0:8]), binary.BigEndian.Uint64(ctx[8:16]), true
+}

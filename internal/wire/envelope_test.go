@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestSealOpenUntraced(t *testing.T) {
+	body := AppendString([]byte{0x03}, "reg")
+	payload := Seal(append([]byte(nil), body...), 0, 0)
+	if len(payload) != len(body)+4 {
+		t.Fatalf("untraced seal added %d bytes, want 4 (CRC only)", len(payload)-len(body))
+	}
+	got, trace, span, err := Open(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != 0 || span != 0 {
+		t.Fatalf("untraced payload opened with trace context (%d, %d)", trace, span)
+	}
+	if string(got) != string(body) {
+		t.Fatalf("body mismatch: %x vs %x", got, body)
+	}
+	if got[0]&TraceFlag != 0 {
+		t.Fatal("untraced body has TraceFlag set")
+	}
+}
+
+func TestSealOpenTraced(t *testing.T) {
+	body := AppendString([]byte{0x01}, "x")
+	payload := Seal(append([]byte(nil), body...), 0xDEAD, 0xBEEF)
+	got, trace, span, err := Open(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace != 0xDEAD || span != 0xBEEF {
+		t.Fatalf("trace context = (%#x, %#x), want (0xdead, 0xbeef)", trace, span)
+	}
+	if Kind := got[0] &^ TraceFlag; Kind != 0x01 {
+		t.Fatalf("masked kind = %#x, want 0x01", Kind)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("body length %d, want %d", len(got), len(body))
+	}
+}
+
+// TestOpenDoesNotMutate: at-least-once substrates can deliver the same
+// backing array twice; the second Open must still verify.
+func TestOpenDoesNotMutate(t *testing.T) {
+	payload := Seal([]byte{0x02, 1, 2, 3}, 7, 9)
+	snapshot := append([]byte(nil), payload...)
+	if _, _, _, err := Open(payload); err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != string(snapshot) {
+		t.Fatal("Open mutated the payload")
+	}
+	if _, trace, span, err := Open(payload); err != nil || trace != 7 || span != 9 {
+		t.Fatalf("second Open of the same array: trace=%d span=%d err=%v", trace, span, err)
+	}
+}
+
+func TestPeekTrace(t *testing.T) {
+	traced := Seal([]byte{0x03, 42}, 111, 222)
+	trace, span, ok := PeekTrace(traced)
+	if !ok || trace != 111 || span != 222 {
+		t.Fatalf("PeekTrace = (%d, %d, %v), want (111, 222, true)", trace, span, ok)
+	}
+	untraced := Seal([]byte{0x03, 42}, 0, 0)
+	if _, _, ok := PeekTrace(untraced); ok {
+		t.Fatal("PeekTrace claimed a trace context on an untraced payload")
+	}
+	if _, _, ok := PeekTrace(nil); ok {
+		t.Fatal("PeekTrace ok on nil payload")
+	}
+	if _, _, ok := PeekTrace([]byte{TraceFlag | 1, 2, 3}); ok {
+		t.Fatal("PeekTrace ok on a flagged but too-short payload")
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	payload := Seal([]byte{0x01, 10, 20, 30}, 5, 6)
+	for i := range payload {
+		corrupt := append([]byte(nil), payload...)
+		corrupt[i] ^= 0x40
+		if _, _, _, err := Open(corrupt); !errors.Is(err, types.ErrBadMessage) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrBadMessage", i, err)
+		}
+	}
+	if _, _, _, err := Open(nil); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatal("nil payload must fail Open")
+	}
+	if _, _, _, err := Open([]byte{1, 2, 3}); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatal("short payload must fail Open")
+	}
+}
+
+// TestOpenTracedTooShort covers the adversarial case of a payload whose
+// flag bit claims a trace trailer the body cannot contain, with a valid
+// CRC (so only the length check can reject it).
+func TestOpenTracedTooShort(t *testing.T) {
+	body := []byte{TraceFlag | 0x01, 1, 2} // flagged, but < 17 bytes of body
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	payload := append(body, crc[:]...)
+	if _, _, _, err := Open(payload); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("flagged short payload: err = %v, want ErrBadMessage", err)
+	}
+}
