@@ -5,7 +5,7 @@ GO ?= go
 # Every command binary `make bin` produces under ./bin.
 CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace
 
-.PHONY: all build bin test race vet check smoke bench eval clean
+.PHONY: all build bin test race vet check smoke bench throughput eval clean
 
 all: check
 
@@ -22,7 +22,7 @@ test:
 # netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
 # under the race detector. These are the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...
@@ -39,7 +39,12 @@ smoke:
 	$(GO) run ./cmd/abd-trace -min-stitch 0.95 $(SMOKE_SPANS)
 
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate BENCH_throughput.json: the batching-pipeline on/off comparison
+# (cmd/abd-bench -exp throughput) at full duration on the canonical seed.
+throughput:
+	$(GO) run ./cmd/abd-bench -exp throughput -seed 1 -json BENCH_throughput.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md appendix).
 eval:

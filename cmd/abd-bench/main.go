@@ -25,14 +25,15 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput) or 'all'")
 		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
+		jsonOut  = flag.String("json", "", "write the machine-readable report (TP experiment) to this file")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, JSONOut: *jsonOut}
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {

@@ -276,6 +276,8 @@ func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Clien
 		w.Histogram("abd_client_phase_update_seconds", "update/write-back phase latency (embedded probe client)", labels, lat.PhaseUpdate)
 		w.Counter("abd_client_phases_total", "broadcast-and-collect rounds run by the probe client", labels, cm.Phases)
 		w.Counter("abd_client_msgs_sent_total", "request messages sent by the probe client", labels, cm.MsgsSent)
+		w.Counter("abd_client_coalesced_reads_total", "reads served by joining another read's quorum round", labels, cm.CoalescedReads)
+		w.Counter("abd_client_absorbed_writes_total", "writes absorbed into a concurrent write's round", labels, cm.AbsorbedWrites)
 		rm := replica.ReplicaMetrics()
 		w.Counter("abd_replica_queries_total", "read queries handled", labels, rm.Queries)
 		w.Counter("abd_replica_updates_total", "write/update requests handled", labels, rm.Updates)
@@ -283,6 +285,8 @@ func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Clien
 		w.Counter("abd_replica_stale_rejects_total", "updates with a tag at or below the stored one", labels, rm.StaleRejects)
 		w.Counter("abd_replica_order_violations_total", "bounded-mode comparisons outside the sound window", labels, rm.OrderViolations)
 		w.Counter("abd_replica_bad_msgs_total", "undecodable payloads", labels, rm.BadMsgs)
+		w.Counter("abd_replica_batches_total", "group commits (updates/batches = mean writes per commit)", labels, rm.Batches)
+		w.Counter("abd_replica_fsyncs_total", "WAL flushes issued; under load stays below adoptions (group-commit amortization)", labels, rm.Fsyncs)
 		w.Gauge("abd_replica_registers", "named registers stored", labels, float64(rm.Registers))
 
 		transport := func(lb obs.Labels, ts tcpnet.Stats) {

@@ -57,6 +57,14 @@ type Client struct {
 	swLabel map[string]int64
 	swWrote map[string]bool // whether swLabel holds a real label yet
 
+	// Coalescing state (see coalesce.go): per-register shared rounds for
+	// concurrent reads and multi-writer writes issued through this client.
+	coalesceReads bool
+	absorbWrites  bool
+	coMu          sync.Mutex
+	rdRounds      map[string]*opRound
+	wrRounds      map[string]*opRound
+
 	opSeq   atomic.Uint64
 	pendMu  sync.Mutex
 	pending map[uint64]*opInbox
@@ -92,6 +100,11 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 		swWrote:  make(map[string]bool),
 		pending:  make(map[uint64]*opInbox),
 		done:     make(chan struct{}),
+
+		coalesceReads: true,
+		absorbWrites:  true,
+		rdRounds:      make(map[string]*opRound),
+		wrRounds:      make(map[string]*opRound),
 
 		rtPolicy:   retransmitAdaptive,
 		adaptFloor: DefaultRetransmitFloor,
@@ -496,7 +509,13 @@ func (c *Client) vouched(replies []message) []message {
 func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	start := time.Now()
 	ot := c.beginOp()
-	val, err := c.read(ctx, reg, ot)
+	var val types.Value
+	var err error
+	if c.coalesceReads {
+		val, err = c.readCoalesced(ctx, reg, ot)
+	} else {
+		val, err = c.read(ctx, reg, ot)
+	}
 	if err == nil {
 		c.lat.read.Record(time.Since(start))
 	}
@@ -570,7 +589,12 @@ func unanimous(replies []message, tag Tag) bool {
 func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 	start := time.Now()
 	ot := c.beginOp()
-	err := c.write(ctx, reg, val, ot)
+	var err error
+	if c.absorbWrites && !c.singleWriter {
+		err = c.writeAbsorbed(ctx, reg, val, ot)
+	} else {
+		err = c.write(ctx, reg, val, ot)
+	}
 	if err == nil {
 		c.lat.write.Record(time.Since(start))
 	}

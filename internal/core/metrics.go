@@ -20,6 +20,8 @@ type Metrics struct {
 	badMsgs           atomic.Int64
 	retransmits       atomic.Int64
 	maskRetries       atomic.Int64
+	coalescedReads    atomic.Int64
+	absorbedWrites    atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of a client's counters.
@@ -49,6 +51,12 @@ type MetricsSnapshot struct {
 	// MaskRetries counts masking-mode query phases repeated because no
 	// pair had f+1 support (T6).
 	MaskRetries int64
+	// CoalescedReads counts reads served by adopting a concurrent read's
+	// shared quorum round; AbsorbedWrites counts multi-writer writes acked
+	// by riding a concurrent write's round (see coalesce.go). Both count
+	// the followers only — each shared round's leader shows up in the
+	// ordinary Phases/MsgsSent numbers.
+	CoalescedReads, AbsorbedWrites int64
 }
 
 func (m *Metrics) snapshot() MetricsSnapshot {
@@ -64,6 +72,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		BadMsgs:           m.badMsgs.Load(),
 		Retransmits:       m.retransmits.Load(),
 		MaskRetries:       m.maskRetries.Load(),
+		CoalescedReads:    m.coalescedReads.Load(),
+		AbsorbedWrites:    m.absorbedWrites.Load(),
 	}
 }
 

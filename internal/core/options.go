@@ -137,6 +137,27 @@ func WithAdaptiveRetransmit(floor, ceiling time.Duration) ClientOption {
 	}
 }
 
+// WithoutReadCoalescing disables the shared-round read path: every Read
+// runs its own quorum round even when another read of the same register is
+// in flight on this client. Coalescing is on by default because it is
+// invisible when operations do not overlap and strictly reduces load when
+// they do; this switch exists for baselines and ablations (the throughput
+// experiment's "unbatched" pass) and for callers that want per-read fault
+// isolation — a coalesced read shares its leader's fate and retries on its
+// own round only afterwards.
+func WithoutReadCoalescing() ClientOption {
+	return func(c *Client) { c.coalesceReads = false }
+}
+
+// WithoutWriteAbsorption disables multi-writer write absorption: every
+// Write runs its own query and update phases. See WithoutReadCoalescing
+// for why absorption is otherwise on by default; single-writer and bounded
+// clients never absorb regardless (their fast paths are already one round
+// trip, and bounded label domination is per-write).
+func WithoutWriteAbsorption() ClientOption {
+	return func(c *Client) { c.absorbWrites = false }
+}
+
 // WithMaskingFaults hardens the client against up to f Byzantine replicas,
 // following the masking-quorum generalization of the paper (Malkhi &
 // Reiter). Use together with WithQuorum(quorum.NewMasking(n, f)) — quorums

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -49,11 +50,12 @@ var ErrLogCorrupt = errors.New("core: persistence log corrupt (checksum mismatch
 
 // persister is the append-only adoption log.
 type persister struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
-	sync bool
-	n    int // records since last compaction
+	mu    sync.Mutex
+	f     *os.File
+	path  string
+	sync  bool
+	n     int          // records since last compaction
+	syncs atomic.Int64 // fsyncs issued (appends + batch appends)
 }
 
 const persistCompactThreshold = 4096
@@ -249,9 +251,44 @@ func (p *persister) appendRecord(rec record) error {
 		if err := p.f.Sync(); err != nil {
 			return fmt.Errorf("core: persistence sync: %w", err)
 		}
+		p.syncs.Add(1)
 	}
 	p.n++
 	return nil
+}
+
+// appendBatch logs a group of adoptions with a single write and a single
+// fsync. This is the group-commit amortization: every record in recs is
+// durable once appendBatch returns, at the disk cost of one flush no
+// matter how many records rode along.
+func (p *persister) appendBatch(recs []record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var buf []byte
+	for _, rec := range recs {
+		buf = append(buf, encodeRecord(rec)...)
+	}
+	if _, err := p.f.Write(buf); err != nil {
+		return fmt.Errorf("core: persistence batch append: %w", err)
+	}
+	if p.sync {
+		if err := p.f.Sync(); err != nil {
+			return fmt.Errorf("core: persistence sync: %w", err)
+		}
+		p.syncs.Add(1)
+	}
+	p.n += len(recs)
+	return nil
+}
+
+// recordCount reports records appended since the last compaction.
+func (p *persister) recordCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.n
 }
 
 // compact rewrites the log to one record per register. Called with the

@@ -267,6 +267,79 @@ func TestPersistTruncatesTornTailBeforeAppend(t *testing.T) {
 	}
 }
 
+// TestPersistGroupCommitTornBatchReplaysPrefix: a crash in the middle of a
+// group commit's multi-record append must behave like a crash between
+// single appends — the records fully on disk replay, the torn one is
+// truncated away, and the log stays appendable. This is what makes the
+// replica's install-after-fsync ordering sufficient: a batch that never
+// finished its fsync was never installed or acked, so replaying its prefix
+// only resurrects unacknowledged (harmless, adopt-if-newer) records.
+func TestPersistGroupCommitTornBatchReplaysPrefix(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "batch.wal")
+	p, _, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []record
+	for i := 1; i <= 4; i++ {
+		rec := record{reg: "x", tag: Tag{Valid: true}, val: []byte(fmt.Sprintf("v%d", i))}
+		rec.tag.TS.Seq = int64(i)
+		recs = append(recs, rec)
+	}
+	if err := p.appendBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.syncs.Load(); got != 1 {
+		t.Fatalf("batch append issued %d fsyncs, want 1", got)
+	}
+	if p.recordCount() != 4 {
+		t.Fatalf("recordCount = %d, want 4", p.recordCount())
+	}
+	if err := p.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-batch: the last record's tail never reached the disk.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(logPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, replayed, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatalf("torn batch tail must recover, got %v", err)
+	}
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d records, want the 3-record prefix", len(replayed))
+	}
+	for i, rec := range replayed {
+		if want := fmt.Sprintf("v%d", i+1); string(rec.val) != want {
+			t.Fatalf("record %d = %q, want %q", i, rec.val, want)
+		}
+	}
+	// The repaired log keeps working: another batch lands on the clean
+	// boundary and the whole history replays.
+	rec5 := record{reg: "x", tag: Tag{Valid: true}, val: []byte("v5")}
+	rec5.tag.TS.Seq = 5
+	if err := p2.appendBatch([]record{rec5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.close(); err != nil {
+		t.Fatal(err)
+	}
+	_, again, err := openPersister(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 4 || string(again[3].val) != "v5" {
+		t.Fatalf("post-repair batch append: %d records", len(again))
+	}
+}
+
 // TestCompactLogShrinksOnDemand covers the graceful-shutdown entry point.
 func TestCompactLogShrinksOnDemand(t *testing.T) {
 	dir := t.TempDir()

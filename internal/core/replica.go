@@ -21,6 +21,16 @@ type regEntry struct {
 // requests. Its behaviour is exactly the paper's: reply to a query with the
 // stored pair; on an update, adopt the incoming pair if its timestamp is
 // newer, and acknowledge either way.
+//
+// Internally the replica is a two-stage pipeline: an accept loop decodes
+// inbound requests and answers read queries immediately (they only take the
+// state mutex for a map lookup), while updates flow through a bounded batch
+// channel into a group-commit loop that drains up to batchMax pending
+// writes, appends all their WAL records, fsyncs once, installs the adopted
+// state, and acks the whole batch. A slow fsync therefore stalls writers,
+// never readers, and under write load the fsync cost amortizes across the
+// batch. With batchMax == 1 the pipeline degenerates to the classic
+// one-fsync-per-write behaviour.
 type Replica struct {
 	id  types.NodeID
 	ep  transport.Endpoint
@@ -29,9 +39,18 @@ type Replica struct {
 	mu   sync.Mutex
 	regs map[string]regEntry
 
+	// commitMu serializes group commits with explicit/automatic log
+	// compaction, so a compaction can never snapshot regs between a
+	// batch's WAL append and its install (which would drop acked records
+	// from the rewritten log).
+	commitMu sync.Mutex
+
 	// persist, when non-nil, logs every adoption before it is acknowledged
 	// (crash-recovery extension; see NewPersistentReplica).
 	persist *persister
+
+	batchMax int
+	writeCh  chan inboundWrite
 
 	started atomic.Bool
 	done    chan struct{}
@@ -44,7 +63,20 @@ type Replica struct {
 	staleRejects atomic.Int64 // updates carrying a tag at or below the stored one
 	violations   atomic.Int64 // order-comparison failures (bounded mode)
 	badMsgs      atomic.Int64 // undecodable payloads
+	batches      atomic.Int64 // group commits executed
+
+	batchSizes obs.Histogram // writes per group commit (a count, not ns)
 }
+
+// inboundWrite is one update waiting in the group-commit channel.
+type inboundWrite struct {
+	from types.NodeID
+	m    message
+}
+
+// defaultReplicaBatch is the group-commit drain limit: how many pending
+// writes one WAL append + fsync may cover.
+const defaultReplicaBatch = 64
 
 // ReplicaOption configures a replica.
 type ReplicaOption func(*Replica)
@@ -71,31 +103,55 @@ func WithReplicaTracer(t obs.Tracer) ReplicaOption {
 	return func(r *Replica) { r.tracer = t }
 }
 
+// WithReplicaBatch sets the group-commit limit: up to k pending writes
+// share one WAL append + fsync and are acked together. k == 1 restores the
+// classic one-fsync-per-write path (useful as a baseline); k < 1 is
+// ignored. The limit also sizes the bounded batch channel between the
+// accept loop and the commit loop.
+func WithReplicaBatch(k int) ReplicaOption {
+	return func(r *Replica) {
+		if k >= 1 {
+			r.batchMax = k
+		}
+	}
+}
+
 // NewReplica creates a replica attached to ep. The replica takes ownership
 // of the endpoint: Stop closes it.
 func NewReplica(id types.NodeID, ep transport.Endpoint, opts ...ReplicaOption) *Replica {
 	r := &Replica{
-		id:   id,
-		ep:   ep,
-		ord:  unboundedOrder{},
-		regs: make(map[string]regEntry),
-		done: make(chan struct{}),
+		id:       id,
+		ep:       ep,
+		ord:      unboundedOrder{},
+		regs:     make(map[string]regEntry),
+		done:     make(chan struct{}),
+		batchMax: defaultReplicaBatch,
 	}
 	for _, opt := range opts {
 		opt(r)
 	}
+	// The channel holds a few batches' worth of writes: deep enough that an
+	// in-progress fsync rarely blocks the accept loop, bounded so a stalled
+	// disk backpressures writers instead of buffering without limit.
+	depth := 4 * r.batchMax
+	if depth < 256 {
+		depth = 256
+	}
+	r.writeCh = make(chan inboundWrite, depth)
 	return r
 }
 
 // ID returns the replica's node identifier.
 func (r *Replica) ID() types.NodeID { return r.id }
 
-// Start launches the message loop. It is a no-op if already started.
+// Start launches the accept and group-commit loops. It is a no-op if
+// already started.
 func (r *Replica) Start() {
 	if !r.started.CompareAndSwap(false, true) {
 		return
 	}
-	go r.loop()
+	go r.acceptLoop()
+	go r.commitLoop()
 }
 
 // Stop closes the replica's endpoint and waits for the message loop to
@@ -117,8 +173,11 @@ func (r *Replica) Stop() {
 // (a no-op for non-persistent replicas). Compaction also runs
 // automatically every persistCompactThreshold appends; this entry point
 // lets a graceful shutdown leave the smallest possible log for the next
-// start to replay.
+// start to replay. It serializes with group commits so the rewritten log
+// can never miss an acked batch.
 func (r *Replica) CompactLog() error {
+	r.commitMu.Lock()
+	defer r.commitMu.Unlock()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.persist == nil {
@@ -136,8 +195,13 @@ func (r *Replica) closePersist() {
 	}
 }
 
-func (r *Replica) loop() {
-	defer close(r.done)
+// acceptLoop decodes inbound requests, serves read queries inline (they
+// only need a map lookup under the state mutex), and feeds updates into the
+// bounded batch channel. When the channel is full — the disk cannot keep up
+// — the accept loop blocks, backpressuring the transport rather than
+// buffering writes without limit.
+func (r *Replica) acceptLoop() {
+	defer close(r.writeCh)
 	for raw := range r.ep.Recv() {
 		m, err := decodeMessage(raw.Payload)
 		if err != nil {
@@ -148,12 +212,38 @@ func (r *Replica) loop() {
 		case KindReadQuery:
 			r.handleQuery(raw.From, m)
 		case KindWrite:
-			r.handleWrite(raw.From, m)
+			r.writeCh <- inboundWrite{from: raw.From, m: m}
 		default:
 			// Replies addressed to a client that happens to share our node
 			// id are not ours to handle; drop them.
 			r.badMsgs.Add(1)
 		}
+	}
+}
+
+// commitLoop drains the batch channel and group-commits: each iteration
+// takes everything pending (up to batchMax) and runs it through one
+// classify → WAL append+fsync → install → ack cycle. Writes still queued
+// when the endpoint closes are committed before the loop exits, so Stop
+// never strands an accepted update.
+func (r *Replica) commitLoop() {
+	defer close(r.done)
+	batch := make([]inboundWrite, 0, r.batchMax)
+	for w := range r.writeCh {
+		batch = append(batch[:0], w)
+	drain:
+		for len(batch) < r.batchMax {
+			select {
+			case w2, ok := <-r.writeCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, w2)
+			default:
+				break drain
+			}
+		}
+		r.commitBatch(batch)
 	}
 }
 
@@ -201,66 +291,108 @@ func (r *Replica) handleQuery(from types.NodeID, m message) {
 	_ = r.ep.Send(from, reply.encode())
 }
 
-func (r *Replica) handleWrite(from types.NodeID, m message) {
-	r.updates.Add(1)
-	start, handleID := r.beginHandle(m)
+// commitBatch runs one group commit. Adoption decisions are made against a
+// staging view (current state plus earlier adoptions in the same batch), so
+// intra-batch ordering matches what serial handling would have produced.
+// All adopted records hit the WAL with one append and one fsync, and only
+// then is the staged state installed and the batch acked — a register's
+// visible state is always durable (a query can never leak a pair the next
+// restart would forget), and an acked update always is too. A WAL failure
+// acks nothing: every classification in the batch was made against staging
+// that never became real, so the safe move is to go silent, which clients
+// experience as a crash.
+func (r *Replica) commitBatch(batch []inboundWrite) {
+	r.batches.Add(1)
+	r.batchSizes.Record(time.Duration(len(batch)))
+
+	starts := make([]time.Time, len(batch))
+	handleIDs := make([]uint64, len(batch))
+	adopted := make([]bool, len(batch))
+	var recs []record
+
+	r.commitMu.Lock()
+	staged := make(map[string]regEntry, len(batch))
 	r.mu.Lock()
-	e := r.regs[m.Reg]
-	cmp, err := r.ord.compare(m.Tag, e.tag)
-	adopted := false
-	switch {
-	case err != nil:
-		// Out-of-window comparison (bounded mode): refuse to adopt, since
-		// either ordering could be wrong, and surface via the counter. See
-		// DESIGN.md on the bounded-staleness assumption.
-		r.violations.Add(1)
-	case cmp > 0:
-		r.regs[m.Reg] = regEntry{tag: m.Tag, val: m.Val}
-		r.adoptions.Add(1)
-		adopted = true
-	default:
-		// Stale or duplicate update: the stored pair is at least as new.
-		// Normal under read write-backs and retransmission, but the rate
-		// is a direct measure of write contention.
-		r.staleRejects.Add(1)
-		if handleID != 0 {
-			r.tracer.Emit(obs.Span{
-				Trace: m.Trace, ID: obs.NextID(), Parent: handleID,
-				Kind: "stale-reject", Phase: "update", Reg: m.Reg, Node: int64(r.id),
-				Start: time.Now(),
-			})
+	for i, w := range batch {
+		m := w.m
+		r.updates.Add(1)
+		starts[i], handleIDs[i] = r.beginHandle(m)
+		cur, ok := staged[m.Reg]
+		if !ok {
+			cur = r.regs[m.Reg]
+		}
+		cmp, err := r.ord.compare(m.Tag, cur.tag)
+		switch {
+		case err != nil:
+			// Out-of-window comparison (bounded mode): refuse to adopt,
+			// since either ordering could be wrong, and surface via the
+			// counter. See DESIGN.md on the bounded-staleness assumption.
+			r.violations.Add(1)
+		case cmp > 0:
+			staged[m.Reg] = regEntry{tag: m.Tag, val: m.Val}
+			r.adoptions.Add(1)
+			adopted[i] = true
+			recs = append(recs, record{reg: m.Reg, tag: m.Tag, val: m.Val})
+		default:
+			// Stale or duplicate update: the stored (or already staged)
+			// pair is at least as new. Normal under read write-backs and
+			// retransmission, but the rate is a direct measure of write
+			// contention.
+			r.staleRejects.Add(1)
+			if handleIDs[i] != 0 {
+				r.tracer.Emit(obs.Span{
+					Trace: m.Trace, ID: obs.NextID(), Parent: handleIDs[i],
+					Kind: "stale-reject", Phase: "update", Reg: m.Reg, Node: int64(r.id),
+					Start: time.Now(),
+				})
+			}
 		}
 	}
-	if adopted && r.persist != nil {
-		// Log (and fsync) before acking: an acknowledged update must
-		// survive a crash-recovery cycle. Failure to persist means we must
-		// not ack, matching a crash from the client's perspective.
-		var walStart time.Time
-		if handleID != 0 {
-			walStart = time.Now()
-		}
-		if perr := r.persist.appendRecord(record{reg: m.Reg, tag: m.Tag, val: m.Val}); perr != nil {
-			r.mu.Unlock()
-			r.endHandle(m, "update", start, handleID, perr)
-			return
-		}
-		if handleID != 0 {
-			r.tracer.Emit(obs.Span{
-				Trace: m.Trace, ID: obs.NextID(), Parent: handleID,
-				Kind: "wal-append", Phase: "update", Reg: m.Reg, Node: int64(r.id),
-				Start: walStart, Dur: time.Since(walStart),
-			})
-		}
-		if r.persist.n >= persistCompactThreshold {
-			_ = r.persist.compact(r.regs)
-		}
-	}
+	persist := r.persist
 	r.mu.Unlock()
 
-	ack := message{Kind: KindWriteAck, Op: m.Op, Reg: m.Reg,
-		Trace: m.Trace, Span: handleID}
-	r.endHandle(m, "update", start, handleID, nil)
-	_ = r.ep.Send(from, ack.encode())
+	// Log (and fsync, once for the whole batch) before acking: an
+	// acknowledged update must survive a crash-recovery cycle. The state
+	// mutex is NOT held here — queries keep flowing while the disk works.
+	var perr error
+	if persist != nil && len(recs) > 0 {
+		walStart := time.Now()
+		perr = persist.appendBatch(recs)
+		walDur := time.Since(walStart)
+		for i, w := range batch {
+			if adopted[i] && handleIDs[i] != 0 {
+				r.tracer.Emit(obs.Span{
+					Trace: w.m.Trace, ID: obs.NextID(), Parent: handleIDs[i],
+					Kind: "wal-append", Phase: "update", Reg: w.m.Reg, Node: int64(r.id),
+					Start: walStart, Dur: walDur,
+				})
+			}
+		}
+	}
+	if perr == nil {
+		r.mu.Lock()
+		for reg, e := range staged {
+			r.regs[reg] = e
+		}
+		compact := persist != nil && persist.recordCount() >= persistCompactThreshold
+		if compact {
+			_ = persist.compact(r.regs)
+		}
+		r.mu.Unlock()
+	}
+	r.commitMu.Unlock()
+
+	for i, w := range batch {
+		m := w.m
+		if perr != nil {
+			r.endHandle(m, "update", starts[i], handleIDs[i], perr)
+			continue
+		}
+		ack := message{Kind: KindWriteAck, Op: m.Op, Reg: m.Reg,
+			Trace: m.Trace, Span: handleIDs[i]}
+		r.endHandle(m, "update", starts[i], handleIDs[i], nil)
+		_ = r.ep.Send(w.from, ack.encode())
+	}
 }
 
 // State returns the replica's stored pair for a register, for tests and
@@ -308,6 +440,11 @@ type ReplicaMetrics struct {
 	// OrderViolations counts bounded-mode comparisons outside the sound
 	// window; BadMsgs counts undecodable payloads.
 	OrderViolations, BadMsgs int64
+	// Batches counts group commits; Updates/Batches is the mean writes per
+	// commit. Fsyncs counts log flushes actually issued (persistent replicas
+	// only) — under write load Fsyncs < Adoptions is the group-commit win,
+	// i.e. fsyncs-per-acked-write below one.
+	Batches, Fsyncs int64
 	// Registers is the store size: how many named registers hold a pair.
 	Registers int
 }
@@ -317,7 +454,12 @@ type ReplicaMetrics struct {
 func (r *Replica) ReplicaMetrics() ReplicaMetrics {
 	r.mu.Lock()
 	registers := len(r.regs)
+	persist := r.persist
 	r.mu.Unlock()
+	var fsyncs int64
+	if persist != nil {
+		fsyncs = persist.syncs.Load()
+	}
 	return ReplicaMetrics{
 		Queries:         r.queries.Load(),
 		Updates:         r.updates.Load(),
@@ -325,6 +467,16 @@ func (r *Replica) ReplicaMetrics() ReplicaMetrics {
 		StaleRejects:    r.staleRejects.Load(),
 		OrderViolations: r.violations.Load(),
 		BadMsgs:         r.badMsgs.Load(),
+		Batches:         r.batches.Load(),
+		Fsyncs:          fsyncs,
 		Registers:       registers,
 	}
+}
+
+// BatchSizes returns the distribution of writes per group commit. The
+// histogram machinery is time-based, so sizes are recorded as if they were
+// nanosecond durations: a bucket labelled "64ns" holds commits of ~64
+// writes.
+func (r *Replica) BatchSizes() obs.HistSnapshot {
+	return r.batchSizes.Snapshot()
 }

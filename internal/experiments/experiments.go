@@ -28,6 +28,9 @@ type Options struct {
 	// experiments that trace their workload (L1). The caller owns the
 	// writer; experiments only flush.
 	TraceWriter io.Writer
+	// JSONOut, when non-empty, is where experiments that produce a
+	// machine-readable report (TP) write it.
+	JSONOut string
 }
 
 func (o Options) seed() int64 {
@@ -113,35 +116,37 @@ func pad(s string, w int) string {
 
 // Runner is one experiment entry point.
 type Runner struct {
-	ID   string
-	Name string
-	Run  func(Options) (*Table, error)
+	ID    string
+	Name  string
+	Alias string // optional long id accepted by Find (e.g. "throughput")
+	Run   func(Options) (*Table, error)
 }
 
 // All lists every experiment in DESIGN.md order.
 func All() []Runner {
 	return []Runner{
-		{"T1", "message complexity per operation", T1MessageComplexity},
-		{"T2", "round (latency) complexity", T2Rounds},
-		{"F1", "latency vs cluster size", F1LatencyVsN},
-		{"F2", "crash tolerance vs baselines", F2CrashTolerance},
-		{"F3", "throughput vs read fraction", F3Throughput},
-		{"T3", "linearizability of recorded histories", T3Linearizability},
-		{"F4", "liveness boundary at lost majority", F4PartitionBoundary},
-		{"F5", "quorum system availability and load", F5QuorumAvailability},
-		{"T4", "bounded vs unbounded timestamps", T4BoundedLabels},
-		{"T5", "multi-writer extension", T5MultiWriter},
-		{"F6", "shared-memory algorithms over the emulation", F6Applications},
-		{"T6", "Byzantine replicas vs masking quorums (extension)", T6Byzantine},
-		{"F7", "ablations: phase fanout and retransmission", F7Ablations},
-		{"L1", "latency profile per operation kind (obs histograms)", L1LatencyProfile},
+		{"T1", "message complexity per operation", "", T1MessageComplexity},
+		{"T2", "round (latency) complexity", "", T2Rounds},
+		{"F1", "latency vs cluster size", "", F1LatencyVsN},
+		{"F2", "crash tolerance vs baselines", "", F2CrashTolerance},
+		{"F3", "throughput vs read fraction", "", F3Throughput},
+		{"T3", "linearizability of recorded histories", "", T3Linearizability},
+		{"F4", "liveness boundary at lost majority", "", F4PartitionBoundary},
+		{"F5", "quorum system availability and load", "", F5QuorumAvailability},
+		{"T4", "bounded vs unbounded timestamps", "", T4BoundedLabels},
+		{"T5", "multi-writer extension", "", T5MultiWriter},
+		{"F6", "shared-memory algorithms over the emulation", "", F6Applications},
+		{"T6", "Byzantine replicas vs masking quorums (extension)", "", T6Byzantine},
+		{"F7", "ablations: phase fanout and retransmission", "", F7Ablations},
+		{"L1", "latency profile per operation kind (obs histograms)", "", L1LatencyProfile},
+		{"TP", "write-path throughput: batching pipeline on vs off", "throughput", TPThroughput},
 	}
 }
 
-// Find returns the runner with the given ID (case-insensitive).
+// Find returns the runner with the given ID or alias (case-insensitive).
 func Find(id string) (Runner, bool) {
 	for _, r := range All() {
-		if strings.EqualFold(r.ID, id) {
+		if strings.EqualFold(r.ID, id) || (r.Alias != "" && strings.EqualFold(r.Alias, id)) {
 			return r, true
 		}
 	}

@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -308,14 +311,76 @@ func TestL1LatencyShapes(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")
 	}
+	if r, ok := Find("throughput"); !ok || r.ID != "TP" {
+		t.Fatalf("Find by alias: %v %v", r.ID, ok)
+	}
 	if _, ok := Find("T9"); ok {
 		t.Fatal("Find accepted unknown id")
+	}
+}
+
+// TestTPThroughput runs the pipeline experiment at CI scale and checks the
+// report invariants: both passes complete ops, the disabled pass really has
+// the pipeline off (batch size pinned to 1, nothing coalesced), the enabled
+// pass batches and coalesces, and group commit keeps fsyncs-per-acked-write
+// below one.
+func TestTPThroughput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "tp.json")
+	tbl, err := TPThroughput(Options{Quick: true, Seed: 1, JSONOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(tbl.Rows))
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Passes []struct {
+			Name           string  `json:"name"`
+			Ops            int64   `json:"ops"`
+			FsyncsPerWrite float64 `json:"fsyncs_per_write"`
+			BatchMax       int64   `json:"batch_max"`
+			CoalescedReads int64   `json:"coalesced_reads"`
+			AbsorbedWrites int64   `json:"absorbed_writes"`
+		} `json:"passes"`
+		Speedup float64 `json:"speedup"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 2 {
+		t.Fatalf("want 2 passes, got %d", len(rep.Passes))
+	}
+	off, on := rep.Passes[0], rep.Passes[1]
+	if off.Name != "off" || on.Name != "on" {
+		t.Fatalf("pass order: %q %q", off.Name, on.Name)
+	}
+	if off.Ops == 0 || on.Ops == 0 {
+		t.Fatalf("empty pass: off=%d on=%d", off.Ops, on.Ops)
+	}
+	if off.BatchMax != 1 || off.CoalescedReads != 0 || off.AbsorbedWrites != 0 {
+		t.Fatalf("pipeline-off pass used the pipeline: %+v", off)
+	}
+	if on.BatchMax < 2 {
+		t.Fatalf("pipeline-on pass never batched: max %d", on.BatchMax)
+	}
+	if on.AbsorbedWrites == 0 {
+		t.Fatal("pipeline-on pass absorbed no writes")
+	}
+	if on.FsyncsPerWrite >= 1 {
+		t.Fatalf("fsyncs per acked write %.2f, want < 1", on.FsyncsPerWrite)
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup %.2f", rep.Speedup)
 	}
 }
 

@@ -414,6 +414,32 @@ func (c *Cluster) ClientIDs() []types.NodeID {
 	return ids
 }
 
+// ReplicaStats sums the protocol-level replica counters across the live
+// replica processes and merges their group-commit batch-size histograms.
+// Unlike TransportStats, crashed generations take their counters with them:
+// a restarted replica reports the new process's tallies only, which is
+// exactly what a crash-recovery test wants to observe.
+func (c *Cluster) ReplicaStats() (core.ReplicaMetrics, obs.HistSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total core.ReplicaMetrics
+	var sizes obs.HistSnapshot
+	for _, proc := range c.replicas {
+		m := proc.rep.ReplicaMetrics()
+		total.Queries += m.Queries
+		total.Updates += m.Updates
+		total.Adoptions += m.Adoptions
+		total.StaleRejects += m.StaleRejects
+		total.OrderViolations += m.OrderViolations
+		total.BadMsgs += m.BadMsgs
+		total.Batches += m.Batches
+		total.Fsyncs += m.Fsyncs
+		total.Registers += m.Registers
+		sizes = sizes.Merge(proc.rep.BatchSizes())
+	}
+	return total, sizes
+}
+
 // TransportStats sums the tcpnet counters across every endpoint, past and
 // present — crashed replica generations included.
 func (c *Cluster) TransportStats() tcpnet.Stats {
@@ -551,6 +577,12 @@ type Result struct {
 	// the fault-injection tally.
 	Transport tcpnet.Stats
 	Chaos     chaos.Stats
+	// Replica sums the live replicas' protocol counters at the end of the
+	// run (a restarted process counts from its restart, so crash tests see
+	// the recovered generation); BatchSizes is their merged group-commit
+	// batch-size distribution.
+	Replica    core.ReplicaMetrics
+	BatchSizes obs.HistSnapshot
 	// Spans is every span collected during the run — client operations and
 	// phases, transport hops, replica handlers and fsyncs — and
 	// SpansDropped how many the collector had to reject. Stitch summarizes
@@ -663,18 +695,21 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// had their timeouts, so the span picture is complete. Snapshot before
 	// the checker runs, not after, to keep teardown-time spans out.
 	spans, spansDropped := cl.Spans()
+	repStats, batchSizes := cl.ReplicaStats()
 
 	ops := rec.Ops()
 	results := lincheck.CheckRegisters(ops, lincheck.Config{Timeout: cfg.CheckTimeout})
 	res := &Result{
-		Outcome:   lincheck.AllLinearizable(results),
-		Results:   results,
-		History:   ops,
-		Ops:       len(ops) - failed,
-		Failed:    failed,
-		Schedule:  sched.String(),
-		Transport: cl.TransportStats(),
-		Chaos:     cl.Chaos().Stats(),
+		Outcome:    lincheck.AllLinearizable(results),
+		Results:    results,
+		History:    ops,
+		Ops:        len(ops) - failed,
+		Failed:     failed,
+		Schedule:   sched.String(),
+		Transport:  cl.TransportStats(),
+		Chaos:      cl.Chaos().Stats(),
+		Replica:    repStats,
+		BatchSizes: batchSizes,
 
 		Spans:        spans,
 		SpansDropped: spansDropped,

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/failure"
 	"repro/internal/lincheck"
 	"repro/internal/types"
 )
@@ -90,6 +91,65 @@ func TestNemesisLinearizable(t *testing.T) {
 				t.Error("no operation root spans collected")
 			}
 		})
+	}
+}
+
+// TestGroupCommitCrashMidBatchLinearizable crashes a persistent replica
+// while its group-commit queue is full, restarts it, then crashes TWO
+// OTHER replicas — from that point a quorum of 3 (out of 5) must include
+// the restarted process, so the run only stays live if replica 1 rejoined
+// from its WAL. The workload runs with almost no think time so commits
+// really batch (asserted via the merged batch-size histogram), which means
+// the crash lands mid-batch with positive probability: the unacked tail of
+// a torn batch may vanish, but every acked write must survive — the
+// linearizability checker is the judge.
+func TestGroupCommitCrashMidBatchLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nemesis runs take seconds each")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	sched := failure.Schedule{
+		{At: 80 * time.Millisecond, Action: failure.Crash{Node: 1}},
+		{At: 240 * time.Millisecond, Action: failure.Recover{Node: 1}},
+		{At: 400 * time.Millisecond, Action: failure.Crash{Node: 0}},
+		{At: 400 * time.Millisecond, Action: failure.Crash{Node: 2}},
+		{At: 560 * time.Millisecond, Action: failure.Recover{Node: 0}},
+		{At: 560 * time.Millisecond, Action: failure.Recover{Node: 2}},
+	}
+	res, err := Run(ctx, Config{
+		N: 5, Writers: 3, Readers: 2, OpsPerClient: 60, Registers: 2,
+		Seed:       77,
+		OpInterval: 4 * time.Millisecond, // dense load: keep the commit queues full
+		Schedule:   sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ops %d (failed %d), outcome %v, batches %d (max size %d), fsyncs %d / updates %d",
+		res.Ops, res.Failed, res.Outcome, res.Replica.Batches, res.BatchSizes.Max,
+		res.Replica.Fsyncs, res.Replica.Updates)
+	if res.Outcome == lincheck.NotLinearizable {
+		t.Fatalf("history NOT linearizable after mid-batch crash/restart; schedule %s", res.Schedule)
+	}
+	total := 5 * 60 // (writers+readers) * OpsPerClient
+	if res.Ops+res.Failed != total {
+		t.Errorf("recorded %d ops, want %d", res.Ops+res.Failed, total)
+	}
+	if res.Ops < total*8/10 {
+		t.Errorf("only %d/%d ops completed — the restarted replica likely never rejoined the quorum", res.Ops, total)
+	}
+	// The load must actually have exercised group commit, or the crash never
+	// had a batch to land in.
+	if res.Replica.Batches == 0 {
+		t.Error("no group commits recorded — batching never engaged")
+	}
+	if res.BatchSizes.Max < 2 {
+		t.Errorf("max batch size %d — writes never coalesced into a multi-record commit", res.BatchSizes.Max)
+	}
+	if res.Replica.Updates > 0 && res.Replica.Fsyncs >= res.Replica.Updates {
+		t.Errorf("fsyncs %d >= updates %d — group commit bought no fsync amortization",
+			res.Replica.Fsyncs, res.Replica.Updates)
 	}
 }
 

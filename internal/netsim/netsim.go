@@ -300,19 +300,29 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 		return fmt.Errorf("%w: %v", types.ErrUnknownNode, to)
 	}
 
-	n.sent++
-	if len(payload) > 0 {
-		// The high bit of the kind byte is the envelope's trace flag; mask
-		// it so the per-kind message counts (experiment T1) are identical
-		// whether or not tracing is on.
-		kind := payload[0] &^ wire.TraceFlag
-		n.byKind[kind]++
-		n.bytesByKind[kind] += int64(len(payload))
+	// A payload may be a wire batch frame carrying several protocol
+	// envelopes (the TCP transport coalesces under load; the sim mirrors
+	// its delivery semantics). Members are accounted and delivered as
+	// individual messages but share one fate and one sampled delay: the
+	// batch travels as a unit, exactly like a TCP frame.
+	members := [][]byte{payload}
+	if wire.IsBatch(payload) {
+		if m, err := wire.SplitBatch(payload); err == nil {
+			members = m
+		}
+		// A structurally invalid batch stays a single opaque payload: the
+		// receiver rejects it, matching a corrupt frame on the real wire.
 	}
-	var trace, parentSpan uint64
-	traced := false
-	if n.cfg.Tracer != nil {
-		trace, parentSpan, traced = wire.PeekTrace(payload)
+	n.sent += int64(len(members))
+	for _, m := range members {
+		if len(m) > 0 {
+			// The high bit of the kind byte is the envelope's trace flag;
+			// mask it so the per-kind message counts (experiment T1) are
+			// identical whether or not tracing is on.
+			kind := m[0] &^ wire.TraceFlag
+			n.byKind[kind]++
+			n.bytesByKind[kind] += int64(len(m))
+		}
 	}
 
 	drop := false
@@ -327,14 +337,18 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 		drop = true
 	}
 	if drop {
-		n.dropped++
+		n.dropped += int64(len(members))
 		n.mu.Unlock()
-		if traced {
-			n.cfg.Tracer.Emit(obs.Span{
-				Trace: trace, ID: obs.NextID(), Parent: parentSpan,
-				Kind: "net-send", Node: int64(from), Peer: int64(to),
-				Start: time.Now(), Err: "dropped",
-			})
+		if n.cfg.Tracer != nil {
+			for _, m := range members {
+				if trace, parentSpan, ok := wire.PeekTrace(m); ok {
+					n.cfg.Tracer.Emit(obs.Span{
+						Trace: trace, ID: obs.NextID(), Parent: parentSpan,
+						Kind: "net-send", Node: int64(from), Peer: int64(to),
+						Start: time.Now(), Err: "dropped",
+					})
+				}
+			}
 		}
 		return nil
 	}
@@ -352,27 +366,38 @@ func (n *Net) send(from, to types.NodeID, payload []byte) error {
 	// ResetStats record into this (old) histogram and are not counted in
 	// the new epoch's counters.
 	epoch, delayHist := n.epoch, n.delay
-	n.wg.Add(copies)
+	n.wg.Add(copies * len(members))
 	n.mu.Unlock()
 
 	sentAt := time.Now()
-	msg := transport.Message{From: from, To: to, Payload: payload}
-	emit := func(errStr string) {
-		if !traced {
-			return
+	msgs := make([]transport.Message, len(members))
+	emits := make([]func(string), len(members))
+	for i, m := range members {
+		msgs[i] = transport.Message{From: from, To: to, Payload: m}
+		emits[i] = func(string) {}
+		if n.cfg.Tracer != nil {
+			if trace, parentSpan, ok := wire.PeekTrace(m); ok {
+				emits[i] = func(errStr string) {
+					n.cfg.Tracer.Emit(obs.Span{
+						Trace: trace, ID: obs.NextID(), Parent: parentSpan,
+						Kind: "net-send", Node: int64(from), Peer: int64(to),
+						Start: sentAt, Dur: time.Since(sentAt), Err: errStr,
+					})
+				}
+			}
 		}
-		n.cfg.Tracer.Emit(obs.Span{
-			Trace: trace, ID: obs.NextID(), Parent: parentSpan,
-			Kind: "net-send", Node: int64(from), Peer: int64(to),
-			Start: sentAt, Dur: time.Since(sentAt), Err: errStr,
-		})
+	}
+	deliverAll := func() {
+		for i := range msgs {
+			n.deliver(dst, to, msgs[i], epoch, delayHist, sentAt, emits[i])
+		}
 	}
 	for _, delay := range delays {
 		if delay <= 0 {
-			n.deliver(dst, to, msg, epoch, delayHist, sentAt, emit)
+			deliverAll()
 			continue
 		}
-		time.AfterFunc(delay, func() { n.deliver(dst, to, msg, epoch, delayHist, sentAt, emit) })
+		time.AfterFunc(delay, deliverAll)
 	}
 	return nil
 }

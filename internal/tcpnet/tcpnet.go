@@ -2,20 +2,31 @@
 // sockets, so the same replica and client code that runs on the simulator
 // deploys as an actual distributed system (cmd/abd-node, cmd/abd-cli).
 //
-// Framing: every message is [4-byte big-endian length][4-byte big-endian
-// sender id][payload]. Connections are created lazily on first send and
-// reused; an endpoint also answers over connections it accepted, so pure
-// clients need no listener — replicas learn the client's connection from
-// the frame's sender id and reply on it.
+// Framing: every frame is [4-byte big-endian length][4-byte big-endian
+// sender id][payload], where the payload is either one sealed protocol
+// envelope or a wire batch frame holding several (wire.AppendBatch) — the
+// receive path feeds both through wire.SplitBatch, so a lone envelope
+// decodes byte-identically to the pre-batch format. Connections are created
+// lazily on first send and reused; an endpoint also answers over
+// connections it accepted, so pure clients need no listener — replicas
+// learn the client's connection from the frame's sender id and reply on it.
 //
 // Send is fire-and-forget like the model's channels: transport errors
 // surface as message loss (and a dropped cached connection), not as
 // operation failures — the protocol's quorum logic already tolerates loss
 // of a minority of its messages.
 //
-// Self-healing: every frame write carries a deadline (WriteTimeout), so a
-// stalled peer with a full TCP buffer can never wedge Send; failed peers
-// are redialed with exponential backoff plus jitter instead of
+// Throughput: Send enqueues onto a bounded per-peer queue drained by one
+// flusher goroutine per peer, which coalesces everything pending into a
+// single buffered write (up to MaxBatch payloads or ~1 MiB per flush).
+// Under load, syscalls and frame headers amortize across the batch; idle,
+// every payload still flushes immediately unless FlushDelay adds a small
+// accumulation window. A full queue applies backpressure: Send blocks up
+// to the write timeout, then counts the payload as loss (QueueDrops).
+//
+// Self-healing: every flush write carries a deadline (WriteTimeout), so a
+// stalled peer with a full TCP buffer can never wedge the flusher; failed
+// peers are redialed with exponential backoff plus jitter instead of
 // dial-per-send hammering; and each peer sits behind a circuit breaker
 // that opens after BreakerThreshold consecutive failures, fast-failing
 // sends (as loss) until a half-open probe succeeds. Breaker transitions
@@ -39,9 +50,14 @@ import (
 	"repro/internal/wire"
 )
 
-// maxFrameSize bounds a single message (16 MiB), protecting against corrupt
+// maxFrameSize bounds a single frame (16 MiB), protecting against corrupt
 // length prefixes.
 const maxFrameSize = 16 << 20
+
+// flushByteBudget caps the payload bytes coalesced into one flush, keeping
+// batch frames far below maxFrameSize and bounding flusher memory. A single
+// oversized payload still goes out alone, as before.
+const flushByteBudget = 1 << 20
 
 // Config describes one endpoint.
 type Config struct {
@@ -56,11 +72,13 @@ type Config struct {
 	Peers map[types.NodeID]string
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
-	// WriteTimeout bounds each frame write (default 3s; negative
+	// WriteTimeout bounds each flush write (default 3s; negative
 	// disables). A write that misses the deadline counts as a write
-	// failure: the frame is lost and the connection dropped — the
-	// protocol's retransmission recovers, while an unbounded write against
-	// a stalled peer would block Send forever.
+	// failure: the flushed payloads are lost and the connection dropped —
+	// the protocol's retransmission recovers, while an unbounded write
+	// against a stalled peer would block the peer's flusher forever. The
+	// same duration bounds how long a Send blocks on a full queue before
+	// reading as loss.
 	WriteTimeout time.Duration
 	// BackoffMin/BackoffMax bound the exponential redial backoff after a
 	// peer failure (defaults 50ms and 5s). While a peer is backing off,
@@ -72,6 +90,18 @@ type Config struct {
 	// peer's circuit breaker opens (default 8; negative disables the
 	// breaker accounting, leaving only the dial backoff).
 	BreakerThreshold int
+	// SendQueueLen is the capacity of each peer's send queue (default 256).
+	// When the queue is full, Send blocks up to WriteTimeout (backpressure)
+	// and then counts the payload as loss.
+	SendQueueLen int
+	// MaxBatch is the maximum number of payloads one flush coalesces into
+	// a single write (default 64; values < 1 mean 1, disabling batching).
+	MaxBatch int
+	// FlushDelay is how long the flusher waits after the first pending
+	// payload to let more accumulate before writing (default 0: flush
+	// immediately, coalescing only what is already queued). A small value
+	// (tens of microseconds) trades latency for larger batches.
+	FlushDelay time.Duration
 	// Tracer, when non-nil, receives a "net-send" span for every outbound
 	// payload carrying a trace context (enqueue→write, Err set when the
 	// send read as loss) and a "net-recv" span for every such inbound
@@ -88,14 +118,23 @@ const (
 	breakerHalfOpen
 )
 
-// peerState is the per-peer connection cache plus failure-handling state.
-// conn and the breaker fields are guarded by the endpoint mutex; wmu
-// serializes frame writes so concurrent Sends cannot interleave partial
-// frames on the shared connection.
-type peerState struct {
-	conn net.Conn
-	wmu  sync.Mutex
+// sendReq is one queued payload: the bytes, the enqueue time (flush-latency
+// histogram), and the span-emit hook (no-op when untraced).
+type sendReq struct {
+	payload []byte
+	at      time.Time
+	emit    func(errStr string)
+}
 
+// peerState is the per-peer send queue plus connection cache and
+// failure-handling state. conn and the breaker fields are guarded by the
+// endpoint mutex; the queue is drained by exactly one flusher goroutine,
+// which is the only writer on the connection.
+type peerState struct {
+	id    types.NodeID
+	queue chan sendReq
+
+	conn    net.Conn
 	fails   int
 	state   int
 	backoff time.Duration
@@ -111,13 +150,16 @@ type Endpoint struct {
 	mu    sync.Mutex
 	peers map[types.NodeID]*peerState
 
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	closed  atomic.Bool
+	closeCh chan struct{}
+	wg      sync.WaitGroup
 
 	framesSent    atomic.Int64
 	framesRecv    atomic.Int64
 	bytesSent     atomic.Int64
 	bytesRecv     atomic.Int64
+	flushes       atomic.Int64
+	queueDrops    atomic.Int64
 	dials         atomic.Int64
 	dialFailures  atomic.Int64
 	accepts       atomic.Int64
@@ -129,23 +171,39 @@ type Endpoint struct {
 	breakerCloses atomic.Int64
 	breakersOpen  atomic.Int64
 	resets        atomic.Int64
+
+	batchSizes   obs.Histogram // payloads per flush (a count, not nanoseconds)
+	flushLatency obs.Histogram // per payload, enqueue → write completed
 }
+
+// framePool recycles flush encode buffers; each flusher holds one only for
+// the duration of a write.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // Stats is a snapshot of an endpoint's transport counters.
 type Stats struct {
-	// FramesSent/BytesSent count successfully written frames (the frame
-	// header's 8 bytes included); a frame that failed mid-write still
-	// counts as sent plus one WriteFailure, mirroring Send's loss
-	// semantics.
+	// FramesSent/BytesSent count successfully written payloads (protocol
+	// messages) and wire bytes including frame headers; a flush that
+	// failed mid-write still counts its payloads as sent plus one
+	// WriteFailure, mirroring Send's loss semantics. When payloads
+	// coalesce, FramesSent grows per payload while BytesSent grows per
+	// wire frame, so bytes-per-message shrinks under load.
 	FramesSent, BytesSent int64
-	// FramesRecv/BytesRecv count fully parsed inbound frames.
+	// FramesRecv/BytesRecv count fully parsed inbound payloads (batch
+	// members counted individually) and raw frame bytes.
 	FramesRecv, BytesRecv int64
+	// Flushes counts connection writes: FramesSent/Flushes is the mean
+	// batch size. BatchSizes has the full distribution.
+	Flushes int64
+	// QueueDrops counts payloads dropped as loss because a peer's send
+	// queue stayed full past the backpressure window.
+	QueueDrops int64
 	// Dials counts successful outbound connections, DialFailures failed
 	// attempts (each surfaces to the protocol as message loss).
 	Dials, DialFailures int64
 	// Accepts counts inbound connections taken from the listener.
 	Accepts int64
-	// WriteFailures counts frame writes that errored (connection then
+	// WriteFailures counts flush writes that errored (connection then
 	// dropped and redialed lazily); WriteTimeouts is the subset that
 	// missed the write deadline (stalled peer).
 	WriteFailures, WriteTimeouts int64
@@ -180,6 +238,8 @@ func (e *Endpoint) Stats() Stats {
 		BytesSent:       e.bytesSent.Load(),
 		FramesRecv:      e.framesRecv.Load(),
 		BytesRecv:       e.bytesRecv.Load(),
+		Flushes:         e.flushes.Load(),
+		QueueDrops:      e.queueDrops.Load(),
 		Dials:           e.dials.Load(),
 		DialFailures:    e.dialFailures.Load(),
 		Accepts:         e.accepts.Load(),
@@ -194,6 +254,14 @@ func (e *Endpoint) Stats() Stats {
 		ConnsActive:     active,
 	}
 }
+
+// BatchSizes returns the distribution of payloads-per-flush. Values are
+// counts, not durations, despite the histogram's nanosecond framing.
+func (e *Endpoint) BatchSizes() obs.HistSnapshot { return e.batchSizes.Snapshot() }
+
+// FlushLatency returns the distribution of per-payload enqueue→written
+// latency, the cost of the coalescing queue.
+func (e *Endpoint) FlushLatency() obs.HistSnapshot { return e.flushLatency.Snapshot() }
 
 var _ transport.Endpoint = (*Endpoint)(nil)
 
@@ -214,6 +282,15 @@ func Listen(cfg Config) (*Endpoint, error) {
 	if cfg.BreakerThreshold == 0 {
 		cfg.BreakerThreshold = 8
 	}
+	if cfg.SendQueueLen <= 0 {
+		cfg.SendQueueLen = 256
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 1
+	}
 	peers := make(map[types.NodeID]string, len(cfg.Peers))
 	for id, addr := range cfg.Peers {
 		peers[id] = addr
@@ -221,9 +298,10 @@ func Listen(cfg Config) (*Endpoint, error) {
 	cfg.Peers = peers
 
 	e := &Endpoint{
-		cfg:   cfg,
-		mbox:  transport.NewMailbox(),
-		peers: make(map[types.NodeID]*peerState),
+		cfg:     cfg,
+		mbox:    transport.NewMailbox(),
+		peers:   make(map[types.NodeID]*peerState),
+		closeCh: make(chan struct{}),
 	}
 	if cfg.ListenAddr != "" {
 		ln, err := net.Listen("tcp", cfg.ListenAddr)
@@ -253,13 +331,15 @@ func (e *Endpoint) Addr() string {
 // Recv returns the incoming message channel.
 func (e *Endpoint) Recv() <-chan transport.Message { return e.mbox.Out() }
 
-// peer returns the peer's state record, creating it if needed. Caller
-// holds e.mu.
+// peerLocked returns the peer's state record, creating it (and starting its
+// flusher) if needed. Caller holds e.mu with the endpoint not closed.
 func (e *Endpoint) peerLocked(id types.NodeID) *peerState {
 	ps, ok := e.peers[id]
 	if !ok {
-		ps = &peerState{}
+		ps = &peerState{id: id, queue: make(chan sendReq, e.cfg.SendQueueLen)}
 		e.peers[id] = ps
+		e.wg.Add(1)
+		go e.flushLoop(ps)
 	}
 	return ps
 }
@@ -303,60 +383,53 @@ func (e *Endpoint) noteSuccessLocked(ps *peerState) {
 	ps.nextTry = time.Time{}
 }
 
-// Send transmits a message to the given node, dialing if necessary.
-// Transport failures are treated as message loss: the cached connection is
-// discarded and nil is returned, matching the asynchronous model where the
-// sender cannot distinguish a slow channel from a lost message. Send
-// returns an error only for local conditions: a closed endpoint or a
-// destination that is neither connected nor in the peer table.
+// Send queues a message for the given node; the peer's flusher dials (if
+// necessary), coalesces, and writes. Transport failures are treated as
+// message loss, matching the asynchronous model where the sender cannot
+// distinguish a slow channel from a lost message. Send returns an error
+// only for local conditions: a closed endpoint or a destination that is
+// neither connected nor in the peer table. A full queue blocks Send up to
+// the write timeout (backpressure) before reading as loss.
 func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
 	if e.closed.Load() {
 		return types.ErrClosed
 	}
-	emit := e.beginSendSpan(to, payload)
-	ps, conn, err := e.conn(to)
-	if err != nil {
-		emit(err.Error())
-		return err
-	}
-	if conn == nil {
-		// Dial failed or suppressed: counts as loss, the peer may come
-		// back later.
-		emit("lost: peer unreachable or suppressed")
-		return nil
-	}
-	frame := make([]byte, 8+len(payload))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(4+len(payload)))
-	binary.BigEndian.PutUint32(frame[4:8], uint32(e.cfg.ID))
-	copy(frame[8:], payload)
-	e.framesSent.Add(1)
-	e.bytesSent.Add(int64(len(frame)))
-
-	ps.wmu.Lock()
-	if e.cfg.WriteTimeout > 0 {
-		_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
-	}
-	_, werr := conn.Write(frame)
-	ps.wmu.Unlock()
-
 	e.mu.Lock()
-	if werr != nil {
-		e.writeFailures.Add(1)
-		if ne, ok := werr.(net.Error); ok && ne.Timeout() {
-			e.writeTimeouts.Add(1)
-		}
-		e.noteFailureLocked(ps)
-		e.dropConnLocked(to, conn)
-	} else {
-		e.noteSuccessLocked(ps)
+	if e.closed.Load() {
+		e.mu.Unlock()
+		return types.ErrClosed
 	}
+	ps, known := e.peers[to]
+	if _, dialable := e.cfg.Peers[to]; !dialable && (!known || ps.conn == nil) {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %v not connected and not in peer table", types.ErrUnknownNode, to)
+	}
+	ps = e.peerLocked(to)
 	e.mu.Unlock()
-	if werr != nil {
-		emit("lost: " + werr.Error())
-	} else {
-		emit("")
+
+	req := sendReq{payload: payload, at: time.Now(), emit: e.beginSendSpan(to, payload)}
+	select {
+	case ps.queue <- req:
+		return nil
+	default:
 	}
-	return nil
+	// Queue full: backpressure, bounded by the same deadline a write gets.
+	wait := e.cfg.WriteTimeout
+	if wait <= 0 {
+		wait = 3 * time.Second
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case ps.queue <- req:
+		return nil
+	case <-t.C:
+		e.queueDrops.Add(1)
+		req.emit("lost: send queue full")
+		return nil
+	case <-e.closeCh:
+		return types.ErrClosed
+	}
 }
 
 // beginSendSpan starts the "net-send" span for a traced payload, returning
@@ -381,27 +454,148 @@ func (e *Endpoint) beginSendSpan(to types.NodeID, payload []byte) func(errStr st
 	}
 }
 
-// conn returns the peer state and a connection to it, dialing if needed. A
-// nil connection with nil error means the send should read as loss: the
-// dial failed, or the peer is backing off / breaker-open and the attempt
-// was suppressed.
-func (e *Endpoint) conn(to types.NodeID) (*peerState, net.Conn, error) {
+// flushLoop is a peer's flusher: it blocks for the first pending payload,
+// optionally lingers FlushDelay to let a batch accumulate, then drains
+// whatever else is queued (up to MaxBatch payloads / the byte budget) and
+// writes it all in one frame. It exits when the endpoint closes; payloads
+// still queued at that point are dropped, which reads as loss.
+func (e *Endpoint) flushLoop(ps *peerState) {
+	defer e.wg.Done()
+	var batch []sendReq
+	for {
+		batch = batch[:0]
+		select {
+		case r := <-ps.queue:
+			batch = append(batch, r)
+		case <-e.closeCh:
+			return
+		}
+		if d := e.cfg.FlushDelay; d > 0 && len(batch) < e.cfg.MaxBatch {
+			t := time.NewTimer(d)
+		linger:
+			for len(batch) < e.cfg.MaxBatch {
+				select {
+				case r := <-ps.queue:
+					batch = append(batch, r)
+				case <-t.C:
+					break linger
+				case <-e.closeCh:
+					t.Stop()
+					return
+				}
+			}
+			t.Stop()
+		}
+		size := 0
+		for _, r := range batch {
+			size += len(r.payload)
+		}
+	drain:
+		for len(batch) < e.cfg.MaxBatch && size < flushByteBudget {
+			select {
+			case r := <-ps.queue:
+				batch = append(batch, r)
+				size += len(r.payload)
+			default:
+				break drain
+			}
+		}
+		e.flushBatch(ps, batch)
+	}
+}
+
+// flushBatch writes one coalesced batch to the peer: a lone payload goes
+// out in the classic single-envelope frame, several go out as one wire
+// batch frame. Connection establishment, breaker gating, and failure
+// accounting all happen here, on the flusher goroutine.
+func (e *Endpoint) flushBatch(ps *peerState, batch []sendReq) {
+	lose := func(msg string) {
+		for _, r := range batch {
+			r.emit(msg)
+		}
+	}
+	conn, err := e.connFor(ps, int64(len(batch)))
+	if err != nil {
+		lose(err.Error())
+		return
+	}
+	if conn == nil {
+		// Dial failed or suppressed: counts as loss, the peer may come
+		// back later.
+		lose("lost: peer unreachable or suppressed")
+		return
+	}
+
+	bufp := framePool.Get().(*[]byte)
+	buf := (*bufp)[:0]
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	if len(batch) == 1 {
+		buf = append(buf, batch[0].payload...)
+	} else {
+		payloads := make([][]byte, len(batch))
+		for i, r := range batch {
+			payloads[i] = r.payload
+		}
+		buf = wire.AppendBatch(buf, payloads)
+	}
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(buf)-4))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(e.cfg.ID))
+	e.framesSent.Add(int64(len(batch)))
+	e.bytesSent.Add(int64(len(buf)))
+	e.flushes.Add(1)
+	e.batchSizes.Record(time.Duration(len(batch)))
+
+	if e.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(e.cfg.WriteTimeout))
+	}
+	_, werr := conn.Write(buf)
+	*bufp = buf[:0]
+	framePool.Put(bufp)
+
 	e.mu.Lock()
-	ps := e.peerLocked(to)
+	if werr != nil {
+		e.writeFailures.Add(1)
+		if ne, ok := werr.(net.Error); ok && ne.Timeout() {
+			e.writeTimeouts.Add(1)
+		}
+		e.noteFailureLocked(ps)
+		e.dropConnLocked(ps.id, conn)
+	} else {
+		e.noteSuccessLocked(ps)
+	}
+	e.mu.Unlock()
+	if werr != nil {
+		lose("lost: " + werr.Error())
+		return
+	}
+	now := time.Now()
+	for _, r := range batch {
+		e.flushLatency.Record(now.Sub(r.at))
+		r.emit("")
+	}
+}
+
+// connFor returns a connection to the peer, dialing if needed. A nil
+// connection with nil error means the batch should read as loss: the dial
+// failed, the peer is backing off / breaker-open (n payloads counted as
+// suppressed), or an accepted-connection-only peer went away.
+func (e *Endpoint) connFor(ps *peerState, n int64) (net.Conn, error) {
+	e.mu.Lock()
 	if c := ps.conn; c != nil {
 		e.mu.Unlock()
-		return ps, c, nil
+		return c, nil
 	}
-	addr, ok := e.cfg.Peers[to]
+	addr, ok := e.cfg.Peers[ps.id]
 	if !ok {
+		// The learned connection died and we cannot dial back: loss.
 		e.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: %v not connected and not in peer table", types.ErrUnknownNode, to)
+		return nil, nil
 	}
 	// No cached connection: the breaker/backoff state gates the dial.
 	if !ps.nextTry.IsZero() && time.Now().Before(ps.nextTry) {
-		e.suppressed.Add(1)
+		e.suppressed.Add(n)
 		e.mu.Unlock()
-		return ps, nil, nil
+		return nil, nil
 	}
 	if ps.state == breakerOpen {
 		// Backoff elapsed on an open breaker: this attempt is the
@@ -417,29 +611,29 @@ func (e *Endpoint) conn(to types.NodeID) (*peerState, net.Conn, error) {
 		e.mu.Lock()
 		e.noteFailureLocked(ps)
 		e.mu.Unlock()
-		return ps, nil, nil // loss
+		return nil, nil // loss
 	}
 	e.dials.Add(1)
 	e.mu.Lock()
 	if e.closed.Load() {
 		e.mu.Unlock()
 		_ = c.Close()
-		return nil, nil, types.ErrClosed
+		return nil, types.ErrClosed
 	}
 	if ps.conn != nil {
-		// Lost the race with a concurrent dial or an inbound connection.
+		// Lost the race with an inbound connection from the same peer.
 		existing := ps.conn
 		e.mu.Unlock()
 		_ = c.Close()
-		return ps, existing, nil
+		return existing, nil
 	}
 	ps.conn = c
+	e.wg.Add(1)
 	e.mu.Unlock()
 
 	// Read replies arriving on this outbound connection.
-	e.wg.Add(1)
-	go e.readLoop(c, to)
-	return ps, c, nil
+	go e.readLoop(c, ps.id)
+	return c, nil
 }
 
 // ResetPeer tears down the cached connection to a peer, simulating a
@@ -493,6 +687,8 @@ func (e *Endpoint) acceptLoop() {
 
 // readLoop parses frames from conn. peerHint is the node we dialed, or -1
 // for accepted connections, where the sender id comes from the first frame.
+// Each frame is split into its member payloads (one for classic frames),
+// every member delivered to the mailbox individually.
 func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 	defer e.wg.Done()
 	registered := peerHint
@@ -518,16 +714,12 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
-		e.framesRecv.Add(1)
-		e.bytesRecv.Add(int64(8 + len(payload)))
-		var rstart time.Time
-		var rtrace, rparent uint64
-		traced := false
-		if e.cfg.Tracer != nil {
-			if rtrace, rparent, traced = wire.PeekTrace(payload); traced {
-				rstart = time.Now()
-			}
+		members, err := wire.SplitBatch(payload)
+		if err != nil {
+			return // structurally corrupt batch: treat like a torn stream
 		}
+		e.framesRecv.Add(int64(len(members)))
+		e.bytesRecv.Add(int64(8 + len(payload)))
 		if registered < 0 {
 			// Learn the peer so replies go back on this connection. An
 			// inbound connection is proof of life: close any breaker.
@@ -542,22 +734,33 @@ func (e *Endpoint) readLoop(conn net.Conn, peerHint types.NodeID) {
 			}
 			e.mu.Unlock()
 		}
-		e.mbox.Put(transport.Message{From: from, To: e.cfg.ID, Payload: payload})
-		if traced {
-			e.cfg.Tracer.Emit(obs.Span{
-				Trace: rtrace, ID: obs.NextID(), Parent: rparent,
-				Kind: "net-recv", Node: int64(e.cfg.ID), Peer: int64(from),
-				Start: rstart, Dur: time.Since(rstart),
-			})
+		for _, m := range members {
+			var rstart time.Time
+			var rtrace, rparent uint64
+			traced := false
+			if e.cfg.Tracer != nil {
+				if rtrace, rparent, traced = wire.PeekTrace(m); traced {
+					rstart = time.Now()
+				}
+			}
+			e.mbox.Put(transport.Message{From: from, To: e.cfg.ID, Payload: m})
+			if traced {
+				e.cfg.Tracer.Emit(obs.Span{
+					Trace: rtrace, ID: obs.NextID(), Parent: rparent,
+					Kind: "net-recv", Node: int64(e.cfg.ID), Peer: int64(from),
+					Start: rstart, Dur: time.Since(rstart),
+				})
+			}
 		}
 	}
 }
 
-// Close shuts the endpoint down: listener, connections, and mailbox.
+// Close shuts the endpoint down: listener, flushers, connections, mailbox.
 func (e *Endpoint) Close() error {
 	if !e.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	close(e.closeCh)
 	if e.ln != nil {
 		_ = e.ln.Close()
 	}

@@ -277,6 +277,61 @@ func TestConcurrentSendsShareConnection(t *testing.T) {
 	}
 }
 
+// TestSendCoalescing pins the batching path: with a flush-delay window,
+// a burst of concurrent sends coalesces into fewer wire writes than
+// payloads, and every payload still arrives intact and individually.
+func TestSendCoalescing(t *testing.T) {
+	server := listenT(t, Config{ID: 1, ListenAddr: "127.0.0.1:0"})
+	client := listenT(t, Config{ID: 100,
+		Peers:      map[types.NodeID]string{1: server.Addr()},
+		FlushDelay: 2 * time.Millisecond})
+
+	const n = 200
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_ = client.Send(1, []byte{byte(i), byte(i >> 8)})
+		}(i)
+	}
+	wg.Wait()
+
+	seen := make(map[int]bool, n)
+	timeout := time.After(10 * time.Second)
+	for len(seen) < n {
+		select {
+		case m := <-server.Recv():
+			if len(m.Payload) != 2 {
+				t.Fatalf("payload %x", m.Payload)
+			}
+			seen[int(m.Payload[0])|int(m.Payload[1])<<8] = true
+		case <-timeout:
+			t.Fatalf("received %d of %d payloads", len(seen), n)
+		}
+	}
+	st := client.Stats()
+	if st.FramesSent != n {
+		t.Errorf("frames sent = %d, want %d", st.FramesSent, n)
+	}
+	if st.Flushes >= st.FramesSent {
+		t.Errorf("no coalescing: %d flushes for %d payloads", st.Flushes, st.FramesSent)
+	}
+	bs := client.BatchSizes()
+	if bs.Count != st.Flushes {
+		t.Errorf("batch-size histogram count %d != flushes %d", bs.Count, st.Flushes)
+	}
+	if max := bs.Max; max < 2 {
+		t.Errorf("max batch size %d, want >= 2", max)
+	}
+	if fl := client.FlushLatency(); fl.Count != n {
+		t.Errorf("flush-latency histogram count %d, want %d", fl.Count, n)
+	}
+	if rs := server.Stats(); rs.FramesRecv != n {
+		t.Errorf("receiver frames = %d, want %d", rs.FramesRecv, n)
+	}
+}
+
 // TestWriteDeadlineUnblocksStalledPeer is the regression test for the
 // per-send write deadline: a peer that accepts the connection but never
 // reads eventually fills the TCP buffer, and without a deadline Send would
@@ -319,8 +374,14 @@ func TestWriteDeadlineUnblocksStalledPeer(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("sends against stalled peer took %v", elapsed)
 	}
-	if st := client.Stats(); st.WriteTimeouts == 0 {
-		t.Errorf("no write timeouts recorded: %+v", st)
+	// Send queues; the flusher hits the deadline asynchronously.
+	deadline := time.After(10 * time.Second)
+	for client.Stats().WriteTimeouts == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("no write timeouts recorded: %+v", client.Stats())
+		case <-time.After(20 * time.Millisecond):
+		}
 	}
 }
 
@@ -365,19 +426,25 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 
 	// With the breaker open, sends inside the backoff window are suppressed
-	// without touching the network.
+	// without touching the network. Sends are queued and flushed
+	// asynchronously now, so keep sending until suppression is observed.
 	fails := client.Stats().DialFailures
-	for i := 0; i < 20; i++ {
+	sent := int64(0)
+	deadline = time.After(10 * time.Second)
+	for client.Stats().SuppressedSends == 0 {
 		if err := client.Send(1, []byte("x")); err != nil {
 			t.Fatal(err)
 		}
+		sent++
+		select {
+		case <-deadline:
+			t.Fatalf("no suppressed sends while breaker open: %+v", client.Stats())
+		case <-time.After(2 * time.Millisecond):
+		}
 	}
 	st = client.Stats()
-	if st.SuppressedSends == 0 {
-		t.Errorf("no suppressed sends while breaker open: %+v", st)
-	}
-	if st.DialFailures > fails+2 {
-		t.Errorf("breaker open but dials kept hammering: %d -> %d", fails, st.DialFailures)
+	if got := st.DialFailures - fails; sent > 4 && got > sent/2 {
+		t.Errorf("breaker open but dials kept hammering: %d dial failures for %d sends", got, sent)
 	}
 
 	// Bring the peer up on the reserved address: the next probe closes the
@@ -494,12 +561,22 @@ func TestEndpointStats(t *testing.T) {
 		t.Errorf("receiver accepts = %d, want 1", as.Accepts)
 	}
 
-	// A dial to a dead address is a counted failure and message loss.
+	if bs.Flushes == 0 || bs.Flushes > bs.FramesSent {
+		t.Errorf("flushes = %d with %d frames sent", bs.Flushes, bs.FramesSent)
+	}
+
+	// A dial to a dead address is a counted failure and message loss. The
+	// flusher dials asynchronously, so poll for the counter.
 	b.cfg.Peers[9] = "127.0.0.1:1"
 	if err := b.Send(9, []byte("x")); err != nil {
 		t.Fatalf("dial failure must read as loss, got %v", err)
 	}
-	if bs := b.Stats(); bs.DialFailures != 1 {
-		t.Errorf("dial failures = %d, want 1", bs.DialFailures)
+	deadline := time.After(10 * time.Second)
+	for b.Stats().DialFailures != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("dial failures = %d, want 1", b.Stats().DialFailures)
+		case <-time.After(10 * time.Millisecond):
+		}
 	}
 }

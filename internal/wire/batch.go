@@ -1,0 +1,97 @@
+package wire
+
+// This file defines the multi-envelope batch frame used by transports to
+// coalesce several sealed payloads into one wire write.
+//
+// Layout:
+//
+//	[BatchMarker][count: uvarint][len: uvarint][sealed payload]...
+//
+// The format is a strict superset of the single-envelope format: a sealed
+// envelope's first byte is its kind tag, whose real values are small and
+// never equal BatchMarker (with or without TraceFlag), so a receiver can
+// look at the first byte to tell a batch from a lone envelope. SplitBatch
+// therefore accepts both and old single-envelope frames pass through
+// byte-identically.
+//
+// The batch container itself carries no checksum: each member envelope has
+// its own CRC32 trailer, so a corrupted member fails its own Open and is
+// dropped as loss without poisoning its batch-mates. A structurally invalid
+// container (bad count, truncated member) rejects the whole frame, exactly
+// like a torn single frame would.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// BatchMarker is the first byte of a multi-envelope batch frame. The value
+// is reserved: it is not a valid protocol kind, and because kinds stay
+// below TraceFlag (0x80) no flagged kind byte can collide with it either.
+const BatchMarker byte = 0x7E
+
+// maxBatchCount bounds the member count a receiver will accept, so a
+// corrupted count varint cannot drive a huge allocation.
+const maxBatchCount = 1 << 16
+
+// IsBatch reports whether payload is a multi-envelope batch frame.
+func IsBatch(payload []byte) bool {
+	return len(payload) > 0 && payload[0] == BatchMarker
+}
+
+// AppendBatch appends a batch frame containing the given sealed payloads to
+// dst and returns the extended slice. Every payload must be non-empty.
+// A batch of one is still a valid batch frame, but callers should prefer
+// sending a lone envelope unwrapped — it is smaller and identical to the
+// pre-batch wire format.
+func AppendBatch(dst []byte, payloads [][]byte) []byte {
+	dst = append(dst, BatchMarker)
+	dst = AppendUint(dst, uint64(len(payloads)))
+	for _, p := range payloads {
+		dst = AppendUint(dst, uint64(len(p)))
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// SplitBatch splits a frame payload into its member envelopes. A non-batch
+// payload (anything not starting with BatchMarker) is returned unchanged as
+// a single member, which is what keeps old single-envelope frames decoding
+// exactly as before. The returned slices alias payload; callers must not
+// mutate it while they are in use.
+func SplitBatch(payload []byte) ([][]byte, error) {
+	if !IsBatch(payload) {
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("%w: empty frame", types.ErrBadMessage)
+		}
+		return [][]byte{payload}, nil
+	}
+	rest := payload[1:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: truncated batch count", types.ErrBadMessage)
+	}
+	rest = rest[n:]
+	if count == 0 || count > maxBatchCount {
+		return nil, fmt.Errorf("%w: batch count %d out of range", types.ErrBadMessage, count)
+	}
+	out := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		sz, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: truncated batch member %d length", types.ErrBadMessage, i)
+		}
+		rest = rest[n:]
+		if sz == 0 || uint64(len(rest)) < sz {
+			return nil, fmt.Errorf("%w: batch member %d truncated (%d of %d bytes)", types.ErrBadMessage, i, len(rest), sz)
+		}
+		out = append(out, rest[:sz])
+		rest = rest[sz:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", types.ErrBadMessage, len(rest))
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func sealedEnvelope(kind byte, trace, span uint64) []byte {
+	body := AppendString([]byte{kind}, "reg")
+	body = AppendBytes(body, []byte{1, 2, 3})
+	return Seal(body, trace, span)
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	members := [][]byte{
+		sealedEnvelope(0x01, 0, 0),
+		sealedEnvelope(0x02, 7, 9),
+		sealedEnvelope(0x03, 0, 0),
+	}
+	frame := AppendBatch(nil, members)
+	if !IsBatch(frame) {
+		t.Fatal("AppendBatch output not recognized by IsBatch")
+	}
+	got, err := SplitBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(members) {
+		t.Fatalf("split %d members, want %d", len(got), len(members))
+	}
+	for i := range members {
+		if !bytes.Equal(got[i], members[i]) {
+			t.Fatalf("member %d mismatch: %x vs %x", i, got[i], members[i])
+		}
+		// Each member must still pass the normal envelope path.
+		if _, _, _, err := Open(got[i]); err != nil {
+			t.Fatalf("member %d failed Open after split: %v", i, err)
+		}
+	}
+}
+
+// TestSplitBatchPassthrough pins the superset property: a payload that is
+// not a batch frame comes back unchanged as a single member, so every old
+// single-envelope frame decodes byte-identically through the batch path.
+func TestSplitBatchPassthrough(t *testing.T) {
+	for _, payload := range [][]byte{
+		sealedEnvelope(0x01, 0, 0),
+		sealedEnvelope(0x04, 0xDEAD, 0xBEEF), // traced: first byte 0x84
+		{0x05},                               // junk, but not a batch — caller's Open rejects it
+	} {
+		got, err := SplitBatch(payload)
+		if err != nil {
+			t.Fatalf("passthrough %x: %v", payload, err)
+		}
+		if len(got) != 1 || !bytes.Equal(got[0], payload) {
+			t.Fatalf("non-batch payload not passed through unchanged: %x -> %v", payload, got)
+		}
+	}
+}
+
+// TestBatchMarkerDisjointFromKinds: no sealed envelope can start with the
+// batch marker, flagged or not, for any realistic kind byte.
+func TestBatchMarkerDisjointFromKinds(t *testing.T) {
+	for kind := byte(1); kind < 0x10; kind++ {
+		if kind == BatchMarker || kind|TraceFlag == BatchMarker {
+			t.Fatalf("kind %#x collides with BatchMarker", kind)
+		}
+	}
+	if BatchMarker&TraceFlag != 0 {
+		t.Fatal("BatchMarker must not carry TraceFlag, or traced envelopes could collide")
+	}
+}
+
+func TestSplitBatchRejectsMalformed(t *testing.T) {
+	member := sealedEnvelope(0x01, 0, 0)
+	good := AppendBatch(nil, [][]byte{member, member})
+	cases := map[string][]byte{
+		"empty frame":          {},
+		"bare marker":          {BatchMarker},
+		"zero count":           {BatchMarker, 0x00},
+		"huge count":           append([]byte{BatchMarker}, AppendUint(nil, 1<<40)...),
+		"count without member": {BatchMarker, 0x02},
+		"zero-length member":   {BatchMarker, 0x01, 0x00},
+		"truncated member":     good[:len(good)-3],
+		"trailing bytes":       append(append([]byte(nil), good...), 0xAA),
+	}
+	for name, frame := range cases {
+		if _, err := SplitBatch(frame); !errors.Is(err, types.ErrBadMessage) {
+			t.Errorf("%s: err = %v, want ErrBadMessage", name, err)
+		}
+	}
+}
+
+// TestBatchCorruptMemberIsolated: flipping a bit inside one member fails
+// that member's Open but leaves its batch-mates intact — corruption is
+// per-envelope loss, not whole-batch loss.
+func TestBatchCorruptMemberIsolated(t *testing.T) {
+	a, b := sealedEnvelope(0x01, 0, 0), sealedEnvelope(0x02, 0, 0)
+	frame := AppendBatch(nil, [][]byte{a, b})
+	frame[len(frame)-1] ^= 0x40 // inside b's CRC trailer
+	got, err := SplitBatch(frame)
+	if err != nil {
+		t.Fatalf("structurally valid batch rejected: %v", err)
+	}
+	if _, _, _, err := Open(got[0]); err != nil {
+		t.Fatalf("untouched member failed Open: %v", err)
+	}
+	if _, _, _, err := Open(got[1]); !errors.Is(err, types.ErrBadMessage) {
+		t.Fatalf("corrupted member: err = %v, want ErrBadMessage", err)
+	}
+}
+
+func FuzzSplitBatchNeverPanics(f *testing.F) {
+	f.Add(AppendBatch(nil, [][]byte{sealedEnvelope(0x01, 0, 0)}))
+	f.Add(AppendBatch(nil, [][]byte{sealedEnvelope(0x02, 5, 6), sealedEnvelope(0x03, 0, 0)}))
+	f.Add(sealedEnvelope(0x04, 0, 0))
+	f.Add([]byte{BatchMarker, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		members, err := SplitBatch(data)
+		if err != nil {
+			return
+		}
+		if len(members) == 0 {
+			t.Fatal("SplitBatch returned no members without error")
+		}
+		total := 0
+		for _, m := range members {
+			if len(m) == 0 {
+				t.Fatal("SplitBatch returned an empty member")
+			}
+			total += len(m)
+			_, _, _, _ = Open(m)
+		}
+		if total > len(data) {
+			t.Fatalf("members total %d bytes from a %d-byte frame", total, len(data))
+		}
+		if !IsBatch(data) {
+			// Superset property under fuzz: any non-batch input must pass
+			// through unchanged.
+			if len(members) != 1 || !bytes.Equal(members[0], data) {
+				t.Fatal("non-batch payload altered by SplitBatch")
+			}
+		}
+	})
+}

@@ -28,6 +28,12 @@ func TestSealOpenUntraced(t *testing.T) {
 	if got[0]&TraceFlag != 0 {
 		t.Fatal("untraced body has TraceFlag set")
 	}
+	// The batch-capable receive path must hand the exact same bytes to Open:
+	// old single-envelope frames decode byte-identically through it.
+	members, err := SplitBatch(payload)
+	if err != nil || len(members) != 1 || string(members[0]) != string(payload) {
+		t.Fatalf("single-envelope frame altered by SplitBatch: %v %x", err, members)
+	}
 }
 
 func TestSealOpenTraced(t *testing.T) {

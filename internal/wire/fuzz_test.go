@@ -10,6 +10,10 @@ func FuzzReaderNeverPanics(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	// A batch frame and a lone sealed envelope: the reader must survive
+	// transport-layer bytes leaking into a field decode.
+	f.Add(AppendBatch(nil, [][]byte{Seal([]byte{0x01, 'x'}, 0, 0), Seal([]byte{0x02, 'y'}, 3, 4)}))
+	f.Add(Seal(AppendString([]byte{0x03}, "reg"), 0, 0))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Decode an arbitrary field sequence: must never panic, and once an
