@@ -5,7 +5,7 @@ GO ?= go
 # Every command binary `make bin` produces under ./bin.
 CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace
 
-.PHONY: all build bin test race vet check smoke bench throughput eval clean
+.PHONY: all build bin test race vet check smoke bench throughput shards eval clean
 
 all: check
 
@@ -22,7 +22,7 @@ test:
 # netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
 # under the race detector. These are the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/experiments/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +45,11 @@ bench:
 # (cmd/abd-bench -exp throughput) at full duration on the canonical seed.
 throughput:
 	$(GO) run ./cmd/abd-bench -exp throughput -seed 1 -json BENCH_throughput.json
+
+# Regenerate BENCH_shards.json: aggregate throughput at 1/2/3 replica groups
+# behind one sharded store (cmd/abd-bench -exp shards) at full duration.
+shards:
+	$(GO) run ./cmd/abd-bench -exp shards -seed 1 -json BENCH_shards.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md appendix).
 eval:

@@ -8,6 +8,8 @@
 //
 //   - internal/core: the replica and client protocols (single-writer,
 //     multi-writer, bounded labels, generalized quorums),
+//   - internal/shard: the consistent-hash router partitioning the register
+//     namespace across independent replica groups (the Store),
 //   - internal/netsim: the simulated asynchronous network with fault
 //     injection,
 //   - internal/tcpnet: the TCP transport for real deployments,
@@ -18,6 +20,11 @@
 //   - internal/snapshot, internal/bakery, internal/maxreg: shared-memory
 //     algorithms running unchanged over the emulation.
 //
+// Everything that can operate on registers — a protocol Client, the
+// reconfigurable client, a sharded Store — satisfies the one RW contract
+// (Read/Write/Register), and every register handle satisfies Register.
+// Code written against RW runs unchanged over one replica group or many.
+//
 // Quick start (see examples/quickstart for the runnable version):
 //
 //	cluster, _ := abd.NewCluster(5, abd.WithSeed(1))
@@ -25,13 +32,20 @@
 //	client := cluster.Client()
 //	_ = client.Write(ctx, "greeting", []byte("hello"))
 //	v, _ := client.Read(ctx, "greeting")
+//
+// Sharded: partition the namespace over 3 groups of 5 behind one Store
+// (same RW surface, near-linear aggregate throughput):
+//
+//	cluster, _ := abd.NewShardedCluster(3, 5, abd.WithSeed(1))
+//	defer cluster.Close()
+//	store := cluster.Store()
+//	_ = store.Write(ctx, "greeting", []byte("hello"))
 package abd
 
 import (
-	"context"
-
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/types"
 )
 
@@ -52,23 +66,59 @@ var (
 )
 
 // Register is the emulated shared-memory object: an atomic read/write
-// register. Implementations in this module: ABD clients (via Cluster or
-// core.Client.Register), the central-server baseline, and test fakes.
-type Register interface {
-	// Read returns the register's value; nil means never written.
-	Read(ctx context.Context) (Value, error)
-	// Write replaces the register's value.
-	Write(ctx context.Context, val Value) error
-}
+// register. It is the one contract in this module — handles from Client,
+// Store, and the reconfigurable client all satisfy it, and the
+// shared-memory algorithm packages consume it.
+type Register = types.Register
 
-// Client is a connection to the replica group, able to operate on any named
-// register. It is an alias for the core protocol client.
+// RW is the shared surface of everything that operates on named registers:
+// Client (one replica group), Store (many), and reconfig.Client (changing
+// groups) all satisfy it.
+type RW = types.RW
+
+// Client is a connection to one replica group, able to operate on any
+// named register of that group. It is an alias for the core protocol
+// client.
 type Client = core.Client
+
+// ClientOption configures a Client (see internal/core's With* options;
+// WithSingleWriter is re-exported here).
+type ClientOption = core.ClientOption
+
+// WithSingleWriter declares that the client is the only writer of every
+// register it writes: writes skip the query phase and cost one round trip
+// (the paper's SWMR protocol). The canonical spelling of the former
+// Cluster.Writer: cluster.Client(abd.WithSingleWriter()).
+func WithSingleWriter() ClientOption { return core.WithSingleWriter() }
+
+// Store is the sharded multi-group register store: a consistent-hash
+// router over one Client per replica group, satisfying the same RW
+// contract as a single-group Client. See internal/shard for the routing
+// invariants (a register never spans groups; the shard map is immutable
+// per Store lifetime).
+type Store = shard.Store
+
+// HashFunc hashes a register name onto the Store's ring (WithHashFunc).
+type HashFunc = shard.HashFunc
+
+// NewStore builds a Store over caller-supplied group clients (one per
+// replica group, in group order — e.g. tcpnet-backed clients of a real
+// deployment). The store takes ownership of the clients. Only the shard
+// options (WithShards, WithVirtualNodes, WithHashFunc) apply here; for
+// in-process work, Cluster.Store handles client construction too.
+func NewStore(clients []*Client, opts ...Option) (*Store, error) {
+	var cfg clusterConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return shard.New(clients, cfg.shardOpts...)
+}
 
 // ReplicaStats re-exports the replica counter snapshot.
 type ReplicaStats = core.ReplicaStats
 
-// MetricsSnapshot re-exports the client counter snapshot.
+// MetricsSnapshot re-exports the client counter snapshot. Snapshots merge
+// (MetricsSnapshot.Merge) across clients and shards.
 type MetricsSnapshot = core.MetricsSnapshot
 
 // ReplicaMetrics re-exports the replica protocol counter set served by
@@ -76,16 +126,21 @@ type MetricsSnapshot = core.MetricsSnapshot
 type ReplicaMetrics = core.ReplicaMetrics
 
 // LatencySnapshot re-exports the per-client latency histogram snapshot;
-// merge snapshots across clients (or use Cluster.Latency) for fleet-wide
-// quantiles.
+// merge snapshots across clients (or use Cluster.Latency / Store.Latency)
+// for fleet-wide quantiles.
 type LatencySnapshot = core.LatencySnapshot
 
 // Tracer re-exports the span sink interface. Attach one to a client with
-// core.WithTracer to stream per-operation and per-phase spans; obs.NewRing
+// core.WithTracer (or cluster-wide with WithStoreTracer, which tags each
+// shard's spans) to stream per-operation and per-phase spans; obs.NewRing
 // and obs.NewJSONL are the built-in sinks.
 type Tracer = obs.Tracer
 
 // Span re-exports the traced span record.
 type Span = obs.Span
 
-var _ Register = (*core.Register)(nil)
+var (
+	_ Register = (*core.Register)(nil)
+	_ RW       = (*core.Client)(nil)
+	_ RW       = (*shard.Store)(nil)
+)

@@ -25,7 +25,7 @@ func snapshotRegs(c *Cluster, n int, prefix string) ([]*Client, []snapshot.Regis
 	clients := make([]*Client, n)
 	regs := make([]snapshot.Register, n)
 	for i := 0; i < n; i++ {
-		clients[i] = c.Writer()
+		clients[i] = c.Client(WithSingleWriter())
 		regs[i] = clients[i].Register(fmt.Sprintf("%s/%d", prefix, i))
 	}
 	return clients, regs
@@ -156,7 +156,7 @@ func TestBakeryOverEmulation(t *testing.T) {
 	number := make([]bakery.Register, n)
 	clients := make([]*Client, n)
 	for i := 0; i < n; i++ {
-		clients[i] = cluster.Writer()
+		clients[i] = cluster.Client(WithSingleWriter())
 		choosing[i] = clients[i].Register(fmt.Sprintf("choosing/%d", i))
 		number[i] = clients[i].Register(fmt.Sprintf("number/%d", i))
 	}
@@ -213,7 +213,7 @@ func TestMaxRegisterOverEmulation(t *testing.T) {
 	const n = 3
 	regs := make([]maxreg.Register, n)
 	for i := 0; i < n; i++ {
-		regs[i] = cluster.Writer().Register(fmt.Sprintf("max/%d", i))
+		regs[i] = cluster.Client(WithSingleWriter()).Register(fmt.Sprintf("max/%d", i))
 	}
 
 	a, err := maxreg.New(regs, 0)
@@ -255,7 +255,7 @@ func TestRenamingOverEmulation(t *testing.T) {
 	const n = 3
 	regs := make([]snapshot.Register, n)
 	for i := 0; i < n; i++ {
-		regs[i] = cluster.Writer().Register(fmt.Sprintf("rename/%d", i))
+		regs[i] = cluster.Client(WithSingleWriter()).Register(fmt.Sprintf("rename/%d", i))
 	}
 
 	names := make([]int64, n)

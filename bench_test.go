@@ -42,7 +42,7 @@ func BenchmarkT1MessageComplexity(b *testing.B) {
 	for _, n := range []int{3, 5, 9} {
 		b.Run(fmt.Sprintf("swmr-write/n=%d", n), func(b *testing.B) {
 			cluster := benchCluster(b, n)
-			w := cluster.Writer()
+			w := cluster.Client(WithSingleWriter())
 			ctx := benchCtx(b)
 			cluster.ResetNetStats()
 			b.ResetTimer()
@@ -121,7 +121,7 @@ func BenchmarkF1LatencyVsN(b *testing.B) {
 	for _, n := range []int{3, 5, 7, 9, 13} {
 		b.Run(fmt.Sprintf("write/n=%d", n), func(b *testing.B) {
 			cluster := benchCluster(b, n, WithDelays(100*time.Microsecond, 300*time.Microsecond))
-			w := cluster.Writer()
+			w := cluster.Client(WithSingleWriter())
 			ctx := benchCtx(b)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -139,7 +139,7 @@ func BenchmarkF2CrashTolerance(b *testing.B) {
 	for _, f := range []int{0, 1, 2} {
 		b.Run(fmt.Sprintf("write/n=5/f=%d", f), func(b *testing.B) {
 			cluster := benchCluster(b, 5, WithDelays(100*time.Microsecond, 300*time.Microsecond))
-			w := cluster.Writer()
+			w := cluster.Client(WithSingleWriter())
 			ctx := benchCtx(b)
 			if err := w.Write(ctx, "x", []byte("v")); err != nil {
 				b.Fatal(err)
@@ -234,7 +234,7 @@ func BenchmarkT3Linearizability(b *testing.B) {
 // measure there).
 func BenchmarkF4PartitionBoundary(b *testing.B) {
 	cluster := benchCluster(b, 5)
-	w := cluster.Writer()
+	w := cluster.Client(WithSingleWriter())
 	ctx := benchCtx(b)
 	if err := w.Write(ctx, "x", []byte("v")); err != nil {
 		b.Fatal(err)
@@ -267,7 +267,7 @@ func BenchmarkF5QuorumAvailability(b *testing.B) {
 func BenchmarkT4BoundedLabels(b *testing.B) {
 	b.Run("unbounded", func(b *testing.B) {
 		cluster := benchCluster(b, 3)
-		w := cluster.Writer()
+		w := cluster.Client(WithSingleWriter())
 		ctx := benchCtx(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -297,7 +297,7 @@ func BenchmarkT5MultiWriter(b *testing.B) {
 			cluster := benchCluster(b, 5, WithDelays(100*time.Microsecond, 200*time.Microsecond))
 			var cli *Client
 			if mode == "single-writer" {
-				cli = cluster.Writer()
+				cli = cluster.Client(WithSingleWriter())
 			} else {
 				cli = cluster.Client()
 			}
@@ -319,7 +319,7 @@ func BenchmarkF6Applications(b *testing.B) {
 		ctx := benchCtx(b)
 		regs := make([]snapshot.Register, 4)
 		for i := range regs {
-			regs[i] = cluster.Writer().Register(fmt.Sprintf("snap/%d", i))
+			regs[i] = cluster.Client(WithSingleWriter()).Register(fmt.Sprintf("snap/%d", i))
 		}
 		h, err := snapshot.New(regs, 0)
 		if err != nil {
@@ -340,7 +340,7 @@ func BenchmarkF6Applications(b *testing.B) {
 		ctx := benchCtx(b)
 		regs := make([]snapshot.Register, 4)
 		for i := range regs {
-			regs[i] = cluster.Writer().Register(fmt.Sprintf("snap/%d", i))
+			regs[i] = cluster.Client(WithSingleWriter()).Register(fmt.Sprintf("snap/%d", i))
 		}
 		h, err := snapshot.New(regs, 0)
 		if err != nil {
@@ -356,7 +356,7 @@ func BenchmarkF6Applications(b *testing.B) {
 	b.Run("bakery-lock-unlock/uncontended", func(b *testing.B) {
 		cluster := benchCluster(b, 3)
 		ctx := benchCtx(b)
-		w := cluster.Writer()
+		w := cluster.Client(WithSingleWriter())
 		choosing := []bakery.Register{w.Register("choosing/0")}
 		number := []bakery.Register{w.Register("number/0")}
 		m, err := bakery.New(choosing, number, 0, bakery.WithPollInterval(100*time.Microsecond))

@@ -7,18 +7,28 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/quorum"
+	"repro/internal/shard"
 	"repro/internal/types"
 )
 
-// Cluster is a local, in-process deployment of the emulation: n replicas on
-// a simulated asynchronous network, plus as many clients as the caller
-// asks for. It is the workbench the examples, tests, and benchmarks build
-// on; for a real deployment over TCP see cmd/abd-node and cmd/abd-cli.
+// Cluster is a local, in-process deployment of the emulation: one or more
+// replica groups on a simulated asynchronous network, plus as many clients
+// and sharded stores as the caller asks for. It is the workbench the
+// examples, tests, and benchmarks build on; for a real deployment over TCP
+// see cmd/abd-node and cmd/abd-cli.
+//
+// A single-group cluster (NewCluster) is the paper's setting: every
+// register lives on the one group. A sharded cluster (NewShardedCluster,
+// or NewCluster with WithShards) partitions the register namespace across
+// independent groups behind a Store.
 type Cluster struct {
 	net      *netsim.Net
-	replicas []*core.Replica
-	ids      []types.NodeID
+	replicas []*core.Replica // all groups, flattened in id order
+	ids      []types.NodeID  // replica ids, same order
+	groups   int
+	perGroup int
 	clients  []*core.Client
+	stores   []*Store
 	nextCli  types.NodeID
 
 	cfg clusterConfig
@@ -32,6 +42,9 @@ type clusterConfig struct {
 	quorum        quorum.System
 	replicaOpts   []core.ReplicaOption
 	defaultClient []core.ClientOption
+	shards        int // WithShards; 0 = constructor's group count
+	shardOpts     []shard.Option
+	storeTracer   Tracer
 }
 
 // Option configures a Cluster.
@@ -55,7 +68,8 @@ func WithDropProbability(p float64) Option {
 }
 
 // WithQuorumSystem replaces the default majority quorums for all clients
-// created by the cluster.
+// created by the cluster. Quorum systems are sized for one group; sharded
+// clusters apply the system per group.
 func WithQuorumSystem(qs quorum.System) Option {
 	return func(c *clusterConfig) { c.quorum = qs }
 }
@@ -71,23 +85,85 @@ func WithBoundedTimestamps(l int64) Option {
 }
 
 // WithClientDefaults appends protocol options applied to every client the
-// cluster creates (e.g. core.WithSingleWriter()).
+// cluster creates (e.g. abd.WithSingleWriter()), including a Store's
+// per-group clients.
 func WithClientDefaults(opts ...core.ClientOption) Option {
 	return func(c *clusterConfig) { c.defaultClient = append(c.defaultClient, opts...) }
 }
 
+// WithShards splits NewCluster's n replicas into g equal replica groups
+// (n must be divisible by g), sharding the register namespace across them.
+// NewCluster(n) is WithShards(1): the paper's single-group setting.
+func WithShards(g int) Option {
+	return func(c *clusterConfig) {
+		c.shards = g
+		c.shardOpts = append(c.shardOpts, shard.WithShards(g))
+	}
+}
+
+// WithVirtualNodes sets the consistent-hash ring's points per group for
+// every Store the cluster creates (see internal/shard; the default is
+// shard.DefaultVirtualNodes).
+func WithVirtualNodes(v int) Option {
+	return func(c *clusterConfig) { c.shardOpts = append(c.shardOpts, shard.WithVirtualNodes(v)) }
+}
+
+// WithHashFunc replaces the ring's register hash for every Store the
+// cluster creates. The function must be pure: every store of a deployment
+// must agree on the register→group map.
+func WithHashFunc(h HashFunc) Option {
+	return func(c *clusterConfig) { c.shardOpts = append(c.shardOpts, shard.WithHashFunc(h)) }
+}
+
+// WithStoreTracer attaches a span tracer to every client the cluster
+// creates, tagged per shard: a Store's group-g client emits spans carrying
+// shard tag g+1 (obs.Span.Shard), and plain Clients emit under their
+// group's tag. One tracer, per-shard attribution.
+func WithStoreTracer(t Tracer) Option {
+	return func(c *clusterConfig) { c.storeTracer = t }
+}
+
 // NewCluster starts n replicas (node ids 0..n-1) on a fresh simulated
-// network. Close must be called to release them.
+// network. Close must be called to release them. It is sugar over
+// NewShardedCluster: one group of n replicas unless WithShards(g) asks for
+// the namespace to be partitioned into g groups of n/g.
 func NewCluster(n int, opts ...Option) (*Cluster, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("abd: cluster size %d < 1", n)
-	}
-	if n > quorum.MaxNodes {
-		return nil, fmt.Errorf("abd: cluster size %d exceeds max %d", n, quorum.MaxNodes)
-	}
 	cfg := clusterConfig{seed: 1}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	groups := cfg.shards
+	if groups == 0 {
+		groups = 1
+	}
+	if groups < 1 || n < groups || n%groups != 0 {
+		return nil, fmt.Errorf("abd: cannot split %d replicas into %d equal groups", n, groups)
+	}
+	return newCluster(groups, n/groups, cfg)
+}
+
+// NewShardedCluster starts `groups` independent replica groups of
+// `perGroup` replicas each — group g owns node ids g*perGroup ..
+// (g+1)*perGroup-1 — on one simulated network. Registers are partitioned
+// across groups by every Store the cluster hands out; each group is an
+// unchanged ABD instance tolerating a minority of crashes.
+func NewShardedCluster(groups, perGroup int, opts ...Option) (*Cluster, error) {
+	cfg := clusterConfig{seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.shards != 0 && cfg.shards != groups {
+		return nil, fmt.Errorf("abd: NewShardedCluster(%d groups) conflicts with WithShards(%d)", groups, cfg.shards)
+	}
+	return newCluster(groups, perGroup, cfg)
+}
+
+func newCluster(groups, perGroup int, cfg clusterConfig) (*Cluster, error) {
+	if groups < 1 || perGroup < 1 {
+		return nil, fmt.Errorf("abd: cluster needs >= 1 group of >= 1 replicas, got %dx%d", groups, perGroup)
+	}
+	if perGroup > quorum.MaxNodes {
+		return nil, fmt.Errorf("abd: group size %d exceeds max %d", perGroup, quorum.MaxNodes)
 	}
 	cl := &Cluster{
 		net: netsim.New(netsim.Config{
@@ -96,12 +172,19 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 			MaxDelay: cfg.maxDelay,
 			DropProb: cfg.dropProb,
 		}),
-		nextCli: types.NodeID(10000),
-		cfg:     cfg,
+		groups:   groups,
+		perGroup: perGroup,
+		nextCli:  types.NodeID(10000),
+		cfg:      cfg,
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < groups*perGroup; i++ {
 		id := types.NodeID(i)
-		r := core.NewReplica(id, cl.net.Node(id), cfg.replicaOpts...)
+		ropts := cfg.replicaOpts
+		if cfg.storeTracer != nil {
+			ropts = append(append([]core.ReplicaOption(nil), ropts...),
+				core.WithReplicaTracer(shard.Tag(cfg.storeTracer, i/perGroup)))
+		}
+		r := core.NewReplica(id, cl.net.Node(id), ropts...)
 		r.Start()
 		cl.replicas = append(cl.replicas, r)
 		cl.ids = append(cl.ids, id)
@@ -109,45 +192,101 @@ func NewCluster(n int, opts ...Option) (*Cluster, error) {
 	return cl, nil
 }
 
-// Size returns the number of replicas.
+// Size returns the total number of replicas across all groups.
 func (c *Cluster) Size() int { return len(c.replicas) }
 
-// ReplicaIDs returns the replica node ids in quorum-index order.
+// Shards returns the number of replica groups.
+func (c *Cluster) Shards() int { return c.groups }
+
+// GroupSize returns the number of replicas per group.
+func (c *Cluster) GroupSize() int { return c.perGroup }
+
+// ReplicaIDs returns every replica node id, flattened in group order.
 func (c *Cluster) ReplicaIDs() []NodeID {
 	return append([]NodeID(nil), c.ids...)
 }
 
-// Client creates a new client attached to the cluster. Options are applied
-// after the cluster's defaults, so they win on conflicts.
-func (c *Cluster) Client(opts ...core.ClientOption) *Client {
+// GroupReplicaIDs returns group g's replica ids in quorum-index order.
+func (c *Cluster) GroupReplicaIDs(g int) []NodeID {
+	return append([]NodeID(nil), c.ids[g*c.perGroup:(g+1)*c.perGroup]...)
+}
+
+// newGroupClient creates a client attached to one group. Options are
+// applied after the cluster's defaults, so they win on conflicts.
+func (c *Cluster) newGroupClient(g int, opts []core.ClientOption) *Client {
 	id := c.nextCli
 	c.nextCli++
-	all := make([]core.ClientOption, 0, len(c.cfg.defaultClient)+len(opts)+1)
+	all := make([]core.ClientOption, 0, len(c.cfg.defaultClient)+len(opts)+2)
 	if c.cfg.quorum != nil {
 		all = append(all, core.WithQuorum(c.cfg.quorum))
 	}
+	if c.cfg.storeTracer != nil {
+		all = append(all, core.WithTracer(shard.Tag(c.cfg.storeTracer, g)))
+	}
 	all = append(all, c.cfg.defaultClient...)
 	all = append(all, opts...)
-	cli, err := core.NewClient(id, c.net.Node(id), c.ids, all...)
+	cli, err := core.NewClient(id, c.net.Node(id), c.GroupReplicaIDs(g), all...)
 	if err != nil {
 		// The cluster controls every input that could fail validation; an
 		// error here is a misconfigured option combination, surfaced early.
 		panic(fmt.Sprintf("abd: cluster client: %v", err))
 	}
+	return cli
+}
+
+// Client creates a new client attached to replica group 0. Options are
+// applied after the cluster's defaults, so they win on conflicts. On a
+// sharded cluster a plain Client sees only group 0's registers — use Store
+// for the routed view spanning every group.
+func (c *Cluster) Client(opts ...core.ClientOption) *Client {
+	cli := c.newGroupClient(0, opts)
 	c.clients = append(c.clients, cli)
 	return cli
 }
 
 // Writer creates a single-writer client (the paper's SWMR writer: one round
 // trip per write, no query phase).
+//
+// Deprecated: use Client(abd.WithSingleWriter()). Writer predates the
+// option re-exports and adds nothing over them.
 func (c *Cluster) Writer(opts ...core.ClientOption) *Client {
 	return c.Client(append([]core.ClientOption{core.WithSingleWriter()}, opts...)...)
 }
 
-// Crash fail-stops replica i (by index). Matching the paper's model, there
-// is no recovery.
+// Store creates a sharded store over every replica group: one fresh client
+// per group (cluster defaults plus opts), routed by the cluster's
+// consistent-hash ring configuration (WithVirtualNodes, WithHashFunc).
+// The cluster owns the store; Close closes it. On a single-group cluster
+// the store is a plain client behind the router — same protocol, same
+// guarantees — so code written against Store runs unchanged at any scale.
+func (c *Cluster) Store(opts ...core.ClientOption) *Store {
+	clients := make([]*core.Client, c.groups)
+	for g := range clients {
+		clients[g] = c.newGroupClient(g, opts)
+	}
+	st, err := shard.New(clients, c.cfg.shardOpts...)
+	if err != nil {
+		// Same contract as Client: the cluster controls every input.
+		panic(fmt.Sprintf("abd: cluster store: %v", err))
+	}
+	c.stores = append(c.stores, st)
+	return st
+}
+
+// Crash fail-stops replica i (by flattened index; group g's replicas are
+// indexes g*GroupSize()..). Matching the paper's model, there is no
+// recovery.
 func (c *Cluster) Crash(i int) {
 	c.net.Crash(c.ids[i])
+}
+
+// CrashGroupMinority fail-stops a minority (floor((perGroup-1)/2)) of the
+// replicas of group g — the largest crash the group tolerates while staying
+// live.
+func (c *Cluster) CrashGroupMinority(g int) {
+	for i := 0; i < (c.perGroup-1)/2; i++ {
+		c.Crash(g*c.perGroup + i)
+	}
 }
 
 // Partition splits the network into groups of node ids (replicas and
@@ -163,20 +302,36 @@ func (c *Cluster) Heal() { c.net.Heal() }
 // (internal/failure schedules target it directly).
 func (c *Cluster) Net() *netsim.Net { return c.net }
 
-// Replica returns replica i for state inspection in tests and tools.
+// Replica returns replica i (flattened index) for state inspection in
+// tests and tools.
 func (c *Cluster) Replica(i int) *core.Replica { return c.replicas[i] }
 
 // NetStats returns the simulated network's counters.
 func (c *Cluster) NetStats() netsim.Stats { return c.net.Stats() }
 
-// Latency merges every cluster client's latency histograms into one
-// fleet-wide snapshot (see core.Client.Latency). The merge is exact:
-// quantiles of the result are quantiles over the union of all samples,
-// up to the histograms' bucket resolution.
+// Latency merges every cluster client's and store's latency histograms
+// into one fleet-wide snapshot (see core.Client.Latency). The merge is
+// exact: quantiles of the result are quantiles over the union of all
+// samples, up to the histograms' bucket resolution.
 func (c *Cluster) Latency() core.LatencySnapshot {
 	var out core.LatencySnapshot
 	for _, cli := range c.clients {
 		out = out.Merge(cli.Latency())
+	}
+	for _, st := range c.stores {
+		out = out.Merge(st.Latency())
+	}
+	return out
+}
+
+// Metrics merges every cluster client's and store's operation counters.
+func (c *Cluster) Metrics() core.MetricsSnapshot {
+	var out core.MetricsSnapshot
+	for _, cli := range c.clients {
+		out = out.Merge(cli.Metrics())
+	}
+	for _, st := range c.stores {
+		out = out.Merge(st.Metrics())
 	}
 	return out
 }
@@ -184,11 +339,19 @@ func (c *Cluster) Latency() core.LatencySnapshot {
 // ResetNetStats zeroes the network counters (between benchmark phases).
 func (c *Cluster) ResetNetStats() { c.net.ResetStats() }
 
-// Close stops all clients and replicas and shuts the network down.
+// Close stops all clients and stores, drains the network, then stops the
+// replicas and shuts the network down. The drain between the two stop
+// phases matters: it lets every already-sampled delivery land (or be
+// discarded) before any replica endpoint closes, so teardown never races a
+// delayed send into a closing mailbox.
 func (c *Cluster) Close() {
 	for _, cli := range c.clients {
 		cli.Close()
 	}
+	for _, st := range c.stores {
+		st.Close()
+	}
+	c.net.Drain()
 	for _, r := range c.replicas {
 		r.Stop()
 	}

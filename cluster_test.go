@@ -99,7 +99,7 @@ func TestClusterWriterFastPath(t *testing.T) {
 	defer cluster.Close()
 	ctx := testCtx(t)
 
-	w := cluster.Writer()
+	w := cluster.Client(WithSingleWriter())
 	for i := 0; i < 5; i++ {
 		if err := w.Write(ctx, "x", []byte(fmt.Sprintf("v%d", i))); err != nil {
 			t.Fatal(err)
@@ -204,7 +204,7 @@ func TestClusterNetStats(t *testing.T) {
 	}
 	defer cluster.Close()
 	ctx := testCtx(t)
-	w := cluster.Writer()
+	w := cluster.Client(WithSingleWriter())
 
 	cluster.ResetNetStats()
 	if err := w.Write(ctx, "x", []byte("v")); err != nil {

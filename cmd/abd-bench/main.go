@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	abd-bench [-exp all|T1..T6|F1..F7|L1] [-quick] [-seed N] [-trace-out spans.jsonl]
+//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH] [-quick] [-seed N] [-trace-out spans.jsonl]
+//
+// TP (alias "throughput") and SH (alias "shards") also write a
+// machine-readable report with -json; run those one at a time when -json is
+// set, since each overwrites the file (see `make throughput`, `make shards`).
 package main
 
 import (
@@ -25,11 +29,11 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards) or 'all'")
 		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
-		jsonOut  = flag.String("json", "", "write the machine-readable report (TP experiment) to this file")
+		jsonOut  = flag.String("json", "", "write the machine-readable report (TP and SH experiments) to this file")
 	)
 	flag.Parse()
 
@@ -51,7 +55,7 @@ func run() int {
 		for _, id := range strings.Split(*exp, ",") {
 			r, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T5, F1..F6, or all)\n", id)
+				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, or all)\n", id)
 				return 2
 			}
 			runners = append(runners, r)

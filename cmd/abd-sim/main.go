@@ -22,6 +22,13 @@
 // In nemesis mode -faults may additionally use the chaos events (faults:,
 // reset:) and reference client ids (9000, 9001, ...); when -faults is
 // empty a schedule is generated deterministically from -seed.
+//
+// With -groups G (nemesis only) the cluster becomes G independent replica
+// groups of n replicas each behind sharded stores (internal/shard): the
+// generated schedule faults two groups at once, the linearizability verdict
+// is per register, and the register→group map is printed.
+//
+//	abd-sim -nemesis -groups 3 -seed 404
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -52,7 +60,7 @@ func run() int {
 		writers  = flag.Int("writers", 2, "concurrent writer clients")
 		readers  = flag.Int("readers", 3, "concurrent reader clients")
 		ops      = flag.Int("ops", 20, "operations per client")
-		regs     = flag.Int("regs", 1, "number of registers the workload spreads over")
+		regs     = flag.Int("regs", 0, "number of registers the workload spreads over (0 = auto: 1, or 2x groups in sharded nemesis mode)")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		minDelay = flag.Duration("min-delay", 0, "min one-way message delay")
 		maxDelay = flag.Duration("max-delay", 2*time.Millisecond, "max one-way message delay")
@@ -62,16 +70,24 @@ func run() int {
 		out      = flag.String("out", "", "write the history as JSON lines to this file")
 		opT      = flag.Duration("op-timeout", 2*time.Second, "per-operation deadline")
 		nem      = flag.Bool("nemesis", false, "run on a real TCP cluster with chaos injection and crash+restart (see internal/nemesis)")
+		groups   = flag.Int("groups", 1, "nemesis mode: replica groups (shards) of n replicas each behind sharded stores")
 		traceOut = flag.String("trace-out", "", "nemesis mode: write every collected span as JSONL to this file (analyze with abd-trace)")
 	)
 	flag.Parse()
 
 	if *nem {
-		return runNemesis(*n, *writers, *readers, *ops, *regs, *seed, *faults, *out, *traceOut)
+		return runNemesis(*n, *groups, *writers, *readers, *ops, *regs, *seed, *faults, *out, *traceOut)
 	}
 	if *traceOut != "" {
 		fmt.Fprintln(os.Stderr, "abd-sim: -trace-out requires -nemesis")
 		return 2
+	}
+	if *groups > 1 {
+		fmt.Fprintln(os.Stderr, "abd-sim: -groups requires -nemesis")
+		return 2
+	}
+	if *regs <= 0 {
+		*regs = 1
 	}
 
 	var copts []core.ClientOption
@@ -257,9 +273,9 @@ func run() int {
 // cluster of persistent replicas under a seeded chaos schedule, with the
 // recorded history always checked for linearizability. A non-empty fault
 // script overrides the generated schedule.
-func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out, traceOut string) int {
+func runNemesis(n, groups, writers, readers, ops, regs int, seed int64, faults, out, traceOut string) int {
 	cfg := nemesis.Config{
-		N: n, Writers: writers, Readers: readers,
+		N: n, Groups: groups, Writers: writers, Readers: readers,
 		OpsPerClient: ops, Registers: regs, Seed: seed,
 	}
 	if faults != "" {
@@ -285,8 +301,13 @@ func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out, tra
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("abd-sim: nemesis seed %d: %d ok, %d pending/timed-out ops in %v\n",
-		seed, res.Ops, res.Failed, elapsed.Round(time.Millisecond))
+	if res.Shards > 1 {
+		fmt.Printf("abd-sim: nemesis seed %d: %d groups x %d replicas: %d ok, %d pending/timed-out ops in %v\n",
+			seed, res.Shards, n, res.Ops, res.Failed, elapsed.Round(time.Millisecond))
+	} else {
+		fmt.Printf("abd-sim: nemesis seed %d: %d ok, %d pending/timed-out ops in %v\n",
+			seed, res.Ops, res.Failed, elapsed.Round(time.Millisecond))
+	}
 	fmt.Printf("abd-sim: schedule: %s\n", res.Schedule)
 	fmt.Printf("abd-sim: chaos: %+v\n", res.Chaos)
 	fmt.Printf("abd-sim: transport: dials=%d dial_failures=%d write_failures=%d write_timeouts=%d "+
@@ -340,6 +361,19 @@ func runNemesis(n, writers, readers, ops, regs int, seed int64, faults, out, tra
 		fmt.Printf("abd-sim: history (%d ops) written to %s\n", len(res.History), out)
 	}
 
+	if res.Shards > 1 {
+		// Per-register shard placement and verdict: the sharded guarantee is
+		// per register, so show exactly what was checked and where it lived.
+		regNames := make([]string, 0, len(res.Results))
+		for reg := range res.Results {
+			regNames = append(regNames, reg)
+		}
+		sort.Strings(regNames)
+		for _, reg := range regNames {
+			fmt.Printf("abd-sim: register %-8q group %d: %s\n",
+				reg, res.RegisterShard[reg], res.Results[reg].Outcome)
+		}
+	}
 	fmt.Printf("abd-sim: history of %d ops over %d register(s) is %s\n",
 		len(res.History), len(res.Results), res.Outcome)
 	if res.Outcome == lincheck.NotLinearizable {

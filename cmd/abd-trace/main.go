@@ -266,6 +266,45 @@ func report(w io.Writer, spans []obs.Span, st obs.StitchStats, top int) {
 		}
 	}
 
+	// Per-shard split, when the spans came from a sharded store (tagged by
+	// shard.Tag; Span.Shard is group+1, 0 means untagged). Shows whether the
+	// router spread operations — and their critical-path shape — evenly.
+	shardOps := make(map[int][]opStat)
+	for _, op := range ops {
+		if op.span.Shard > 0 {
+			shardOps[op.span.Shard-1] = append(shardOps[op.span.Shard-1], op)
+		}
+	}
+	if len(shardOps) > 0 {
+		groups := make([]int, 0, len(shardOps))
+		for g := range shardOps {
+			groups = append(groups, g)
+		}
+		sort.Ints(groups)
+		untagged := len(ops)
+		fmt.Fprintf(w, "\nper-shard operations (%d replica groups):\n", len(groups))
+		fmt.Fprintf(w, "  %-6s %5s %10s %10s %10s %10s\n", "group", "ops", "p50", "p99", "network", "fsync")
+		for _, g := range groups {
+			gops := shardOps[g]
+			untagged -= len(gops)
+			gd := make([]time.Duration, len(gops))
+			var gb breakdown
+			for i, op := range gops {
+				gd[i] = op.span.Dur
+				gb.Client += op.bd.Client
+				gb.Network += op.bd.Network
+				gb.Handler += op.bd.Handler
+				gb.Fsync += op.bd.Fsync
+			}
+			sort.Slice(gd, func(i, j int) bool { return gd[i] < gd[j] })
+			fmt.Fprintf(w, "  %-6d %5d %10s %10s %10s %10s\n",
+				g, len(gops), fmtDur(pct(gd, 0.50)), fmtDur(pct(gd, 0.99)), fmtDur(gb.Network), fmtDur(gb.Fsync))
+		}
+		if untagged > 0 {
+			fmt.Fprintf(w, "  (%d operations carried no shard tag)\n", untagged)
+		}
+	}
+
 	if len(replicas) > 0 {
 		ids := make([]int64, 0, len(replicas))
 		for id := range replicas {

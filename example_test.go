@@ -69,7 +69,7 @@ func ExampleRegister() {
 
 // The single-writer fast path writes in one round trip; the unanimous-read
 // optimization brings quiescent reads down to one round trip too.
-func ExampleCluster_Writer() {
+func ExampleWithSingleWriter() {
 	cluster, err := abd.NewCluster(5, abd.WithSeed(1))
 	if err != nil {
 		log.Fatal(err)
@@ -77,7 +77,8 @@ func ExampleCluster_Writer() {
 	defer cluster.Close()
 	ctx := context.Background()
 
-	w := cluster.Writer() // SWMR: local sequence numbers, no query phase
+	// SWMR: local sequence numbers, no query phase.
+	w := cluster.Client(abd.WithSingleWriter())
 	for i := 0; i < 3; i++ {
 		if err := w.Write(ctx, "log", []byte{byte(i)}); err != nil {
 			log.Fatal(err)
@@ -121,7 +122,7 @@ func ExampleWithClientDefaults() {
 	defer cluster.Close()
 	ctx := context.Background()
 
-	w := cluster.Writer()
+	w := cluster.Client(abd.WithSingleWriter())
 	if err := w.Write(ctx, "x", []byte("v")); err != nil {
 		log.Fatal(err)
 	}

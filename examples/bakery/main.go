@@ -32,7 +32,7 @@ func main() {
 	choosing := make([]bakery.Register, procs)
 	number := make([]bakery.Register, procs)
 	for i := 0; i < procs; i++ {
-		w := cluster.Writer()
+		w := cluster.Client(abd.WithSingleWriter())
 		choosing[i] = w.Register(fmt.Sprintf("choosing/%d", i))
 		number[i] = w.Register(fmt.Sprintf("number/%d", i))
 	}

@@ -29,7 +29,7 @@ func main() {
 	const components = 3
 	regs := make([]snapshot.Register, components)
 	for i := range regs {
-		regs[i] = cluster.Writer().Register(fmt.Sprintf("snap/%d", i))
+		regs[i] = cluster.Client(abd.WithSingleWriter()).Register(fmt.Sprintf("snap/%d", i))
 	}
 
 	// Concurrent updaters.

@@ -728,9 +728,14 @@ func (c *Client) NextTagAfter(observed Tag) Tag {
 }
 
 // Register returns a handle binding this client to one named register.
-func (c *Client) Register(name string) *Register {
+// The result's dynamic type is *core.Register (Name reports the binding);
+// the interface return is what lets Client, reconfig.Client, and
+// shard.Store share the types.RW contract.
+func (c *Client) Register(name string) types.Register {
 	return &Register{c: c, name: name}
 }
+
+var _ types.RW = (*Client)(nil)
 
 // Register is a convenience handle for a single named register.
 type Register struct {

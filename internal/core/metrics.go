@@ -59,6 +59,27 @@ type MetricsSnapshot struct {
 	CoalescedReads, AbsorbedWrites int64
 }
 
+// Merge returns the field-wise sum of two snapshots, for aggregating
+// counters across clients — the shard store's per-group clients, a
+// cluster's client fleet, or the nemesis harness's workload clients.
+func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
+	return MetricsSnapshot{
+		Reads:             s.Reads + o.Reads,
+		Writes:            s.Writes + o.Writes,
+		Phases:            s.Phases + o.Phases,
+		MsgsSent:          s.MsgsSent + o.MsgsSent,
+		WriteBacks:        s.WriteBacks + o.WriteBacks,
+		WriteBacksSkipped: s.WriteBacksSkipped + o.WriteBacksSkipped,
+		OrderViolations:   s.OrderViolations + o.OrderViolations,
+		Stragglers:        s.Stragglers + o.Stragglers,
+		BadMsgs:           s.BadMsgs + o.BadMsgs,
+		Retransmits:       s.Retransmits + o.Retransmits,
+		MaskRetries:       s.MaskRetries + o.MaskRetries,
+		CoalescedReads:    s.CoalescedReads + o.CoalescedReads,
+		AbsorbedWrites:    s.AbsorbedWrites + o.AbsorbedWrites,
+	}
+}
+
 func (m *Metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
 		Reads:             m.reads.Load(),

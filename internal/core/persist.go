@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -54,8 +55,9 @@ type persister struct {
 	f     *os.File
 	path  string
 	sync  bool
-	n     int          // records since last compaction
-	syncs atomic.Int64 // fsyncs issued (appends + batch appends)
+	delay time.Duration // extra stall per fsync (WithFsyncDelay)
+	n     int           // records since last compaction
+	syncs atomic.Int64  // fsyncs issued (appends + batch appends)
 }
 
 const persistCompactThreshold = 4096
@@ -252,6 +254,9 @@ func (p *persister) appendRecord(rec record) error {
 			return fmt.Errorf("core: persistence sync: %w", err)
 		}
 		p.syncs.Add(1)
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
 	}
 	p.n++
 	return nil
@@ -279,6 +284,9 @@ func (p *persister) appendBatch(recs []record) error {
 			return fmt.Errorf("core: persistence sync: %w", err)
 		}
 		p.syncs.Add(1)
+		if p.delay > 0 {
+			time.Sleep(p.delay)
+		}
 	}
 	p.n += len(recs)
 	return nil
@@ -337,6 +345,7 @@ func NewPersistentReplica(id types.NodeID, ep transport.Endpoint, path string, o
 
 	r := NewReplica(id, ep, opts...)
 	r.persist = p
+	p.delay = r.fsyncDelay
 	// Replay through the normal adoption rule so out-of-order log records
 	// (possible after interleaved compactions) resolve to the newest.
 	for _, rec := range recs {

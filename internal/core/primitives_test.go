@@ -83,8 +83,8 @@ func TestAccessors(t *testing.T) {
 		t.Fatalf("replica ID %v", got)
 	}
 	reg := cli.Register("named")
-	if reg.Name() != "named" {
-		t.Fatalf("register name %q", reg.Name())
+	if h, ok := reg.(*Register); !ok || h.Name() != "named" {
+		t.Fatalf("register handle %T, want *core.Register named %q", reg, "named")
 	}
 	if err := reg.Write(ctx, []byte("via-handle")); err != nil {
 		t.Fatal(err)

@@ -49,8 +49,9 @@ type Replica struct {
 	// (crash-recovery extension; see NewPersistentReplica).
 	persist *persister
 
-	batchMax int
-	writeCh  chan inboundWrite
+	batchMax   int
+	fsyncDelay time.Duration // extra wall-clock cost per WAL fsync (WithFsyncDelay)
+	writeCh    chan inboundWrite
 
 	started atomic.Bool
 	done    chan struct{}
@@ -112,6 +113,21 @@ func WithReplicaBatch(k int) ReplicaOption {
 	return func(r *Replica) {
 		if k >= 1 {
 			r.batchMax = k
+		}
+	}
+}
+
+// WithFsyncDelay makes every WAL fsync additionally cost d of wall-clock
+// time, stalling the commit loop exactly as a real device sync would.
+// Benchmarks run their WALs on tmpfs, where fsync is nearly free and the
+// write path ends up CPU-bound — hiding both what group commit amortizes
+// and what sharding multiplies. This knob restores the realistic bottleneck
+// (0.5–5ms per sync on commodity SSD/HDD). No effect on a non-persistent
+// replica; d <= 0 is a no-op.
+func WithFsyncDelay(d time.Duration) ReplicaOption {
+	return func(r *Replica) {
+		if d > 0 {
+			r.fsyncDelay = d
 		}
 	}
 }

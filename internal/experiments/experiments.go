@@ -29,7 +29,8 @@ type Options struct {
 	// writer; experiments only flush.
 	TraceWriter io.Writer
 	// JSONOut, when non-empty, is where experiments that produce a
-	// machine-readable report (TP) write it.
+	// machine-readable report (TP, SH) write it. Run such experiments one
+	// at a time with JSONOut set: each overwrites the file.
 	JSONOut string
 }
 
@@ -140,6 +141,7 @@ func All() []Runner {
 		{"F7", "ablations: phase fanout and retransmission", "", F7Ablations},
 		{"L1", "latency profile per operation kind (obs histograms)", "", L1LatencyProfile},
 		{"TP", "write-path throughput: batching pipeline on vs off", "throughput", TPThroughput},
+		{"SH", "aggregate throughput vs shard (replica group) count", "shards", SHShards},
 	}
 }
 

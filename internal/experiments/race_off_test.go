@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this test
+// binary (see race_on_test.go).
+const raceEnabled = false

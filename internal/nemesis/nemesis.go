@@ -35,6 +35,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
 )
@@ -49,24 +50,34 @@ const clientBase types.NodeID = 9000
 // legitimately reference client ids (e.g. to block client->replica links).
 func ValidateSchedule(sched failure.Schedule, cfg Config) error {
 	cfg = cfg.withDefaults()
-	nClients := types.NodeID(cfg.Writers + cfg.Readers)
+	nReplicas := cfg.Groups * cfg.N
+	nClients := types.NodeID((cfg.Writers + cfg.Readers) * cfg.Groups)
 	for _, id := range sched.Nodes() {
-		if id >= 0 && int(id) < cfg.N {
+		if id >= 0 && int(id) < nReplicas {
 			continue
 		}
 		if id >= clientBase && id < clientBase+nClients {
 			continue
 		}
 		return fmt.Errorf("nemesis: schedule references node %d; cluster has replicas 0..%d and clients %d..%d",
-			id, cfg.N-1, clientBase, clientBase+nClients-1)
+			id, nReplicas-1, clientBase, clientBase+nClients-1)
 	}
 	return nil
 }
 
 // Config parameterizes one nemesis run.
 type Config struct {
-	// N is the replica count (default 5; tolerates (N-1)/2 crashes).
+	// N is the replica count per group (default 5; each group tolerates
+	// (N-1)/2 crashes).
 	N int
+	// Groups is the number of independent replica groups (default 1). With
+	// Groups > 1 the cluster runs Groups*N replicas — group g owns ids
+	// g*N..g*N+N-1 — and every logical client becomes a shard.Store routing
+	// each register to its owning group, so the workload, the fault
+	// schedule (GenerateShardedSchedule faults two groups per window), and
+	// the per-register linearizability verdicts all exercise the sharded
+	// deployment end to end.
+	Groups int
 	// Writers and Readers are the client counts (defaults 2 and 3).
 	Writers, Readers int
 	// OpsPerClient is how many operations each client issues (default 40).
@@ -112,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.N == 0 {
 		c.N = 5
 	}
+	if c.Groups == 0 {
+		c.Groups = 1
+	}
 	if c.Writers == 0 {
 		c.Writers = 2
 	}
@@ -122,7 +136,13 @@ func (c Config) withDefaults() Config {
 		c.OpsPerClient = 40
 	}
 	if c.Registers == 0 {
-		c.Registers = 1
+		// Sharded runs default to two registers per group so every group
+		// sees traffic and each per-register verdict is meaningful.
+		if c.Groups > 1 {
+			c.Registers = 2 * c.Groups
+		} else {
+			c.Registers = 1
+		}
 	}
 	if c.OpTimeout == 0 {
 		c.OpTimeout = 5 * time.Second
@@ -167,6 +187,9 @@ type Cluster struct {
 
 	clients   []*core.Client
 	clientEPs []*tcpnet.Endpoint
+	// stores holds one shard.Store per logical client when cfg.Groups > 1;
+	// each store routes over cfg.Groups of the clients above.
+	stores []*shard.Store
 
 	// spans collects every layer's spans in-process; tracer is what the
 	// layers emit into (the collector, fanned out to Config.Tracer too).
@@ -185,12 +208,34 @@ func (c *Cluster) tcpConfig(id types.NodeID) tcpnet.Config {
 		BackoffMin:       20 * time.Millisecond,
 		BackoffMax:       500 * time.Millisecond,
 		BreakerThreshold: 4,
-		Tracer:           c.tracer,
+		Tracer:           c.nodeTracer(id),
 	}
 }
 
-// NewCluster starts N persistent replicas on loopback and Writers+Readers
-// clients, every endpoint wrapped by one seeded chaos controller.
+// groupOf maps a node id to its replica group: replicas by id range,
+// clients by their position within their logical client's id block.
+func (c *Cluster) groupOf(id types.NodeID) int {
+	if id >= clientBase {
+		return int(id-clientBase) % c.cfg.Groups
+	}
+	return int(id) / c.cfg.N
+}
+
+// nodeTracer is the tracer a node's layers emit into: the cluster-wide
+// collector, shard-tagged in sharded runs so every span — client, transport,
+// and replica side — carries its group.
+func (c *Cluster) nodeTracer(id types.NodeID) obs.Tracer {
+	if c.cfg.Groups <= 1 {
+		return c.tracer
+	}
+	return shard.Tag(c.tracer, c.groupOf(id))
+}
+
+// NewCluster starts Groups*N persistent replicas on loopback and
+// Writers+Readers logical clients, every endpoint wrapped by one seeded
+// chaos controller. With Groups > 1 each logical client is a shard.Store
+// over one protocol client per group (each with its own endpoint, peered
+// only with its group's replicas).
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
@@ -214,7 +259,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.ownsDir = true
 	}
 
-	for i := 0; i < cfg.N; i++ {
+	for i := 0; i < cfg.Groups*cfg.N; i++ {
 		id := types.NodeID(i)
 		c.addrs[id] = "127.0.0.1:0" // pinned to the real port on first start
 		if err := c.startReplica(id); err != nil {
@@ -223,35 +268,52 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 	}
 
-	replicaIDs := make([]types.NodeID, 0, cfg.N)
-	peers := make(map[types.NodeID]string, cfg.N)
+	// Per-group peer sets: a group's clients know that group's replicas only.
+	groupIDs := make([][]types.NodeID, cfg.Groups)
+	groupPeers := make([]map[types.NodeID]string, cfg.Groups)
 	c.mu.Lock()
-	for id, addr := range c.addrs {
-		replicaIDs = append(replicaIDs, id)
-		peers[id] = addr
+	for g := 0; g < cfg.Groups; g++ {
+		groupPeers[g] = make(map[types.NodeID]string, cfg.N)
+		for i := 0; i < cfg.N; i++ {
+			id := types.NodeID(g*cfg.N + i)
+			groupIDs[g] = append(groupIDs[g], id)
+			groupPeers[g][id] = c.addrs[id]
+		}
 	}
 	c.mu.Unlock()
 
 	for i := 0; i < cfg.Writers+cfg.Readers; i++ {
-		id := clientBase + types.NodeID(i)
-		tc := c.tcpConfig(id)
-		tc.Peers = peers
-		ep, err := tcpnet.Listen(tc)
-		if err != nil {
-			c.Close()
-			return nil, fmt.Errorf("nemesis: client %v endpoint: %w", id, err)
+		groupClis := make([]*core.Client, cfg.Groups)
+		for g := 0; g < cfg.Groups; g++ {
+			id := clientBase + types.NodeID(i*cfg.Groups+g)
+			tc := c.tcpConfig(id)
+			tc.Peers = groupPeers[g]
+			ep, err := tcpnet.Listen(tc)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("nemesis: client %v endpoint: %w", id, err)
+			}
+			ids := append([]types.NodeID(nil), groupIDs[g]...)
+			cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids,
+				core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond),
+				core.WithTracer(c.nodeTracer(id)))
+			if err != nil {
+				_ = ep.Close()
+				c.Close()
+				return nil, fmt.Errorf("nemesis: client %v: %w", id, err)
+			}
+			c.clients = append(c.clients, cli)
+			c.clientEPs = append(c.clientEPs, ep)
+			groupClis[g] = cli
 		}
-		ids := append([]types.NodeID(nil), replicaIDs...)
-		cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids,
-			core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond),
-			core.WithTracer(c.tracer))
-		if err != nil {
-			_ = ep.Close()
-			c.Close()
-			return nil, fmt.Errorf("nemesis: client %v: %w", id, err)
+		if cfg.Groups > 1 {
+			st, err := shard.New(groupClis)
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("nemesis: store %d: %w", i, err)
+			}
+			c.stores = append(c.stores, st)
 		}
-		c.clients = append(c.clients, cli)
-		c.clientEPs = append(c.clientEPs, ep)
 	}
 	return c, nil
 }
@@ -281,7 +343,7 @@ func (c *Cluster) startReplica(id types.NodeID) error {
 
 	wal := filepath.Join(c.dir, fmt.Sprintf("replica-%d.wal", id))
 	rep, err := core.NewPersistentReplica(id, c.chaos.Wrap(ep), wal,
-		core.WithReplicaTracer(c.tracer))
+		core.WithReplicaTracer(c.nodeTracer(id)))
 	if err != nil {
 		_ = ep.Close()
 		return fmt.Errorf("nemesis: replica %v: %w", id, err)
@@ -402,8 +464,14 @@ func (c *Cluster) Spans() ([]obs.Span, int64) {
 	return c.spans.Spans(), c.spans.Dropped()
 }
 
-// Clients returns the cluster's clients: writers first, then readers.
+// Clients returns the cluster's protocol clients: writers first, then
+// readers; in a sharded cluster each logical client contributes Groups
+// consecutive entries (group 0 first).
 func (c *Cluster) Clients() []*core.Client { return c.clients }
+
+// Stores returns the sharded stores, one per logical client (writers
+// first), or nil for a single-group cluster.
+func (c *Cluster) Stores() []*shard.Store { return c.stores }
 
 // ClientIDs returns the client node ids in Clients order.
 func (c *Cluster) ClientIDs() []types.NodeID {
@@ -558,12 +626,71 @@ func GenerateSchedule(seed int64, n int, clients []types.NodeID, windows int, wi
 	return sched
 }
 
+// GenerateShardedSchedule derives a deterministic fault schedule for a
+// sharded cluster: every window faults TWO distinct replica groups at once
+// — crashing or isolating one replica in each — so the store must keep the
+// untouched groups' registers live while two groups churn concurrently.
+// Each victim is a minority of its group, so every register stays
+// reachable; the per-register linearizability verdicts then check that
+// routing under churn never mixes registers across groups. Every third
+// window (in expectation) additionally runs a global loss/duplication storm
+// underneath. At least one crash+restart episode is guaranteed. Like
+// GenerateSchedule, the result is a pure function of its inputs.
+func GenerateShardedSchedule(seed int64, groups, perGroup int, clients []types.NodeID, windows int, window time.Duration) failure.Schedule {
+	if groups < 2 {
+		return GenerateSchedule(seed, groups*perGroup, clients, windows, window)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sched failure.Schedule
+	add := func(at time.Duration, a failure.Action) {
+		sched = append(sched, failure.Event{At: at, Action: a})
+	}
+	sawCrash := false
+	for w := 0; w < windows; w++ {
+		start := time.Duration(w)*window + window/8
+		end := time.Duration(w+1)*window - window/8
+		gA := rng.Intn(groups)
+		gB := (gA + 1 + rng.Intn(groups-1)) % groups
+		for _, g := range []int{gA, gB} {
+			id := types.NodeID(g*perGroup + rng.Intn(perGroup))
+			genre := rng.Intn(2)
+			if w == windows-1 && !sawCrash {
+				genre = 0 // guarantee one crash+restart episode per schedule
+			}
+			switch genre {
+			case 0: // crash one replica of the group, restart before the window closes
+				add(start, failure.Crash{Node: id})
+				add(end, failure.Recover{Node: id})
+				sawCrash = true
+			case 1: // isolate one replica of the group from every client
+				for _, cl := range clients {
+					add(start, failure.Block{From: cl, To: id})
+				}
+				for _, cl := range clients {
+					add(end, failure.Unblock{From: cl, To: id})
+				}
+			}
+		}
+		if rng.Intn(3) == 0 {
+			f := chaos.Faults{Drop: 0.05 + 0.15*rng.Float64(), Dup: 0.05 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		}
+	}
+	return sched
+}
+
 // Result is the outcome of one nemesis run.
 type Result struct {
 	// Outcome is the overall linearizability verdict; Results holds the
 	// per-register detail.
 	Outcome lincheck.Outcome
 	Results map[string]lincheck.Result
+	// Shards is the replica-group count of the run; RegisterShard maps each
+	// workload register to its owning group (nil for single-group runs), so
+	// a per-register verdict can be read as a per-shard verdict.
+	Shards        int
+	RegisterShard map[string]int
 	// History is the recorded operation history (sorted by invocation).
 	History []history.Op
 	// Ops counts completed operations, Failed the timed-out ones
@@ -606,7 +733,11 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	sched := cfg.Schedule
 	if sched == nil {
-		sched = GenerateSchedule(cfg.Seed, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
+		if cfg.Groups > 1 {
+			sched = GenerateShardedSchedule(cfg.Seed, cfg.Groups, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
+		} else {
+			sched = GenerateSchedule(cfg.Seed, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
+		}
 	}
 
 	rec := history.NewRecorder()
@@ -629,19 +760,52 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		time.Sleep(cfg.OpInterval/2 + time.Duration(rng.Int63n(int64(cfg.OpInterval))))
 	}
 
+	// The workload's register names. In a sharded run the names are probed
+	// so register r lands on group r%Groups: every group owns registers and
+	// the per-register verdicts genuinely cover every shard (plain "r%d"
+	// names can all hash into a subset of the groups).
+	regNames := make([]string, cfg.Registers)
+	for r := range regNames {
+		regNames[r] = fmt.Sprintf("r%d", r)
+	}
+	if cfg.Groups > 1 {
+		for r := range regNames {
+			want := r % cfg.Groups
+			for k := 0; cl.stores[0].Shard(regNames[r]) != want; k++ {
+				regNames[r] = fmt.Sprintf("r%d-%d", r, k)
+			}
+		}
+	}
+
+	// A logical worker is a core.Client, or a shard.Store routing over one
+	// client per group — the same RW surface either way.
+	type worker struct {
+		id int // history process id
+		rw types.RW
+	}
+	workers := make([]worker, 0, cfg.Writers+cfg.Readers)
+	if cfg.Groups > 1 {
+		for i, st := range cl.Stores() {
+			workers = append(workers, worker{id: int(clientBase) + i*cfg.Groups, rw: st})
+		}
+	} else {
+		for _, cli := range cl.Clients() {
+			workers = append(workers, worker{id: int(cli.ID()), rw: cli})
+		}
+	}
+
 	var wg sync.WaitGroup
-	clients := cl.Clients()
 	for i := 0; i < cfg.Writers; i++ {
 		wg.Add(1)
-		go func(i int, cli *core.Client) {
+		go func(i int, wk worker) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*997 + int64(i)))
-			reg := fmt.Sprintf("r%d", i%cfg.Registers)
+			reg := regNames[i%cfg.Registers]
 			for op := 0; op < cfg.OpsPerClient; op++ {
 				val := []byte(fmt.Sprintf("w%d-%d", i, op))
-				p := rec.BeginWriteReg(int(cli.ID()), reg, val)
+				p := rec.BeginWriteReg(wk.id, reg, val)
 				octx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
-				err := cli.Write(octx, reg, val)
+				err := wk.rw.Write(octx, reg, val)
 				cancel()
 				if err != nil {
 					p.Crash() // pending: the write may still take effect
@@ -653,18 +817,18 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				pace(rng)
 			}
-		}(i, clients[i])
+		}(i, workers[i])
 	}
 	for i := 0; i < cfg.Readers; i++ {
 		wg.Add(1)
-		go func(i int, cli *core.Client) {
+		go func(i int, wk worker) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed*991 + int64(i)))
 			for op := 0; op < cfg.OpsPerClient; op++ {
-				reg := fmt.Sprintf("r%d", (i+op)%cfg.Registers)
-				p := rec.BeginReadReg(int(cli.ID()), reg)
+				reg := regNames[(i+op)%cfg.Registers]
+				p := rec.BeginReadReg(wk.id, reg)
 				octx, cancel := context.WithTimeout(ctx, cfg.OpTimeout)
-				val, err := cli.Read(octx, reg)
+				val, err := wk.rw.Read(octx, reg)
 				cancel()
 				if err != nil {
 					p.Crash() // pending read: imposes no obligation
@@ -676,7 +840,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 				}
 				pace(rng)
 			}
-		}(i, clients[cfg.Writers+i])
+		}(i, workers[cfg.Writers+i])
 	}
 	wg.Wait()
 	stopSched()
@@ -702,6 +866,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	res := &Result{
 		Outcome:    lincheck.AllLinearizable(results),
 		Results:    results,
+		Shards:     cfg.Groups,
 		History:    ops,
 		Ops:        len(ops) - failed,
 		Failed:     failed,
@@ -715,19 +880,14 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		SpansDropped: spansDropped,
 		Stitch:       obs.Stitch(spans),
 	}
-	for _, cli := range clients {
-		m := cli.Metrics()
-		res.Client.Reads += m.Reads
-		res.Client.Writes += m.Writes
-		res.Client.Phases += m.Phases
-		res.Client.MsgsSent += m.MsgsSent
-		res.Client.WriteBacks += m.WriteBacks
-		res.Client.WriteBacksSkipped += m.WriteBacksSkipped
-		res.Client.OrderViolations += m.OrderViolations
-		res.Client.Stragglers += m.Stragglers
-		res.Client.BadMsgs += m.BadMsgs
-		res.Client.Retransmits += m.Retransmits
-		res.Client.MaskRetries += m.MaskRetries
+	if cfg.Groups > 1 {
+		res.RegisterShard = make(map[string]int, cfg.Registers)
+		for _, reg := range regNames {
+			res.RegisterShard[reg] = cl.stores[0].Shard(reg)
+		}
+	}
+	for _, cli := range cl.Clients() {
+		res.Client = res.Client.Merge(cli.Metrics())
 	}
 	return res, nil
 }

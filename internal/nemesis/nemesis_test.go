@@ -33,6 +33,132 @@ func TestGenerateScheduleDeterministic(t *testing.T) {
 	}
 }
 
+// TestGenerateShardedScheduleDeterministic: the sharded schedule is a pure
+// function of its inputs, guarantees a crash episode, and every window
+// faults replicas of two distinct groups at the same instant.
+func TestGenerateShardedScheduleDeterministic(t *testing.T) {
+	clients := []types.NodeID{9000, 9001, 9002, 9003, 9004, 9005}
+	a := GenerateShardedSchedule(7, 3, 3, clients, 6, 700*time.Millisecond)
+	b := GenerateShardedSchedule(7, 3, 3, clients, 6, 700*time.Millisecond)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	if c := GenerateShardedSchedule(8, 3, 3, clients, 6, 700*time.Millisecond); a.String() == c.String() {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		sched := GenerateShardedSchedule(seed, 3, 3, clients, 6, 700*time.Millisecond)
+		s := sched.String()
+		if !strings.Contains(s, "crash:") || !strings.Contains(s, "recover:") {
+			t.Errorf("seed %d sharded schedule has no crash+restart episode: %s", seed, s)
+		}
+		// Group the fault onsets by time: each window must hit two groups.
+		byTime := map[time.Duration]map[int]bool{}
+		for _, ev := range sched {
+			var victim types.NodeID = -1
+			switch a := ev.Action.(type) {
+			case failure.Crash:
+				victim = a.Node
+			case failure.Block:
+				victim = a.To
+			}
+			if victim < 0 {
+				continue
+			}
+			if byTime[ev.At] == nil {
+				byTime[ev.At] = map[int]bool{}
+			}
+			byTime[ev.At][int(victim)/3] = true
+		}
+		for at, groups := range byTime {
+			if len(groups) != 2 {
+				t.Errorf("seed %d: window at %v faults %d groups, want exactly 2", seed, at, len(groups))
+			}
+		}
+	}
+}
+
+// TestShardedNemesisLinearizable is the sharded acceptance run: 3 replica
+// groups of 3 persistent replicas on a real tcpnet loopback cluster, every
+// logical client a shard.Store, and a schedule faulting two groups at once
+// in every window. Each register's history must stay linearizable (the
+// store's per-register atomicity claim), registers must actually spread
+// over all groups, and trace stitching must survive with every span
+// carrying its shard tag.
+func TestShardedNemesisLinearizable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("nemesis runs take seconds each")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	res, err := Run(ctx, Config{Groups: 3, N: 3, Seed: 404})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ops %d (failed %d), outcome %v, shards %d, register map %v",
+		res.Ops, res.Failed, res.Outcome, res.Shards, res.RegisterShard)
+	t.Logf("schedule: %s", res.Schedule)
+	if res.Outcome == lincheck.NotLinearizable {
+		for reg, r := range res.Results {
+			if r.Outcome == lincheck.NotLinearizable {
+				t.Errorf("register %q (shard %d) NOT linearizable",
+					reg, res.RegisterShard[reg])
+			}
+		}
+		t.Fatalf("sharded history NOT linearizable; schedule %s", res.Schedule)
+	}
+	total := 5 * 40 // (writers+readers) * OpsPerClient
+	if res.Ops+res.Failed != total {
+		t.Errorf("recorded %d ops, want %d", res.Ops+res.Failed, total)
+	}
+	if res.Ops < total*3/4 {
+		t.Errorf("only %d/%d ops completed — sharded liveness under nemesis too weak", res.Ops, total)
+	}
+
+	// Every register got a per-register verdict and a shard assignment, and
+	// the workload's registers span more than one group.
+	if res.Shards != 3 {
+		t.Errorf("Result.Shards = %d, want 3", res.Shards)
+	}
+	groupsUsed := map[int]bool{}
+	for reg, g := range res.RegisterShard {
+		groupsUsed[g] = true
+		if _, ok := res.Results[reg]; !ok {
+			t.Errorf("register %q has a shard but no lincheck verdict", reg)
+		}
+	}
+	if len(groupsUsed) != 3 {
+		t.Errorf("workload registers landed on %d group(s); the harness spreads them over all 3", len(groupsUsed))
+	}
+
+	// Stitching holds under sharding, and spans carry shard tags from every
+	// group (client, transport, and replica emitters are all tagged).
+	t.Logf("%d spans (%d dropped), stitch %d/%d (%.1f%%)",
+		len(res.Spans), res.SpansDropped, res.Stitch.Stitched, res.Stitch.Total,
+		100*res.Stitch.Ratio())
+	if res.Stitch.Total == 0 {
+		t.Error("no remote spans collected")
+	}
+	if res.Stitch.Ratio() < 0.95 {
+		t.Errorf("stitch ratio %.3f < 0.95 under sharding", res.Stitch.Ratio())
+	}
+	tagged := map[int]bool{}
+	untagged := 0
+	for _, sp := range res.Spans {
+		if sp.Shard == 0 {
+			untagged++
+			continue
+		}
+		tagged[sp.Shard] = true
+	}
+	if untagged > 0 {
+		t.Errorf("%d spans missing a shard tag in a sharded run", untagged)
+	}
+	if len(tagged) != 3 {
+		t.Errorf("spans tagged with %d distinct shards, want 3", len(tagged))
+	}
+}
+
 // TestNemesisLinearizable is the acceptance run: three distinct seeded
 // fault schedules against a real 5-node tcpnet cluster with persistent
 // replicas, 200 client operations each (2 writers + 3 readers x 40), all

@@ -265,6 +265,14 @@ func (n *Net) ResetStats() {
 	n.delay = new(obs.Histogram)
 }
 
+// Drain blocks until every in-flight delivery has completed or been
+// discarded, without closing anything. New sends may still be issued while
+// (and after) Drain runs; it only flushes what was in the air when each
+// delivery timer fires. Teardown paths call it between stopping the senders
+// and closing the receivers, so no delayed delivery races an endpoint's
+// close (the "send on closed endpoint" noise under -race).
+func (n *Net) Drain() { n.wg.Wait() }
+
 // Close shuts down the network and all endpoints, waiting for in-flight
 // deliveries to finish or be discarded.
 func (n *Net) Close() {

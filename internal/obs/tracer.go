@@ -40,6 +40,12 @@ type Span struct {
 	// Peer is the other endpoint of a transport span (destination of a
 	// net-send, sender of a net-recv); unused elsewhere.
 	Peer int64 `json:"peer,omitempty"`
+	// Shard is the 1-based replica-group tag stamped by a sharded store's
+	// tagging tracer (group index + 1, so 0 means "not shard-tagged").
+	// Spans emitted through a shard-tagged tracer — a shard's client and
+	// its replicas — carry the tag, letting per-shard load and latency be
+	// split offline (abd-trace prints the per-shard breakdown).
+	Shard int `json:"shard,omitempty"`
 
 	Start time.Time     `json:"start"`
 	Dur   time.Duration `json:"dur_ns"`

@@ -217,9 +217,11 @@ func (c *Client) Transfer(ctx context.Context, regs []string) error {
 }
 
 // Register returns a handle bound to one named register.
-func (c *Client) Register(name string) *Register {
+func (c *Client) Register(name string) types.Register {
 	return &Register{c: c, name: name}
 }
+
+var _ types.RW = (*Client)(nil)
 
 // Register is a single-register handle over the reconfigurable client.
 type Register struct {

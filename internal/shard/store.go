@@ -1,0 +1,189 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/types"
+)
+
+// Options configures a Store (and the cluster facades that build one).
+type Options struct {
+	// Shards is the expected group count; 0 means "as many as provided".
+	// New rejects a client slice of any other length, catching wiring bugs
+	// where a deployment's group list and its config disagree.
+	Shards int
+	// VirtualNodes is the ring points per group (DefaultVirtualNodes if 0).
+	VirtualNodes int
+	// Hash is the ring's hash function (FNV1a if nil).
+	Hash HashFunc
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithShards pins the expected number of replica groups.
+func WithShards(n int) Option {
+	return func(o *Options) { o.Shards = n }
+}
+
+// WithVirtualNodes sets how many ring points each group gets. More points
+// flatten the load skew across groups at the cost of a larger (still tiny)
+// lookup table; the default suits register counts up to the thousands.
+func WithVirtualNodes(v int) Option {
+	return func(o *Options) { o.VirtualNodes = v }
+}
+
+// WithHashFunc replaces the ring's hash function. The function must be pure
+// and stable across processes: every Store of a deployment must agree on
+// the register→group map.
+func WithHashFunc(h HashFunc) Option {
+	return func(o *Options) { o.Hash = h }
+}
+
+// BuildOptions folds option functions into an Options value (used by the
+// root package's cluster constructors, which share these options).
+func BuildOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// Store is the sharded multi-group register store: a consistent-hash router
+// that maps each register name to one replica group and forwards the
+// operation to that group's client. Each group is an unchanged ABD instance
+// — per-register atomicity and the f < n/2 resilience bound hold per group
+// — so the Store as a whole is linearizable per register, which is all the
+// register abstraction ever promised.
+//
+// Invariants (DESIGN.md §7): a register never spans groups, and the shard
+// map is immutable for the Store's lifetime. Rebalancing therefore means
+// building a *new* Store (a later reconfiguration PR); it never happens
+// under a live one.
+//
+// A Store is safe for concurrent use. Close closes the group clients it
+// owns.
+type Store struct {
+	ring   *Ring
+	groups []*core.Client
+}
+
+// New builds a Store over one client per replica group, in group-index
+// order. The Store takes ownership of the clients: Close closes them.
+func New(groups []*core.Client, opts ...Option) (*Store, error) {
+	o := BuildOptions(opts)
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("shard: store needs >= 1 group client")
+	}
+	if o.Shards != 0 && o.Shards != len(groups) {
+		return nil, fmt.Errorf("shard: %d group clients but WithShards(%d)", len(groups), o.Shards)
+	}
+	for i, cli := range groups {
+		if cli == nil {
+			return nil, fmt.Errorf("shard: group %d client is nil", i)
+		}
+	}
+	ring, err := NewRing(len(groups), o.VirtualNodes, o.Hash)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{ring: ring, groups: append([]*core.Client(nil), groups...)}, nil
+}
+
+// Shards returns the number of replica groups behind the store.
+func (s *Store) Shards() int { return len(s.groups) }
+
+// Shard returns the group index owning the register.
+func (s *Store) Shard(reg string) int { return s.ring.Lookup(reg) }
+
+// Group returns group i's client, for direct group-scoped access (repair
+// tools, tests). The store still owns it.
+func (s *Store) Group(i int) *core.Client { return s.groups[i] }
+
+// Clients returns the group clients in group-index order (shared slice
+// copy; the store still owns the clients).
+func (s *Store) Clients() []*core.Client {
+	return append([]*core.Client(nil), s.groups...)
+}
+
+// Read performs an atomic read of the register on its owning group.
+func (s *Store) Read(ctx context.Context, reg string) (types.Value, error) {
+	return s.groups[s.ring.Lookup(reg)].Read(ctx, reg)
+}
+
+// Write performs an atomic write of the register on its owning group.
+func (s *Store) Write(ctx context.Context, reg string, val types.Value) error {
+	return s.groups[s.ring.Lookup(reg)].Write(ctx, reg, val)
+}
+
+// Register returns a handle binding the store to one named register. The
+// owning group is resolved once, here: the shard map is immutable.
+func (s *Store) Register(name string) types.Register {
+	return s.groups[s.ring.Lookup(name)].Register(name)
+}
+
+// Metrics merges the group clients' operation counters into one snapshot.
+func (s *Store) Metrics() core.MetricsSnapshot {
+	var out core.MetricsSnapshot
+	for _, cli := range s.groups {
+		out = out.Merge(cli.Metrics())
+	}
+	return out
+}
+
+// GroupMetrics returns each group client's own counter snapshot, in group
+// order — the per-shard load split the scaling experiment reports.
+func (s *Store) GroupMetrics() []core.MetricsSnapshot {
+	out := make([]core.MetricsSnapshot, len(s.groups))
+	for i, cli := range s.groups {
+		out[i] = cli.Metrics()
+	}
+	return out
+}
+
+// Latency merges the group clients' latency histograms into one fleet-wide
+// snapshot; the merge is exact up to the histograms' bucket resolution.
+func (s *Store) Latency() core.LatencySnapshot {
+	var out core.LatencySnapshot
+	for _, cli := range s.groups {
+		out = out.Merge(cli.Latency())
+	}
+	return out
+}
+
+// Close closes every group client, failing their in-flight operations.
+func (s *Store) Close() {
+	for _, cli := range s.groups {
+		cli.Close()
+	}
+}
+
+var _ types.RW = (*Store)(nil)
+
+// Tag wraps a tracer so every span it emits carries the group's 1-based
+// shard tag (see obs.Span.Shard). Attach the wrapped tracer to a group's
+// client (core.WithTracer) and replicas (core.WithReplicaTracer) so the
+// whole group's spans can be split per shard offline. A nil tracer stays
+// nil: tagging never turns tracing on.
+func Tag(t obs.Tracer, group int) obs.Tracer {
+	if t == nil {
+		return nil
+	}
+	return tagTracer{inner: t, tag: group + 1}
+}
+
+type tagTracer struct {
+	inner obs.Tracer
+	tag   int
+}
+
+func (t tagTracer) Emit(s obs.Span) {
+	s.Shard = t.tag
+	t.inner.Emit(s)
+}

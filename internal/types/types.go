@@ -1,9 +1,11 @@
 // Package types holds identifiers and values shared by every layer of the
-// ABD emulation: node identities, register values, and the errors that cross
-// package boundaries.
+// ABD emulation: node identities, register values, the read/write contracts
+// every register provider implements, and the errors that cross package
+// boundaries.
 package types
 
 import (
+	"context"
 	"errors"
 	"strconv"
 )
@@ -49,6 +51,31 @@ func (v Value) Equal(o Value) bool {
 		}
 	}
 	return true
+}
+
+// Register is the emulated shared-memory object: an atomic read/write
+// register. It is the one contract every register provider in this module
+// satisfies — handles from the protocol client (core), the reconfigurable
+// client (reconfig), and the sharded store (shard) — and what the
+// shared-memory algorithm packages (snapshot, bakery, maxreg) consume.
+type Register interface {
+	// Read returns the register's value; nil means never written.
+	Read(ctx context.Context) (Value, error)
+	// Write replaces the register's value.
+	Write(ctx context.Context, val Value) error
+}
+
+// RW is the shared surface of everything that can operate on any named
+// register: the protocol client (core.Client), the reconfigurable client
+// (reconfig.Client), and the sharded store (shard.Store) all satisfy it.
+// Code written against RW runs unchanged over one replica group or many.
+type RW interface {
+	// Read performs an atomic read of the named register.
+	Read(ctx context.Context, reg string) (Value, error)
+	// Write performs an atomic write of the named register.
+	Write(ctx context.Context, reg string, val Value) error
+	// Register returns a handle binding this provider to one register.
+	Register(name string) Register
 }
 
 // Errors shared across the protocol stack.

@@ -49,7 +49,7 @@ func TestClusterClientOptionsOverrideDefaults(t *testing.T) {
 	defer cluster.Close()
 	ctx := testCtx(t)
 
-	w := cluster.Writer()
+	w := cluster.Client(WithSingleWriter())
 	if err := w.Write(ctx, "x", []byte("v")); err != nil {
 		t.Fatal(err)
 	}
