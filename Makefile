@@ -3,7 +3,7 @@
 GO ?= go
 
 # Every command binary `make bin` produces under ./bin.
-CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace
+CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace abd-top
 
 .PHONY: all build bin test race vet check smoke bench throughput shards eval clean
 
@@ -22,7 +22,7 @@ test:
 # netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
 # under the race detector. These are the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/experiments/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/health/... ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...

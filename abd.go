@@ -44,6 +44,7 @@ package abd
 
 import (
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/types"
@@ -138,6 +139,18 @@ type Tracer = obs.Tracer
 
 // Span re-exports the traced span record.
 type Span = obs.Span
+
+// HealthStatus re-exports the live introspection snapshot returned by
+// Cluster.Health and Store.Health: hot keys, replica lag watermarks, SLO
+// burn state, and raised alerts (see internal/health).
+type HealthStatus = health.Status
+
+// SLO re-exports the health layer's objective configuration; pass one to
+// Cluster.SetSLO / Store.SetSLO to replace the default.
+type SLO = health.SLO
+
+// HealthAlert re-exports one raised burn-rate alert.
+type HealthAlert = health.Alert
 
 var (
 	_ Register = (*core.Register)(nil)

@@ -2,9 +2,11 @@ package abd
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/netsim"
 	"repro/internal/quorum"
 	"repro/internal/shard"
@@ -32,6 +34,10 @@ type Cluster struct {
 	nextCli  types.NodeID
 
 	cfg clusterConfig
+
+	// Lazy SLO tracking for Health(): created on first use.
+	healthMu sync.Mutex
+	tracker  *health.Tracker
 }
 
 type clusterConfig struct {
@@ -334,6 +340,82 @@ func (c *Cluster) Metrics() core.MetricsSnapshot {
 		out = out.Merge(st.Metrics())
 	}
 	return out
+}
+
+// SetSLO replaces the objective Health tracks (and resets its burn
+// history). Without a call, Health tracks health.DefaultSLO.
+func (c *Cluster) SetSLO(slo health.SLO) {
+	c.healthMu.Lock()
+	c.tracker = health.NewTracker(slo)
+	c.healthMu.Unlock()
+}
+
+// healthWatermarkLimit bounds each replica's watermark report in Health:
+// plenty for the workbench's keyspaces while keeping the report small.
+const healthWatermarkLimit = 128
+
+// HotKeys merges every cluster client's and store's hot-key sketch into
+// one fleet-wide top-k list (k <= 0 keeps everything).
+func (c *Cluster) HotKeys(k int) []health.HotKey {
+	var lists [][]health.HotKey
+	for _, cli := range c.clients {
+		lists = append(lists, cli.HotKeys(0))
+	}
+	for _, st := range c.stores {
+		lists = append(lists, st.HotKeys(0))
+	}
+	return health.MergeHotKeys(k, lists...)
+}
+
+// Health returns the cluster's live health view: fleet-merged hot keys,
+// per-replica lag against each group's quorum-confirmed tag watermarks,
+// and the SLO burn state over all clients' latencies and failure counters.
+// Each call ingests the current counters into the sliding burn windows, so
+// poll it periodically; the first call only seeds the baseline. Like
+// Latency and Metrics, Health must not race Client/Store creation.
+func (c *Cluster) Health() health.Status {
+	c.healthMu.Lock()
+	if c.tracker == nil {
+		c.tracker = health.NewTracker(health.DefaultSLO())
+	}
+	tr := c.tracker
+	c.healthMu.Unlock()
+
+	now := time.Now()
+	m := c.Metrics()
+	lat := c.Latency()
+	total, bad := tr.SLO().Cut(lat.Read.Merge(lat.Write), m.ReadFails+m.WriteFails)
+	tr.Ingest(now, total, bad)
+	slo, _ := tr.Evaluate(now)
+
+	// Per-group lag, concatenated: groups are independent ABD instances,
+	// so "behind the quorum" is only meaningful within a group.
+	lag := health.LagReport{Quorum: c.perGroup/2 + 1}
+	for g := 0; g < c.groups; g++ {
+		reports := make([]health.ReplicaTags, 0, c.perGroup)
+		for i := g * c.perGroup; i < (g+1)*c.perGroup; i++ {
+			reports = append(reports, c.replicas[i].TagWatermarks(healthWatermarkLimit))
+		}
+		gl := health.ComputeLag(reports, c.perGroup/2+1, 5)
+		lag.Replicas = append(lag.Replicas, gl.Replicas...)
+		lag.Registers = append(lag.Registers, gl.Registers...)
+	}
+
+	var hotTotal int64
+	for _, cli := range c.clients {
+		hotTotal += cli.HotKeyTotal()
+	}
+	for _, st := range c.stores {
+		hotTotal += st.HotKeyTotal()
+	}
+
+	return health.Status{
+		HotKeys:     c.HotKeys(10),
+		HotKeyTotal: hotTotal,
+		Lag:         &lag,
+		SLO:         &slo,
+		Alerts:      tr.Raised(),
+	}
 }
 
 // ResetNetStats zeroes the network counters (between benchmark phases).

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/tcpnet"
+)
+
+// watermarkLimit bounds how many registers the node reports tag watermarks
+// for on /status — the hottest-by-sequence ones, which is where lag is
+// interesting.
+const watermarkLimit = 128
+
+// nodeHealth assembles one node's live health view: its replica's tag
+// watermarks, the embedded probe client's hot keys and SLO burn state, and
+// the transport's circuit-breaker counters. Lag stays nil — a node sees
+// only its own replica, so cross-replica divergence is computed by whoever
+// polls every node's watermarks (abd-top does, via health.ComputeLag).
+type nodeHealth struct {
+	start    time.Time
+	replica  *core.Replica
+	ep       *tcpnet.Endpoint
+	prober   *core.Client
+	proberEp *tcpnet.Endpoint
+
+	mu      sync.Mutex
+	tracker *health.Tracker
+}
+
+func newNodeHealth(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client, proberEp *tcpnet.Endpoint) *nodeHealth {
+	return &nodeHealth{
+		start:    time.Now(),
+		replica:  replica,
+		ep:       ep,
+		prober:   prober,
+		proberEp: proberEp,
+		tracker:  health.NewTracker(health.DefaultSLO()),
+	}
+}
+
+// status samples the node's cumulative counters into one health.Status.
+// Each call ingests the probe client's current totals into the SLO
+// tracker, so scraping /status (or /metrics) at any cadence yields
+// correct sliding-window burn rates.
+func (h *nodeHealth) status() health.Status {
+	st := health.Status{
+		Node:          int64(h.replica.ID()),
+		UptimeSeconds: time.Since(h.start).Seconds(),
+	}
+	wm := h.replica.TagWatermarks(watermarkLimit)
+	st.Watermarks = &wm
+
+	if h.prober != nil {
+		st.HotKeys = h.prober.HotKeys(10)
+		st.HotKeyTotal = h.prober.HotKeyTotal()
+
+		now := time.Now()
+		lat := h.prober.Latency()
+		m := h.prober.Metrics()
+		h.mu.Lock()
+		total, bad := h.tracker.SLO().Cut(lat.Read.Merge(lat.Write), m.ReadFails+m.WriteFails)
+		h.tracker.Ingest(now, total, bad)
+		slo, _ := h.tracker.Evaluate(now)
+		st.Alerts = h.tracker.Raised()
+		h.mu.Unlock()
+		st.SLO = &slo
+	}
+
+	br := breakerStatus(h.ep.Stats())
+	if h.proberEp != nil {
+		p := breakerStatus(h.proberEp.Stats())
+		br.Open += p.Open
+		br.Opens += p.Opens
+		br.Closes += p.Closes
+	}
+	st.Breakers = &br
+	return st
+}
+
+func breakerStatus(ts tcpnet.Stats) health.BreakerStatus {
+	return health.BreakerStatus{
+		Open:   ts.BreakersOpen,
+		Opens:  ts.BreakerOpens,
+		Closes: ts.BreakerCloses,
+	}
+}

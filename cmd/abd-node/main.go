@@ -11,9 +11,12 @@
 // clients opened. With -metrics-addr set, the node serves Prometheus text
 // metrics on /metrics (client, replica, transport, and process series — see
 // the README's Observability section for the naming conventions), a JSON
-// health report on /healthz (uptime, build revision, span-drop counter), and
-// the span collector on /spans (GET pulls collected spans as JSONL for
-// abd-trace; POST pushes spans from another process). With -peers also set,
+// health report on /healthz (uptime, build revision, span-drop counter), a
+// live introspection report on /status (tag watermarks, hot keys, SLO burn
+// state, breaker counters — the feed abd-top renders), and the span
+// collector on /spans (GET pulls collected spans as JSONL for abd-trace;
+// POST pushes spans from another process). -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the same mux. With -peers also set,
 // the node runs an embedded probe client against the whole replica group:
 // one end-to-end write+read pair per -probe-interval, whose latency
 // histograms populate the abd_client_* series (without -peers those series
@@ -31,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
@@ -56,7 +61,8 @@ func run() int {
 		listen   = flag.String("listen", "127.0.0.1:7000", "TCP listen address")
 		bounded  = flag.Int64("bounded-window", 0, "enable bounded labels with this liveness window (0 = unbounded)")
 		wal      = flag.String("wal", "", "write-ahead log path for crash-recovery (empty = in-memory only)")
-		metrics  = flag.String("metrics-addr", "", "serve /metrics and /healthz on this address (empty = disabled)")
+		metrics  = flag.String("metrics-addr", "", "serve /metrics, /healthz, and /status on this address (empty = disabled)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics address")
 		peers    = flag.String("peers", "", "replica addresses id=host:port,... for the embedded probe client (empty = no probing)")
 		probeIv  = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
 		traceOut = flag.String("trace-out", "", "write every span (replica handlers, WAL appends, transport hops, probe ops) as JSONL to this file for abd-trace")
@@ -129,14 +135,17 @@ func run() int {
 
 	var srv *http.Server
 	if *metrics != "" {
-		handler := obs.ExposeFull(nodeGatherer(replica, ep, prober, proberEp), spanCol)
-		srv = &http.Server{Addr: *metrics, Handler: handler, ReadHeaderTimeout: 5 * time.Second}
+		nh := newNodeHealth(replica, ep, prober, proberEp)
+		mux := newNodeMux(nh, spanCol, *pprofOn)
+		srv = &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "abd-node: metrics server: %v\n", err)
 			}
 		}()
 		fmt.Printf("abd-node: metrics on http://%s/metrics\n", *metrics)
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "abd-node: -pprof requires -metrics-addr; ignoring")
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -179,6 +188,23 @@ func run() int {
 		st.Queries, st.Updates, st.Adoptions, st.StaleRejects, st.Registers,
 		ts.FramesSent, ts.WriteTimeouts, ts.BreakerOpens)
 	return 0
+}
+
+// newNodeMux assembles the node's HTTP surface: the obs endpoints
+// (/metrics, /healthz, /spans) at the root, the live health report on
+// /status, and — when enabled — net/http/pprof under /debug/pprof/.
+func newNodeMux(nh *nodeHealth, spans *obs.Collector, pprofOn bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/", obs.ExposeFull(nodeGatherer(nh), spans))
+	mux.Handle("/status", health.Handler(nh.status))
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // startProber connects an embedded client to the replica group and probes
@@ -254,14 +280,15 @@ func parsePeers(s string) (map[types.NodeID]string, []types.NodeID, error) {
 }
 
 // nodeGatherer exposes the probe client's latency histograms, the replica's
-// protocol counters, the TCP transport counters, and a few process gauges,
-// all labeled with the node id. prober may be nil; the client series are
-// still exported, with zero samples. When proberEp is non-nil its transport
-// counters are exported under the same series names with an extra
-// endpoint="probe" label — that endpoint dials the whole replica group, so
-// it is where circuit-breaker transitions show when a peer replica dies.
-func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client, proberEp *tcpnet.Endpoint) obs.Gatherer {
-	start := time.Now()
+// protocol counters, the TCP transport counters, the abd_health_* series,
+// and a few process gauges, all labeled with the node id. The prober may be
+// nil; the client series are still exported, with zero samples. When the
+// probe endpoint exists its transport counters are exported under the same
+// series names with an extra endpoint="probe" label — that endpoint dials
+// the whole replica group, so it is where circuit-breaker transitions show
+// when a peer replica dies.
+func nodeGatherer(nh *nodeHealth) obs.Gatherer {
+	replica, ep, prober, proberEp := nh.replica, nh.ep, nh.prober, nh.proberEp
 	labels := obs.Labels{"node": strconv.FormatInt(int64(replica.ID()), 10)}
 	return func(w *obs.Writer) {
 		var lat core.LatencySnapshot
@@ -315,8 +342,12 @@ func nodeGatherer(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Clien
 
 		var mem runtime.MemStats
 		runtime.ReadMemStats(&mem)
-		w.Gauge("abd_node_uptime_seconds", "seconds since process start", labels, time.Since(start).Seconds())
+		w.Gauge("abd_node_uptime_seconds", "seconds since process start", labels, time.Since(nh.start).Seconds())
 		w.Gauge("abd_node_goroutines", "live goroutines", labels, float64(runtime.NumGoroutine()))
 		w.Gauge("abd_node_heap_alloc_bytes", "heap bytes in use", labels, float64(mem.HeapAlloc))
+		w.Gauge("abd_node_heap_bytes", "heap bytes held in in-use spans", labels, float64(mem.HeapInuse))
+		w.Gauge("abd_node_gc_pause_seconds", "cumulative stop-the-world GC pause time", labels, float64(mem.PauseTotalNs)/1e9)
+
+		health.WriteMetrics(w, labels, nh.status())
 	}
 }

@@ -52,7 +52,13 @@ func run(files []string, top int, minStitch float64, w io.Writer) error {
 	}
 	spans := col.Spans()
 	if len(spans) == 0 {
-		return fmt.Errorf("no spans in input")
+		src := strings.Join(files, ", ")
+		if src == "-" {
+			src = "stdin"
+		}
+		return fmt.Errorf("no spans in %s — the input parsed cleanly but held zero span records; "+
+			"was the producing process started with -trace-out (or, for a live node, "+
+			"-metrics-addr so /spans collects)?", src)
 	}
 
 	st := obs.Stitch(spans)

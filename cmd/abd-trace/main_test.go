@@ -145,7 +145,18 @@ func TestRunEmptyInput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := run([]string{path}, 1, 0, &buf); err == nil {
+	err := run([]string{path}, 1, 0, &buf)
+	if err == nil {
 		t.Fatal("empty input accepted")
+	}
+	// The diagnostic must name the offending input and point at the likely
+	// cause, so a zero-span nemesis or smoke run fails loudly and legibly.
+	for _, want := range []string{path, "-trace-out"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("zero-span diagnostic %q missing %q", err, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("zero-span input still rendered a report:\n%s", buf.String())
 	}
 }

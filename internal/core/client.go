@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/quorum"
 	"repro/internal/timestamp"
@@ -74,7 +75,8 @@ type Client struct {
 
 	metrics Metrics
 	lat     latencySet
-	tracer  obs.Tracer // nil = tracing disabled (the default)
+	hot     *health.TopK // per-register op counts (always on, like lat)
+	tracer  obs.Tracer   // nil = tracing disabled (the default)
 }
 
 // NewClient creates a client for the given replica group. The client takes
@@ -100,6 +102,7 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 		swWrote:  make(map[string]bool),
 		pending:  make(map[uint64]*opInbox),
 		done:     make(chan struct{}),
+		hot:      health.NewTopK(0),
 
 		coalesceReads: true,
 		absorbWrites:  true,
@@ -139,6 +142,14 @@ func (c *Client) Metrics() MetricsSnapshot { return c.metrics.snapshot() }
 // Latency returns a snapshot of the client's operation and phase latency
 // histograms. Histograms are always on; only completed operations record.
 func (c *Client) Latency() LatencySnapshot { return c.lat.snapshot() }
+
+// HotKeys returns the client's hottest registers by attempted operation
+// count (reads and writes, including failed ones), from an always-on
+// space-saving sketch. k <= 0 returns every tracked key.
+func (c *Client) HotKeys(k int) []health.HotKey { return c.hot.Top(k) }
+
+// HotKeyTotal returns how many operations the hot-key sketch has seen.
+func (c *Client) HotKeyTotal() int64 { return c.hot.Total() }
 
 func (c *Client) start() {
 	if !c.started.CompareAndSwap(false, true) {
@@ -508,6 +519,7 @@ func (c *Client) vouched(replies []message) []message {
 // never written reads as nil.
 func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	start := time.Now()
+	c.hot.Offer(reg)
 	ot := c.beginOp()
 	var val types.Value
 	var err error
@@ -518,6 +530,8 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	}
 	if err == nil {
 		c.lat.read.Record(time.Since(start))
+	} else {
+		c.metrics.readFails.Add(1)
 	}
 	c.endOp(ot, "read", reg, start, err)
 	return val, err
@@ -588,6 +602,7 @@ func unanimous(replies []message, tag Tag) bool {
 // sequence counter and needs no query phase.
 func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 	start := time.Now()
+	c.hot.Offer(reg)
 	ot := c.beginOp()
 	var err error
 	if c.absorbWrites && !c.singleWriter {
@@ -597,6 +612,8 @@ func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 	}
 	if err == nil {
 		c.lat.write.Record(time.Since(start))
+	} else {
+		c.metrics.writeFails.Add(1)
 	}
 	c.endOp(ot, "write", reg, start, err)
 	return err

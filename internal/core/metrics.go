@@ -22,6 +22,8 @@ type Metrics struct {
 	maskRetries       atomic.Int64
 	coalescedReads    atomic.Int64
 	absorbedWrites    atomic.Int64
+	readFails         atomic.Int64
+	writeFails        atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of a client's counters.
@@ -57,6 +59,10 @@ type MetricsSnapshot struct {
 	// the followers only — each shared round's leader shows up in the
 	// ordinary Phases/MsgsSent numbers.
 	CoalescedReads, AbsorbedWrites int64
+	// ReadFails and WriteFails count operations that returned an error (no
+	// quorum, timeout, closed client). Together with Reads/Writes they give
+	// the SLO layer its total and errored op counts.
+	ReadFails, WriteFails int64
 }
 
 // Merge returns the field-wise sum of two snapshots, for aggregating
@@ -77,6 +83,8 @@ func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
 		MaskRetries:       s.MaskRetries + o.MaskRetries,
 		CoalescedReads:    s.CoalescedReads + o.CoalescedReads,
 		AbsorbedWrites:    s.AbsorbedWrites + o.AbsorbedWrites,
+		ReadFails:         s.ReadFails + o.ReadFails,
+		WriteFails:        s.WriteFails + o.WriteFails,
 	}
 }
 
@@ -95,6 +103,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		MaskRetries:       m.maskRetries.Load(),
 		CoalescedReads:    m.coalescedReads.Load(),
 		AbsorbedWrites:    m.absorbedWrites.Load(),
+		ReadFails:         m.readFails.Load(),
+		WriteFails:        m.writeFails.Load(),
 	}
 }
 

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -67,6 +69,8 @@ type Replica struct {
 	batches      atomic.Int64 // group commits executed
 
 	batchSizes obs.Histogram // writes per group commit (a count, not ns)
+
+	hot *health.TopK // per-register request counts (queries + updates)
 }
 
 // inboundWrite is one update waiting in the group-commit channel.
@@ -142,6 +146,7 @@ func NewReplica(id types.NodeID, ep transport.Endpoint, opts ...ReplicaOption) *
 		regs:     make(map[string]regEntry),
 		done:     make(chan struct{}),
 		batchMax: defaultReplicaBatch,
+		hot:      health.NewTopK(0),
 	}
 	for _, opt := range opts {
 		opt(r)
@@ -293,6 +298,7 @@ func (r *Replica) endHandle(m message, phase string, start time.Time, id uint64,
 
 func (r *Replica) handleQuery(from types.NodeID, m message) {
 	r.queries.Add(1)
+	r.hot.Offer(m.Reg)
 	start, handleID := r.beginHandle(m)
 	r.mu.Lock()
 	e := r.regs[m.Reg]
@@ -332,6 +338,7 @@ func (r *Replica) commitBatch(batch []inboundWrite) {
 	for i, w := range batch {
 		m := w.m
 		r.updates.Add(1)
+		r.hot.Offer(m.Reg)
 		starts[i], handleIDs[i] = r.beginHandle(m)
 		cur, ok := staged[m.Reg]
 		if !ok {
@@ -418,6 +425,53 @@ func (r *Replica) State(reg string) (Tag, types.Value) {
 	defer r.mu.Unlock()
 	e := r.regs[reg]
 	return e.tag, e.val.Clone()
+}
+
+// HotKeys returns the replica's hottest registers by handled request count
+// (queries plus updates). k <= 0 returns every tracked key.
+func (r *Replica) HotKeys(k int) []health.HotKey { return r.hot.Top(k) }
+
+// HotKeyTotal returns how many requests the hot-key sketch has seen.
+func (r *Replica) HotKeyTotal() int64 { return r.hot.Total() }
+
+// TagWatermarks reports the replica's max installed tag per register — its
+// watermark report for the health layer's lag computation. The health tag
+// is a projection: unbounded tags report the timestamp sequence, bounded
+// tags the label (both grow monotonically under the respective order).
+// Never-written registers are omitted. limit > 0 keeps only the registers
+// with the largest sequences, bounding report size on wide keyspaces.
+func (r *Replica) TagWatermarks(limit int) health.ReplicaTags {
+	type regTag struct {
+		reg string
+		tag health.Tag
+	}
+	r.mu.Lock()
+	all := make([]regTag, 0, len(r.regs))
+	for reg, e := range r.regs {
+		if !e.tag.Valid {
+			continue
+		}
+		ht := health.Tag{Seq: e.tag.TS.Seq, Writer: int64(e.tag.TS.Writer)}
+		if e.tag.Bounded {
+			ht = health.Tag{Seq: e.tag.Label, Writer: int64(e.tag.TS.Writer)}
+		}
+		all = append(all, regTag{reg: reg, tag: ht})
+	}
+	r.mu.Unlock()
+	if limit > 0 && len(all) > limit {
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].tag.Seq != all[j].tag.Seq {
+				return all[i].tag.Seq > all[j].tag.Seq
+			}
+			return all[i].reg < all[j].reg
+		})
+		all = all[:limit]
+	}
+	out := health.ReplicaTags{Node: int64(r.id), Tags: make(map[string]health.Tag, len(all))}
+	for _, rt := range all {
+		out.Tags[rt.reg] = rt.tag
+	}
+	return out
 }
 
 // ReplicaStats is a snapshot of a replica's counters.

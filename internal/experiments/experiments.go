@@ -142,6 +142,7 @@ func All() []Runner {
 		{"L1", "latency profile per operation kind (obs histograms)", "", L1LatencyProfile},
 		{"TP", "write-path throughput: batching pipeline on vs off", "throughput", TPThroughput},
 		{"SH", "aggregate throughput vs shard (replica group) count", "shards", SHShards},
+		{"HK", "hot-key top-k sketch vs exact counts under zipfian load", "hotkeys", HKHotKeys},
 	}
 }
 

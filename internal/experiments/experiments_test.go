@@ -311,8 +311,8 @@ func TestL1LatencyShapes(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(All()))
+	if len(All()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")
@@ -321,6 +321,9 @@ func TestFindAndAll(t *testing.T) {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if r, ok := Find("shards"); !ok || r.ID != "SH" {
+		t.Fatalf("Find by alias: %v %v", r.ID, ok)
+	}
+	if r, ok := Find("hotkeys"); !ok || r.ID != "HK" {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if _, ok := Find("T9"); ok {

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/health"
+	"repro/internal/netsim"
+	"repro/internal/shard"
+	"repro/internal/types"
+)
+
+// HKHotKeys validates the hot-key sketch against ground truth: a zipfian
+// register workload runs through sharded stores (so per-group client
+// sketches must merge into one fleet view, exactly the abd-top path), the
+// driver keeps exact per-register counts on the side, and the pass
+// compares the merged top-10 against the true top-10. The space-saving
+// sketch holds only DefaultTopKCapacity counters regardless of how many
+// registers the namespace has, so the claim under test is the Metwally
+// et al. guarantee: heavy hitters survive eviction (recall at the head
+// stays high as skew grows), every estimate is an overcount bounded by
+// the tracked Err, and Count−Err is a certain lower bound on the true
+// frequency.
+//
+// Reported per skew: ops, distinct registers drawn, recall@10 against the
+// exact counts, and the head register's estimated vs exact count. The
+// mild-skew row is the hard case — a flat head means more eviction churn —
+// and the one CI's race sweep exercises.
+func HKHotKeys(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "HK",
+		Title:   "hot-key top-k sketch vs exact counts under zipfian load",
+		Claim:   "the space-saving sketch names the true head keys with bounded overcount, merged across shard groups, without per-register state",
+		Headers: []string{"zipf s", "ops", "distinct", "recall@10", "top reg", "est", "exact", "max overcount"},
+	}
+
+	const (
+		groups   = 2
+		perGroup = 3
+		stores   = 2
+		keyspace = 512
+	)
+	ops := o.scale(20000, 4000)
+
+	for _, skew := range []float64{1.07, 1.2, 1.5} {
+		pass, err := runHotKeysPass(o, skew, groups, perGroup, stores, keyspace, ops)
+		if err != nil {
+			return nil, fmt.Errorf("pass s=%.2f: %w", skew, err)
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.2f", skew),
+			fmt.Sprint(ops),
+			fmt.Sprint(pass.distinct),
+			fmt.Sprintf("%d/10", pass.recall),
+			pass.topReg,
+			fmt.Sprint(pass.topEst),
+			fmt.Sprint(pass.topExact),
+			fmt.Sprint(pass.maxOver),
+		)
+	}
+
+	tbl.Notes = append(tbl.Notes,
+		fmt.Sprintf("sketch capacity %d counters per client vs %d-register namespace; exact counting would need the full namespace",
+			health.DefaultTopKCapacity, keyspace),
+		"every merged estimate obeys exact <= est and est-err <= exact (space-saving overcount bound)",
+	)
+	return tbl, nil
+}
+
+type hotKeysPass struct {
+	distinct int
+	recall   int
+	topReg   string
+	topEst   int64
+	topExact int64
+	maxOver  int64
+}
+
+func runHotKeysPass(o Options, skew float64, groups, perGroup, stores, keyspace, ops int) (hotKeysPass, error) {
+	var pass hotKeysPass
+
+	net := netsim.New(netsim.Config{Seed: o.seed()})
+	defer net.Close()
+
+	replicas := make([]*core.Replica, 0, groups*perGroup)
+	groupIDs := make([][]types.NodeID, groups)
+	for g := 0; g < groups; g++ {
+		for i := 0; i < perGroup; i++ {
+			id := types.NodeID(g*perGroup + i)
+			r := core.NewReplica(id, net.Node(id))
+			r.Start()
+			replicas = append(replicas, r)
+			groupIDs[g] = append(groupIDs[g], id)
+		}
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	sts := make([]*shard.Store, 0, stores)
+	for s := 0; s < stores; s++ {
+		clis := make([]*core.Client, groups)
+		for g := 0; g < groups; g++ {
+			id := types.NodeID(10000 + s*groups + g)
+			cli, err := core.NewClient(id, net.Node(id), groupIDs[g])
+			if err != nil {
+				return pass, err
+			}
+			clis[g] = cli
+		}
+		st, err := shard.New(clis)
+		if err != nil {
+			return pass, err
+		}
+		sts = append(sts, st)
+	}
+	defer func() {
+		for _, st := range sts {
+			st.Close()
+		}
+	}()
+
+	// The whole key sequence is drawn up front from one seeded zipf source,
+	// so the exact counts are computed from the same draws the workload
+	// performs — ground truth by construction, not by racing the workers.
+	rng := rand.New(rand.NewSource(o.seed() + int64(skew*100)))
+	zipf := rand.NewZipf(rng, skew, 1, uint64(keyspace-1))
+	keys := make([]string, ops)
+	exact := make(map[string]int64, keyspace)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%d", zipf.Uint64())
+		exact[keys[i]]++
+	}
+	pass.distinct = len(exact)
+
+	ctx := context.Background()
+	workers := 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := sts[w%len(sts)]
+			for i := w; i < len(keys); i += workers {
+				if err := st.Write(ctx, keys[i], []byte("v")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return pass, err
+	}
+
+	// Merge every store's full sketch — the same merge abd-top performs over
+	// polled /status bodies — and score it against the exact counts.
+	sketches := make([][]health.HotKey, len(sts))
+	for i, st := range sts {
+		sketches[i] = st.HotKeys(health.DefaultTopKCapacity * groups)
+	}
+	merged := health.MergeHotKeys(10, sketches...)
+
+	type kc struct {
+		key string
+		n   int64
+	}
+	truth := make([]kc, 0, len(exact))
+	for k, n := range exact {
+		truth = append(truth, kc{k, n})
+	}
+	sort.Slice(truth, func(i, j int) bool {
+		if truth[i].n != truth[j].n {
+			return truth[i].n > truth[j].n
+		}
+		return truth[i].key < truth[j].key
+	})
+	top10 := make(map[string]bool, 10)
+	for i := 0; i < 10 && i < len(truth); i++ {
+		top10[truth[i].key] = true
+	}
+	for _, hk := range merged {
+		if top10[hk.Key] {
+			pass.recall++
+		}
+		if over := hk.Count - exact[hk.Key]; over > pass.maxOver {
+			pass.maxOver = over
+		}
+		if hk.Count < exact[hk.Key] {
+			return pass, fmt.Errorf("sketch undercounts %s: est %d < exact %d", hk.Key, hk.Count, exact[hk.Key])
+		}
+		if lower := hk.Count - hk.Err; lower > exact[hk.Key] {
+			return pass, fmt.Errorf("lower bound violated for %s: count-err %d > exact %d", hk.Key, lower, exact[hk.Key])
+		}
+	}
+	pass.topReg = merged[0].Key
+	pass.topEst = merged[0].Count
+	pass.topExact = exact[merged[0].Key]
+	return pass, nil
+}

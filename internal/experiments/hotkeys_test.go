@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestHKHotKeys runs the zipfian sketch-validation experiment in quick mode
+// and asserts the acceptance property directly from the table: at every
+// skew the merged sketch recalls at least 9 of the true top-10 registers,
+// and the head register's estimate brackets its exact count. The
+// undercount and lower-bound invariants are enforced inside the pass
+// itself — a violation fails the run, not just a row.
+func TestHKHotKeys(t *testing.T) {
+	tbl, err := HKHotKeys(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 skew rows, got %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		skew, recallCell := row[0], row[3]
+		hits, _, ok := strings.Cut(recallCell, "/")
+		if !ok {
+			t.Fatalf("s=%s: malformed recall cell %q", skew, recallCell)
+		}
+		recall, err := strconv.Atoi(hits)
+		if err != nil {
+			t.Fatalf("s=%s: recall %q: %v", skew, recallCell, err)
+		}
+		if recall < 9 {
+			t.Errorf("s=%s: recall@10 = %d, want >= 9", skew, recall)
+		}
+		est, _ := strconv.ParseInt(row[5], 10, 64)
+		exact, _ := strconv.ParseInt(row[6], 10, 64)
+		if est < exact || exact == 0 {
+			t.Errorf("s=%s: head estimate %d does not bracket exact %d", skew, est, exact)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package health
+
+import "testing"
+
+func TestComputeLagStraggler(t *testing.T) {
+	reports := []ReplicaTags{
+		{Node: 1, Tags: map[string]Tag{"x": {Seq: 5, Writer: 1}, "y": {Seq: 2}}},
+		{Node: 2, Tags: map[string]Tag{"x": {Seq: 5, Writer: 1}, "y": {Seq: 2}}},
+		{Node: 3, Tags: map[string]Tag{"x": {Seq: 2, Writer: 1}}}, // stale x, missing y
+	}
+	r := ComputeLag(reports, 2, 0)
+	if r.Quorum != 2 {
+		t.Fatalf("quorum = %d", r.Quorum)
+	}
+	if len(r.Replicas) != 3 {
+		t.Fatalf("replicas = %+v", r.Replicas)
+	}
+	for _, rl := range r.Replicas[:2] {
+		if rl.Behind != 0 || rl.MaxSeqLag != 0 {
+			t.Fatalf("up-to-date replica flagged: %+v", rl)
+		}
+	}
+	straggler := r.Replicas[2]
+	if straggler.Node != 3 || straggler.Behind != 2 || straggler.MaxSeqLag != 3 {
+		t.Fatalf("straggler = %+v, want node 3 behind on 2 regs, max lag 3", straggler)
+	}
+	if r.MaxSeqLag() != 3 || r.TotalBehind() != 2 {
+		t.Fatalf("aggregates: maxSeqLag=%d totalBehind=%d", r.MaxSeqLag(), r.TotalBehind())
+	}
+	// Register detail sorted by confirmed seq descending.
+	if r.Registers[0].Reg != "x" || r.Registers[0].Confirmed != (Tag{Seq: 5, Writer: 1}) {
+		t.Fatalf("register detail = %+v", r.Registers[0])
+	}
+	if len(r.Registers[0].Behind) != 1 || r.Registers[0].Behind[0] != 3 {
+		t.Fatalf("behind list = %+v", r.Registers[0].Behind)
+	}
+}
+
+func TestComputeLagInFlightWriteNoFalsePositive(t *testing.T) {
+	// Only one replica has seen the newest tag (a write still in flight):
+	// the quorum-confirmed tag is the older one, so nobody is "behind".
+	reports := []ReplicaTags{
+		{Node: 1, Tags: map[string]Tag{"x": {Seq: 9}}},
+		{Node: 2, Tags: map[string]Tag{"x": {Seq: 8}}},
+		{Node: 3, Tags: map[string]Tag{"x": {Seq: 8}}},
+	}
+	r := ComputeLag(reports, 2, 0)
+	if r.Registers[0].Confirmed.Seq != 8 {
+		t.Fatalf("confirmed = %+v, want seq 8", r.Registers[0].Confirmed)
+	}
+	if r.TotalBehind() != 0 {
+		t.Fatalf("in-flight write flagged replicas behind: %+v", r.Replicas)
+	}
+}
+
+func TestComputeLagWriterBreaksTies(t *testing.T) {
+	reports := []ReplicaTags{
+		{Node: 1, Tags: map[string]Tag{"x": {Seq: 4, Writer: 2}}},
+		{Node: 2, Tags: map[string]Tag{"x": {Seq: 4, Writer: 2}}},
+		{Node: 3, Tags: map[string]Tag{"x": {Seq: 4, Writer: 1}}},
+	}
+	r := ComputeLag(reports, 2, 0)
+	if r.Replicas[2].Behind != 1 {
+		t.Fatalf("writer tie-break not applied: %+v", r.Replicas[2])
+	}
+	if r.Replicas[2].MaxSeqLag != 0 {
+		t.Fatalf("same-seq lag must be 0: %+v", r.Replicas[2])
+	}
+}
+
+func TestComputeLagTopRegsBound(t *testing.T) {
+	reports := []ReplicaTags{
+		{Node: 1, Tags: map[string]Tag{"a": {Seq: 1}, "b": {Seq: 2}, "c": {Seq: 3}}},
+	}
+	r := ComputeLag(reports, 1, 2)
+	if len(r.Registers) != 2 {
+		t.Fatalf("topRegs bound ignored: %+v", r.Registers)
+	}
+	if r.Registers[0].Reg != "c" || r.Registers[1].Reg != "b" {
+		t.Fatalf("worst-first order wrong: %+v", r.Registers)
+	}
+	if r.Replicas[0].Sampled != 3 {
+		t.Fatalf("summary must cover every register: %+v", r.Replicas[0])
+	}
+}
+
+func TestComputeLagEmptyAndClamp(t *testing.T) {
+	if r := ComputeLag(nil, 3, 0); len(r.Replicas) != 0 || len(r.Registers) != 0 {
+		t.Fatalf("empty input: %+v", r)
+	}
+	reports := []ReplicaTags{
+		{Node: 1, Tags: map[string]Tag{"x": {Seq: 3}}},
+		{Node: 2, Tags: map[string]Tag{"x": {Seq: 1}}},
+	}
+	// quorum clamped from 5 to len(reports)=2: confirmed is the smaller tag.
+	r := ComputeLag(reports, 5, 0)
+	if r.Quorum != 2 || r.Registers[0].Confirmed.Seq != 1 {
+		t.Fatalf("clamp wrong: %+v", r)
+	}
+}

@@ -1,0 +1,272 @@
+package health
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SLO is one latency/error objective: at least Objective of operations
+// must complete successfully within Latency, judged over a sliding Window.
+// Burn rate is the classic SRE ratio badFraction/(1-Objective): burn 1
+// spends the error budget exactly at the sustainable rate, burn n spends
+// it n times too fast. Alerts use the multi-window scheme — a severity
+// fires only when both its long and its short window burn above the
+// threshold, so brief blips don't page but fresh sustained burn does and
+// the alert clears quickly once the incident ends:
+//
+//	page   — burn >= PageBurn   over Window and Window/12
+//	ticket — burn >= TicketBurn over Window and Window/4
+type SLO struct {
+	Name       string        `json:"name"`
+	Objective  float64       `json:"objective"`   // e.g. 0.99
+	Latency    time.Duration `json:"-"`           // success latency bound
+	Window     time.Duration `json:"-"`           // long evaluation window
+	PageBurn   float64       `json:"page_burn"`   // page threshold
+	TicketBurn float64       `json:"ticket_burn"` // ticket threshold
+}
+
+// DefaultSLO is a reasonable objective for the emulation's client ops:
+// 99% under 250ms judged over a minute.
+func DefaultSLO() SLO {
+	return SLO{
+		Name:       "client-ops",
+		Objective:  0.99,
+		Latency:    250 * time.Millisecond,
+		Window:     time.Minute,
+		PageBurn:   10,
+		TicketBurn: 2,
+	}
+}
+
+func (s SLO) withDefaults() SLO {
+	d := DefaultSLO()
+	if s.Name == "" {
+		s.Name = d.Name
+	}
+	if s.Objective <= 0 || s.Objective >= 1 {
+		s.Objective = d.Objective
+	}
+	if s.Latency <= 0 {
+		s.Latency = d.Latency
+	}
+	if s.Window <= 0 {
+		s.Window = d.Window
+	}
+	if s.PageBurn <= 0 {
+		s.PageBurn = d.PageBurn
+	}
+	if s.TicketBurn <= 0 {
+		s.TicketBurn = d.TicketBurn
+	}
+	return s
+}
+
+// Budget returns the error budget fraction, 1-Objective.
+func (s SLO) Budget() float64 { return 1 - s.Objective }
+
+// Cut splits a latency histogram against the SLO's latency bound: total is
+// every operation (including errored ones, which never reached the
+// histogram), bad is the slow plus the errored. Feed the results to
+// Tracker.Ingest. The histogram cut is exact up to one straddling bucket
+// (~3% relative width), biased toward counting the straddler as slow.
+func (s SLO) Cut(h obs.HistSnapshot, errors int64) (total, bad int64) {
+	slow := h.Count - h.CumulativeLE(s.Latency.Nanoseconds())
+	return h.Count + errors, slow + errors
+}
+
+// Severity labels an alert's urgency.
+type Severity string
+
+// The two burn-rate severities: a page demands immediate attention, a
+// ticket can wait for working hours.
+const (
+	SeverityPage   Severity = "page"
+	SeverityTicket Severity = "ticket"
+)
+
+// Alert is one burn-rate alert raised by a Tracker. Burn and ShortBurn are
+// the long- and short-window burn rates at the moment of raising.
+type Alert struct {
+	At        time.Time `json:"at"`
+	SLO       string    `json:"slo"`
+	Severity  Severity  `json:"severity"`
+	Burn      float64   `json:"burn"`
+	ShortBurn float64   `json:"short_burn"`
+}
+
+// WindowBurn is the burn computation over one sliding window.
+type WindowBurn struct {
+	WindowSeconds float64 `json:"window_seconds"`
+	Total         int64   `json:"total"`
+	Bad           int64   `json:"bad"`
+	BadFraction   float64 `json:"bad_fraction"`
+	Burn          float64 `json:"burn"`
+}
+
+// SLOStatus is the queryable state of one tracked SLO: the configuration,
+// the current burn over each evaluation window (longest first), and which
+// severities are currently firing.
+type SLOStatus struct {
+	Name         string       `json:"name"`
+	Objective    float64      `json:"objective"`
+	LatencyMS    float64      `json:"latency_ms"`
+	Windows      []WindowBurn `json:"windows"`
+	PageActive   bool         `json:"page_active"`
+	TicketActive bool         `json:"ticket_active"`
+}
+
+// trackerBuckets is the ring resolution: the long window is split into
+// this many time buckets, so the shortest evaluation window (Window/12)
+// still spans several buckets.
+const trackerBuckets = 48
+
+// Tracker evaluates one SLO over a ring of time buckets. Feed it
+// cumulative (total, bad) operation counts — e.g. from SLO.Cut over a
+// cumulative histogram snapshot — and it differences consecutive samples
+// into the bucket covering the sample time; Evaluate then sums the buckets
+// behind each window. The first Ingest only seeds the baseline, so history
+// from before the tracker existed is not misread as a fresh burst.
+// Safe for concurrent use.
+type Tracker struct {
+	mu    sync.Mutex
+	slo   SLO
+	width time.Duration
+
+	buckets [trackerBuckets]trackerBucket
+
+	haveBase  bool
+	baseTotal int64
+	baseBad   int64
+
+	pageActive   bool
+	ticketActive bool
+	raised       []Alert
+}
+
+type trackerBucket struct {
+	slot  int64 // absolute bucket index (unix nanos / width); 0 = unused
+	total int64
+	bad   int64
+}
+
+// NewTracker creates a Tracker for the SLO (zero fields take defaults).
+func NewTracker(s SLO) *Tracker {
+	s = s.withDefaults()
+	return &Tracker{slo: s, width: s.Window / trackerBuckets}
+}
+
+// SLO returns the tracked objective (with defaults applied).
+func (t *Tracker) SLO() SLO { return t.slo }
+
+// Ingest records a cumulative sample taken at now: total operations ever
+// and how many were bad (slow or errored). Deltas against the previous
+// sample land in now's time bucket; a shrinking counter (process restart)
+// re-seeds the baseline instead of going negative.
+func (t *Tracker) Ingest(now time.Time, total, bad int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.haveBase || total < t.baseTotal || bad < t.baseBad {
+		t.haveBase, t.baseTotal, t.baseBad = true, total, bad
+		return
+	}
+	dTotal, dBad := total-t.baseTotal, bad-t.baseBad
+	t.baseTotal, t.baseBad = total, bad
+	if dTotal == 0 && dBad == 0 {
+		return
+	}
+	if dBad > dTotal {
+		dBad = dTotal
+	}
+	slot := now.UnixNano() / int64(t.width)
+	b := &t.buckets[slot%trackerBuckets]
+	if b.slot != slot {
+		b.slot, b.total, b.bad = slot, 0, 0
+	}
+	b.total += dTotal
+	b.bad += dBad
+}
+
+// windowLocked sums the buckets covering (now-win, now]. Callers hold t.mu.
+func (t *Tracker) windowLocked(now time.Time, win time.Duration) WindowBurn {
+	n := int64(win / t.width)
+	if n < 1 {
+		n = 1
+	}
+	if n > trackerBuckets {
+		n = trackerBuckets
+	}
+	nowSlot := now.UnixNano() / int64(t.width)
+	wb := WindowBurn{WindowSeconds: win.Seconds()}
+	for i := int64(0); i < n; i++ {
+		b := &t.buckets[(nowSlot-i)%trackerBuckets]
+		if b.slot != nowSlot-i {
+			continue // stale or never-filled bucket
+		}
+		wb.Total += b.total
+		wb.Bad += b.bad
+	}
+	if wb.Total > 0 {
+		wb.BadFraction = float64(wb.Bad) / float64(wb.Total)
+		wb.Burn = wb.BadFraction / t.slo.Budget()
+	}
+	return wb
+}
+
+// maxRaised bounds the raised-alert log; a run that would exceed it keeps
+// the most recent alerts.
+const maxRaised = 256
+
+// Evaluate computes the burn over the long window and the two derived
+// short windows as of now, updates the active severities, and returns any
+// newly raised alerts (rising edge only: a severity that stays above its
+// threshold across evaluations is reported once until it clears).
+func (t *Tracker) Evaluate(now time.Time) (SLOStatus, []Alert) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	long := t.windowLocked(now, t.slo.Window)
+	ticketShort := t.windowLocked(now, t.slo.Window/4)
+	pageShort := t.windowLocked(now, t.slo.Window/12)
+
+	st := SLOStatus{
+		Name:      t.slo.Name,
+		Objective: t.slo.Objective,
+		LatencyMS: float64(t.slo.Latency) / float64(time.Millisecond),
+		Windows:   []WindowBurn{long, ticketShort, pageShort},
+	}
+
+	var fresh []Alert
+	page := long.Burn >= t.slo.PageBurn && pageShort.Burn >= t.slo.PageBurn
+	if page && !t.pageActive {
+		fresh = append(fresh, Alert{
+			At: now, SLO: t.slo.Name, Severity: SeverityPage,
+			Burn: long.Burn, ShortBurn: pageShort.Burn,
+		})
+	}
+	t.pageActive = page
+
+	ticket := long.Burn >= t.slo.TicketBurn && ticketShort.Burn >= t.slo.TicketBurn
+	if ticket && !t.ticketActive {
+		fresh = append(fresh, Alert{
+			At: now, SLO: t.slo.Name, Severity: SeverityTicket,
+			Burn: long.Burn, ShortBurn: ticketShort.Burn,
+		})
+	}
+	t.ticketActive = ticket
+
+	st.PageActive, st.TicketActive = page, ticket
+	t.raised = append(t.raised, fresh...)
+	if len(t.raised) > maxRaised {
+		t.raised = append([]Alert(nil), t.raised[len(t.raised)-maxRaised:]...)
+	}
+	return st, fresh
+}
+
+// Raised returns every alert the tracker has raised (most recent
+// maxRaised), oldest first.
+func (t *Tracker) Raised() []Alert {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Alert(nil), t.raised...)
+}

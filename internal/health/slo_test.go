@@ -1,0 +1,164 @@
+package health
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// base is an arbitrary wall-clock anchor; trackers only compare bucket
+// indices derived from it.
+var base = time.Unix(1_700_000_000, 0)
+
+func testSLO() SLO {
+	return SLO{
+		Name:       "test",
+		Objective:  0.9, // budget 0.1
+		Latency:    time.Millisecond,
+		Window:     48 * time.Second, // bucket width exactly 1s
+		PageBurn:   5,
+		TicketBurn: 2,
+	}
+}
+
+func TestTrackerBurnAndRisingEdgeAlerts(t *testing.T) {
+	tr := NewTracker(testSLO())
+	tr.Ingest(base, 0, 0) // baseline only
+
+	// 13 seconds of 90% bad traffic: burn 9 on every window.
+	var total, bad int64
+	now := base
+	for i := 0; i < 13; i++ {
+		now = now.Add(time.Second)
+		total += 100
+		bad += 90
+		tr.Ingest(now, total, bad)
+	}
+	st, fresh := tr.Evaluate(now)
+	if !st.PageActive || !st.TicketActive {
+		t.Fatalf("expected both severities active: %+v", st)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("expected page+ticket raised, got %+v", fresh)
+	}
+	if st.Windows[0].Burn < 8.5 || st.Windows[0].Burn > 9.5 {
+		t.Fatalf("long burn = %g, want ~9", st.Windows[0].Burn)
+	}
+
+	// Still burning: no duplicate alert on the next evaluation.
+	now = now.Add(time.Second)
+	total += 100
+	bad += 90
+	tr.Ingest(now, total, bad)
+	if _, fresh := tr.Evaluate(now); len(fresh) != 0 {
+		t.Fatalf("rising-edge dedup failed: %+v", fresh)
+	}
+
+	// 14 seconds of clean traffic clears both short windows (4s and 12s),
+	// which clears both severities even though the long window still burns.
+	for i := 0; i < 14; i++ {
+		now = now.Add(time.Second)
+		total += 100
+		tr.Ingest(now, total, bad)
+	}
+	st, fresh = tr.Evaluate(now)
+	if st.PageActive || st.TicketActive {
+		t.Fatalf("severities should clear after clean short windows: %+v", st)
+	}
+	if len(fresh) != 0 {
+		t.Fatalf("clearing must not raise: %+v", fresh)
+	}
+
+	// A second burst re-raises (rising edge again).
+	for i := 0; i < 13; i++ {
+		now = now.Add(time.Second)
+		total += 100
+		bad += 95
+		tr.Ingest(now, total, bad)
+	}
+	if _, fresh := tr.Evaluate(now); len(fresh) != 2 {
+		t.Fatalf("second burst should re-raise both, got %+v", fresh)
+	}
+	if got := tr.Raised(); len(got) != 4 {
+		t.Fatalf("raised log = %d alerts, want 4", len(got))
+	}
+}
+
+func TestTrackerQuietOnCleanTraffic(t *testing.T) {
+	tr := NewTracker(testSLO())
+	tr.Ingest(base, 0, 0)
+	var total int64
+	now := base
+	for i := 0; i < 60; i++ {
+		now = now.Add(time.Second)
+		total += 50
+		tr.Ingest(now, total, 0)
+		if st, fresh := tr.Evaluate(now); len(fresh) != 0 || st.PageActive || st.TicketActive {
+			t.Fatalf("clean traffic alerted at %d: %+v", i, st)
+		}
+	}
+	if len(tr.Raised()) != 0 {
+		t.Fatalf("raised = %+v, want none", tr.Raised())
+	}
+}
+
+func TestTrackerOldBucketsExpire(t *testing.T) {
+	tr := NewTracker(testSLO())
+	tr.Ingest(base, 0, 0)
+	tr.Ingest(base.Add(time.Second), 100, 100)
+	// Two full windows later the burst has aged out of every window.
+	st, _ := tr.Evaluate(base.Add(96 * time.Second))
+	for _, w := range st.Windows {
+		if w.Total != 0 || w.Burn != 0 {
+			t.Fatalf("stale bucket leaked into window %+v", w)
+		}
+	}
+}
+
+func TestTrackerCounterResetReseeds(t *testing.T) {
+	tr := NewTracker(testSLO())
+	tr.Ingest(base, 1000, 500)
+	tr.Ingest(base.Add(time.Second), 10, 0) // restart: counters shrank
+	st, _ := tr.Evaluate(base.Add(time.Second))
+	if st.Windows[0].Total != 0 {
+		t.Fatalf("reset must re-seed, not record: %+v", st.Windows[0])
+	}
+	tr.Ingest(base.Add(2*time.Second), 30, 5)
+	st, _ = tr.Evaluate(base.Add(2 * time.Second))
+	if st.Windows[0].Total != 20 || st.Windows[0].Bad != 5 {
+		t.Fatalf("post-reset delta wrong: %+v", st.Windows[0])
+	}
+}
+
+func TestSLOCut(t *testing.T) {
+	var h obs.Histogram
+	for i := 0; i < 10; i++ {
+		h.Record(time.Millisecond) // fast
+	}
+	for i := 0; i < 5; i++ {
+		h.Record(time.Second) // slow
+	}
+	s := SLO{Latency: 100 * time.Millisecond}.withDefaults()
+	s.Latency = 100 * time.Millisecond
+	total, bad := s.Cut(h.Snapshot(), 3)
+	if total != 18 {
+		t.Fatalf("total = %d, want 18", total)
+	}
+	// The 5 slow ops plus 3 errors; the histogram cut may shift by at most
+	// one straddling bucket, which these widely separated values avoid.
+	if bad != 8 {
+		t.Fatalf("bad = %d, want 8", bad)
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	s := SLO{}.withDefaults()
+	d := DefaultSLO()
+	if s != d {
+		t.Fatalf("withDefaults(zero) = %+v, want %+v", s, d)
+	}
+	if d.Budget() <= 0 || d.Budget() >= 1 {
+		t.Fatalf("budget = %g", d.Budget())
+	}
+}

@@ -1,0 +1,150 @@
+package health
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestTopKExactUnderCapacity(t *testing.T) {
+	tk := NewTopK(8)
+	for i := 0; i < 5; i++ {
+		tk.OfferN(fmt.Sprintf("k%d", i), int64(i+1))
+	}
+	snap := tk.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("got %d entries, want 5", len(snap))
+	}
+	if snap[0].Key != "k4" || snap[0].Count != 5 || snap[0].Err != 0 {
+		t.Fatalf("head = %+v, want k4/5/0", snap[0])
+	}
+	if tk.Total() != 1+2+3+4+5 {
+		t.Fatalf("total = %d", tk.Total())
+	}
+	for _, hk := range snap {
+		if hk.Err != 0 {
+			t.Fatalf("under capacity Err must be 0: %+v", hk)
+		}
+	}
+}
+
+func TestTopKEvictionKeepsHeavyHitters(t *testing.T) {
+	tk := NewTopK(4)
+	// A heavy key with frequency far above total/capacity must survive any
+	// interleaving with one-off keys.
+	for i := 0; i < 400; i++ {
+		tk.Offer("hot")
+		tk.Offer(fmt.Sprintf("cold%d", i))
+	}
+	snap := tk.Snapshot()
+	if snap[0].Key != "hot" {
+		t.Fatalf("head = %+v, want hot", snap[0])
+	}
+	// Guaranteed lower bound: Count-Err never exceeds the true count, and
+	// the true count is within [Count-Err, Count].
+	if snap[0].Count-snap[0].Err > 400 {
+		t.Fatalf("lower bound %d exceeds true count 400", snap[0].Count-snap[0].Err)
+	}
+	if snap[0].Count < 400 {
+		t.Fatalf("space-saving estimate %d must not undercount true 400", snap[0].Count)
+	}
+}
+
+func TestTopKZipfRecallAgainstExactCounts(t *testing.T) {
+	const (
+		keys  = 1000
+		draws = 200_000
+		cap   = 64
+	)
+	rng := rand.New(rand.NewSource(42))
+	zipf := rand.NewZipf(rng, 1.2, 1, keys-1)
+	tk := NewTopK(cap)
+	exact := make(map[string]int64)
+	for i := 0; i < draws; i++ {
+		k := fmt.Sprintf("reg-%d", zipf.Uint64())
+		tk.Offer(k)
+		exact[k]++
+	}
+
+	type kc struct {
+		k string
+		c int64
+	}
+	truth := make([]kc, 0, len(exact))
+	for k, c := range exact {
+		truth = append(truth, kc{k, c})
+	}
+	for i := range truth { // selection sort of top 10 is fine at this size
+		for j := i + 1; j < len(truth); j++ {
+			if truth[j].c > truth[i].c {
+				truth[i], truth[j] = truth[j], truth[i]
+			}
+		}
+		if i >= 9 {
+			break
+		}
+	}
+
+	top := tk.Top(10)
+	inSketch := make(map[string]HotKey, len(top))
+	for _, hk := range top {
+		inSketch[hk.Key] = hk
+	}
+	hits := 0
+	for i := 0; i < 10; i++ {
+		if hk, ok := inSketch[truth[i].k]; ok {
+			hits++
+			if hk.Count < truth[i].c {
+				t.Fatalf("sketch undercounts %s: %d < true %d", truth[i].k, hk.Count, truth[i].c)
+			}
+			if hk.Count-hk.Err > truth[i].c {
+				t.Fatalf("lower bound violated for %s: %d-%d > %d",
+					truth[i].k, hk.Count, hk.Err, truth[i].c)
+			}
+		}
+	}
+	if hits < 9 {
+		t.Fatalf("recall@10 = %d/10, want >= 9", hits)
+	}
+	if tk.Total() != draws {
+		t.Fatalf("total = %d, want %d", tk.Total(), draws)
+	}
+}
+
+func TestMergeHotKeys(t *testing.T) {
+	a := []HotKey{{Key: "x", Count: 10}, {Key: "y", Count: 5, Err: 1}}
+	b := []HotKey{{Key: "y", Count: 7, Err: 2}, {Key: "z", Count: 3}}
+	got := MergeHotKeys(2, a, b)
+	if len(got) != 2 {
+		t.Fatalf("len = %d, want 2", len(got))
+	}
+	if got[0] != (HotKey{Key: "y", Count: 12, Err: 3}) {
+		t.Fatalf("head = %+v", got[0])
+	}
+	if got[1] != (HotKey{Key: "x", Count: 10}) {
+		t.Fatalf("second = %+v", got[1])
+	}
+	if all := MergeHotKeys(0, a, b); len(all) != 3 {
+		t.Fatalf("k<=0 must keep everything, got %d", len(all))
+	}
+}
+
+func TestTopKConcurrent(t *testing.T) {
+	tk := NewTopK(16)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tk.Offer(fmt.Sprintf("k%d", (g*7+i)%24))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tk.Total() != goroutines*per {
+		t.Fatalf("total = %d, want %d", tk.Total(), goroutines*per)
+	}
+}

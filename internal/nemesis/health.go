@@ -1,0 +1,123 @@
+package nemesis
+
+import (
+	"time"
+
+	"repro/internal/health"
+)
+
+// HealthReport is the health layer's verdict on one nemesis run: the SLO
+// burn state at the end of the workload, every burn-rate alert raised
+// while it ran, the fleet-merged hot keys, and the post-run replica lag
+// picture. The acceptance story: a faulted run raises alerts inside its
+// fault windows, a fault-free control run stays silent.
+type HealthReport struct {
+	// SLO is the tracker's final evaluation; Alerts is every alert raised
+	// during the run, in raise order.
+	SLO    health.SLOStatus
+	Alerts []health.Alert
+	// HotKeys is the top-k over the workload clients' sketches;
+	// HotKeyTotal the operations those sketches absorbed.
+	HotKeys     []health.HotKey
+	HotKeyTotal int64
+	// Lag is computed after the schedule unwound and crashed replicas were
+	// restarted. ABD has no anti-entropy — a recovered replica only knows
+	// what its own WAL held — so replicas that missed writes while down
+	// stay visibly behind until read write-backs repair them.
+	Lag health.LagReport
+	// Start anchors the run's clock: Alert.At minus Start is the alert's
+	// offset into the fault schedule.
+	Start time.Time
+}
+
+// AlertOffsets returns each alert's offset from the workload start, in
+// raise order — the coordinate fault windows are defined in.
+func (h HealthReport) AlertOffsets() []time.Duration {
+	out := make([]time.Duration, len(h.Alerts))
+	for i, a := range h.Alerts {
+		out[i] = a.At.Sub(h.Start)
+	}
+	return out
+}
+
+// healthSLO is the objective a nemesis run tracks unless Config.SLO
+// overrides it. The numbers are scaled to the harness's physics: healthy
+// loopback operations finish in single-digit milliseconds, while a loss
+// storm forces at least one 50ms retransmit floor and a latency spike adds
+// 5-25ms per hop — so a 50ms bound cleanly separates fault windows from
+// healthy traffic. The long window equals one schedule window, making
+// "burn" mean "this fault episode is eating budget now".
+func (c Config) healthSLO() health.SLO {
+	if c.SLO != (health.SLO{}) {
+		return c.SLO
+	}
+	return health.SLO{
+		Name:       "nemesis-ops",
+		Objective:  0.9,
+		Latency:    50 * time.Millisecond,
+		Window:     c.Window,
+		PageBurn:   4,
+		TicketBurn: 2,
+	}
+}
+
+// monitorInterval is the health monitor's sampling period: a few samples
+// per tracker bucket at the default window (700ms / 48 ≈ 15ms buckets).
+const monitorInterval = 25 * time.Millisecond
+
+// monitor samples the workload clients' cumulative counters into an SLO
+// tracker while the run is live, the same way a deployment would poll
+// /status.
+type monitor struct {
+	cl      *Cluster
+	tracker *health.Tracker
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func startMonitor(cl *Cluster, slo health.SLO) *monitor {
+	m := &monitor{
+		cl:      cl,
+		tracker: health.NewTracker(slo),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	m.sample(time.Now()) // seed the baseline before the workload starts
+	go m.run()
+	return m
+}
+
+func (m *monitor) run() {
+	defer close(m.done)
+	t := time.NewTicker(monitorInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case now := <-t.C:
+			m.sample(now)
+			m.tracker.Evaluate(now)
+		}
+	}
+}
+
+// sample ingests the clients' current cumulative totals.
+func (m *monitor) sample(now time.Time) {
+	var metrics = m.cl.clientMetrics()
+	lat := m.cl.clientLatency()
+	total, bad := m.tracker.SLO().Cut(lat.Read.Merge(lat.Write),
+		metrics.ReadFails+metrics.WriteFails)
+	m.tracker.Ingest(now, total, bad)
+}
+
+// halt stops the monitor, runs one final sample+evaluation, and returns
+// the final SLO state plus every alert raised.
+func (m *monitor) halt() (health.SLOStatus, []health.Alert) {
+	close(m.stop)
+	<-m.done
+	now := time.Now()
+	m.sample(now)
+	st, _ := m.tracker.Evaluate(now)
+	return st, m.tracker.Raised()
+}

@@ -1,0 +1,88 @@
+package nemesis
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/lincheck"
+)
+
+// TestNemesisHealthAlerts is the health layer's end-to-end acceptance run:
+// across three seeded fault schedules, the burn-rate monitor must raise at
+// least one alert inside a fault window; a fault-free control run of the
+// same workload must stay completely silent. The seeds are chosen so each
+// schedule contains a loss storm or latency spike — the genres that breach
+// the 50ms latency objective (a crash or isolation of one replica leaves a
+// fast majority, which is the protocol working as designed, not an SLO
+// violation).
+func TestNemesisHealthAlerts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tcpnet runs")
+	}
+	const windows = 4
+	window := 700 * time.Millisecond
+
+	for _, seed := range []int64{1, 3, 5} {
+		res, err := Run(context.Background(), Config{Seed: seed, Windows: windows, Window: window})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Outcome == lincheck.NotLinearizable {
+			t.Fatalf("seed %d: history not linearizable", seed)
+		}
+		if len(res.Health.Alerts) == 0 {
+			t.Fatalf("seed %d: no burn-rate alerts raised under faults", seed)
+		}
+		// At least one alert must land inside a fault episode's active
+		// interval [w*W + W/8, (w+1)*W - W/8] for some window w.
+		inWindow := 0
+		for _, off := range res.Health.AlertOffsets() {
+			w := int(off / window)
+			frac := float64(off%window) / float64(window)
+			if w < windows && frac >= 0.125 && frac <= 0.875 {
+				inWindow++
+			}
+		}
+		if inWindow == 0 {
+			t.Fatalf("seed %d: alerts %v all fall outside fault windows",
+				seed, res.Health.AlertOffsets())
+		}
+
+		// The rest of the report rode along: hot keys name the workload
+		// register, and every live replica filed a watermark report.
+		if len(res.Health.HotKeys) == 0 || res.Health.HotKeys[0].Key != "r0" {
+			t.Fatalf("seed %d: hot keys = %+v, want r0 on top", seed, res.Health.HotKeys)
+		}
+		if res.Health.HotKeyTotal == 0 {
+			t.Fatalf("seed %d: empty hot-key sketch", seed)
+		}
+		if len(res.Health.Lag.Replicas) != 5 {
+			t.Fatalf("seed %d: lag report covers %d replicas, want 5",
+				seed, len(res.Health.Lag.Replicas))
+		}
+		if res.Health.Lag.Quorum != 3 {
+			t.Fatalf("seed %d: lag quorum = %d, want 3", seed, res.Health.Lag.Quorum)
+		}
+	}
+
+	// Control: identical workload, empty (non-nil) schedule — no faults.
+	// Healthy loopback operations finish far under the 50ms objective, so
+	// any alert here is a false positive.
+	res, err := Run(context.Background(), Config{
+		Seed: 1, Windows: windows, Window: window, Schedule: failure.Schedule{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == lincheck.NotLinearizable {
+		t.Fatal("control: history not linearizable")
+	}
+	if len(res.Health.Alerts) != 0 {
+		t.Fatalf("control run raised alerts: %+v", res.Health.Alerts)
+	}
+	if res.Health.SLO.PageActive || res.Health.SLO.TicketActive {
+		t.Fatalf("control run ended with active severities: %+v", res.Health.SLO)
+	}
+}

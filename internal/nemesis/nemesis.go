@@ -32,6 +32,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/health"
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/obs"
@@ -117,6 +118,11 @@ type Config struct {
 	// with their stitch statistics, so a run can dump a fully stitched
 	// trace of every operation in the checked history.
 	Tracer obs.Tracer
+	// SLO overrides the objective the run's health monitor tracks (see
+	// Result.Health). The zero value selects the nemesis default, tuned so
+	// loss storms and latency spikes burn budget while healthy loopback
+	// traffic does not (Config.healthSLO).
+	SLO health.SLO
 }
 
 func (c Config) withDefaults() Config {
@@ -482,6 +488,71 @@ func (c *Cluster) ClientIDs() []types.NodeID {
 	return ids
 }
 
+// clientMetrics merges every protocol client's counters (the monitor's
+// cumulative sample source).
+func (c *Cluster) clientMetrics() core.MetricsSnapshot {
+	var out core.MetricsSnapshot
+	for _, cli := range c.clients {
+		out = out.Merge(cli.Metrics())
+	}
+	return out
+}
+
+// clientLatency merges every protocol client's latency histograms.
+func (c *Cluster) clientLatency() core.LatencySnapshot {
+	var out core.LatencySnapshot
+	for _, cli := range c.clients {
+		out = out.Merge(cli.Latency())
+	}
+	return out
+}
+
+// HotKeys merges the workload clients' hot-key sketches into one top-k
+// list (k <= 0 keeps everything).
+func (c *Cluster) HotKeys(k int) []health.HotKey {
+	lists := make([][]health.HotKey, len(c.clients))
+	for i, cli := range c.clients {
+		lists[i] = cli.HotKeys(0)
+	}
+	return health.MergeHotKeys(k, lists...)
+}
+
+// HotKeyTotal sums the operations seen by every client's sketch.
+func (c *Cluster) HotKeyTotal() int64 {
+	var n int64
+	for _, cli := range c.clients {
+		n += cli.HotKeyTotal()
+	}
+	return n
+}
+
+// LagReport computes per-replica divergence from the quorum-confirmed tag
+// watermarks, per group, over the currently live replica processes (a
+// crashed replica has no process to report; restart it first). limit
+// bounds each replica's watermark report, topRegs the per-register detail.
+func (c *Cluster) LagReport(limit, topRegs int) health.LagReport {
+	c.mu.Lock()
+	byGroup := make([][]*core.Replica, c.cfg.Groups)
+	for id, proc := range c.replicas {
+		g := c.groupOf(id)
+		byGroup[g] = append(byGroup[g], proc.rep)
+	}
+	c.mu.Unlock()
+
+	quorum := c.cfg.N/2 + 1
+	out := health.LagReport{Quorum: quorum}
+	for _, reps := range byGroup {
+		reports := make([]health.ReplicaTags, 0, len(reps))
+		for _, rep := range reps {
+			reports = append(reports, rep.TagWatermarks(limit))
+		}
+		gl := health.ComputeLag(reports, quorum, topRegs)
+		out.Replicas = append(out.Replicas, gl.Replicas...)
+		out.Registers = append(out.Registers, gl.Registers...)
+	}
+	return out
+}
+
 // ReplicaStats sums the protocol-level replica counters across the live
 // replica processes and merges their group-commit batch-size histograms.
 // Unlike TransportStats, crashed generations take their counters with them:
@@ -717,6 +788,10 @@ type Result struct {
 	Spans        []obs.Span
 	SpansDropped int64
 	Stitch       obs.StitchStats
+	// Health is the run's live-introspection verdict: SLO burn state,
+	// alerts raised during fault windows, hot keys, and post-run replica
+	// lag (see HealthReport).
+	Health HealthReport
 }
 
 // Run executes one full nemesis pass: start the cluster, run the workload
@@ -743,6 +818,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	rec := history.NewRecorder()
 	var failed int
 	var failedMu sync.Mutex
+
+	// The monitor polls the clients' cumulative counters into the SLO
+	// tracker while the workload runs, the way a deployment polls /status.
+	// Its baseline sample anchors the run clock alerts are located on.
+	start := time.Now()
+	mon := startMonitor(cl, cfg.healthSLO())
 
 	sctx, stopSched := context.WithCancel(ctx)
 	schedDone := make(chan struct{})
@@ -845,6 +926,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	wg.Wait()
 	stopSched()
 	<-schedDone
+	sloStatus, alerts := mon.halt()
 
 	// Restore the cluster before teardown so Close sees live processes.
 	cl.RecoverAll()
@@ -879,6 +961,16 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Spans:        spans,
 		SpansDropped: spansDropped,
 		Stitch:       obs.Stitch(spans),
+		Health: HealthReport{
+			SLO:         sloStatus,
+			Alerts:      alerts,
+			HotKeys:     cl.HotKeys(10),
+			HotKeyTotal: cl.HotKeyTotal(),
+			// RecoverAll has run: every replica reports, and ones that
+			// missed writes while crashed show up behind (no anti-entropy).
+			Lag:   cl.LagReport(128, 5),
+			Start: start,
+		},
 	}
 	if cfg.Groups > 1 {
 		res.RegisterShard = make(map[string]int, cfg.Registers)

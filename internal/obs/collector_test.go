@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"fmt"
+	"io"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -157,5 +160,101 @@ func TestCollectorJSONLAndHTTP(t *testing.T) {
 
 	if _, err := c.IngestJSONL(strings.NewReader("not json\n")); err == nil {
 		t.Fatal("malformed line must error")
+	}
+}
+
+// TestCollectorConcurrentEmitIngestDrain hammers one bounded collector from
+// every direction at once — in-process Emit, HTTP POST /spans ingestion, and
+// concurrent drains via Spans()/GET — and then checks the books balance:
+// every span offered was either retained or counted in Dropped, and the
+// store never exceeded its bound. Run under -race this is also the
+// collector's data-race acceptance test.
+func TestCollectorConcurrentEmitIngestDrain(t *testing.T) {
+	const (
+		cap      = 500
+		emitters = 4
+		posters  = 2
+		perG     = 300
+	)
+	col := NewCollector(cap)
+	srv := httptest.NewServer(col.Handler())
+	defer srv.Close()
+
+	// One JSONL batch every poster POSTs repeatedly.
+	var batch strings.Builder
+	j := NewJSONL(&batch)
+	for i := 0; i < perG; i++ {
+		j.Emit(childSpan(7, uint64(9000+i), 1, "handle", int64(i)))
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				col.Emit(opSpan(uint64(g+1), uint64(g*perG+i+1), "read", int64(i)))
+			}
+		}(g)
+	}
+	for p := 0; p < posters; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := srv.Client().Post(srv.URL, "application/x-ndjson", strings.NewReader(batch.String()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !strings.Contains(string(body), fmt.Sprintf("ingested %d spans", perG)) {
+				t.Errorf("POST response %q, want %d spans ingested", body, perG)
+			}
+		}()
+	}
+	// Concurrent drains while the writers run: copies must be consistent
+	// snapshots, never longer than the bound.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := len(col.Spans()); n > cap {
+				t.Errorf("drained %d spans, cap is %d", n, cap)
+				return
+			}
+			resp, err := srv.Client().Get(srv.URL)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	const offered = emitters*perG + posters*perG
+	if got := col.Len() + int(col.Dropped()); got != offered {
+		t.Fatalf("kept %d + dropped %d = %d, offered %d", col.Len(), col.Dropped(), got, offered)
+	}
+	if col.Len() != cap {
+		t.Fatalf("retained %d spans, want the full bound %d", col.Len(), cap)
+	}
+	if col.Dropped() != offered-cap {
+		t.Fatalf("dropped = %d, want %d", col.Dropped(), offered-cap)
 	}
 }

@@ -3,8 +3,11 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/health"
 	"repro/internal/obs"
 	"repro/internal/types"
 )
@@ -72,6 +75,11 @@ func BuildOptions(opts []Option) Options {
 type Store struct {
 	ring   *Ring
 	groups []*core.Client
+
+	// Lazy SLO tracking (see Health): created on first use so stores that
+	// never ask for health pay nothing.
+	healthMu sync.Mutex
+	tracker  *health.Tracker
 }
 
 // New builds a Store over one client per replica group, in group-index
@@ -155,6 +163,62 @@ func (s *Store) Latency() core.LatencySnapshot {
 		out = out.Merge(cli.Latency())
 	}
 	return out
+}
+
+// HotKeys merges the group clients' hot-key sketches into one cross-shard
+// top-k list: the head keys of the whole keyspace, not of one group.
+// k <= 0 keeps every tracked key.
+func (s *Store) HotKeys(k int) []health.HotKey {
+	lists := make([][]health.HotKey, len(s.groups))
+	for i, cli := range s.groups {
+		lists[i] = cli.HotKeys(0)
+	}
+	return health.MergeHotKeys(k, lists...)
+}
+
+// HotKeyTotal sums the operations seen by every group's sketch.
+func (s *Store) HotKeyTotal() int64 {
+	var n int64
+	for _, cli := range s.groups {
+		n += cli.HotKeyTotal()
+	}
+	return n
+}
+
+// SetSLO replaces the store's tracked objective (and resets the burn
+// history). Without a call, Health tracks health.DefaultSLO.
+func (s *Store) SetSLO(slo health.SLO) {
+	s.healthMu.Lock()
+	s.tracker = health.NewTracker(slo)
+	s.healthMu.Unlock()
+}
+
+// Health returns the store's client-side health view: merged hot keys and
+// the SLO burn state over the group clients' operation latencies and
+// failure counters. Each call ingests the current cumulative counters into
+// the sliding windows, so poll it periodically; the first call only seeds
+// the baseline. Replica-side lag needs replica access the store doesn't
+// have — the Cluster facade and abd-top fill that in.
+func (s *Store) Health() health.Status {
+	s.healthMu.Lock()
+	if s.tracker == nil {
+		s.tracker = health.NewTracker(health.DefaultSLO())
+	}
+	tr := s.tracker
+	s.healthMu.Unlock()
+
+	now := time.Now()
+	m := s.Metrics()
+	lat := s.Latency()
+	total, bad := tr.SLO().Cut(lat.Read.Merge(lat.Write), m.ReadFails+m.WriteFails)
+	tr.Ingest(now, total, bad)
+	slo, _ := tr.Evaluate(now)
+	return health.Status{
+		HotKeys:     s.HotKeys(10),
+		HotKeyTotal: s.HotKeyTotal(),
+		SLO:         &slo,
+		Alerts:      tr.Raised(),
+	}
 }
 
 // Close closes every group client, failing their in-flight operations.
