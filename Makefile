@@ -5,7 +5,7 @@ GO ?= go
 # Every command binary `make bin` produces under ./bin.
 CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace abd-top
 
-.PHONY: all build bin test race vet check smoke bench throughput shards eval clean
+.PHONY: all build bin test race vet check smoke bench throughput shards byz eval clean
 
 all: check
 
@@ -22,7 +22,7 @@ test:
 # netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
 # under the race detector. These are the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/health/... ./internal/experiments/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/health/... ./internal/experiments/... ./internal/quorum/... ./internal/failure/...
 
 vet:
 	$(GO) vet ./...
@@ -50,6 +50,11 @@ throughput:
 # behind one sharded store (cmd/abd-bench -exp shards) at full duration.
 shards:
 	$(GO) run ./cmd/abd-bench -exp shards -seed 1 -json BENCH_shards.json
+
+# Regenerate BENCH_byz.json: the Byzantine validation cost sheet and
+# verdicts (cmd/abd-bench -exp byz: f=0 vs f=1, honest and under attack).
+byz:
+	$(GO) run ./cmd/abd-bench -exp byz -seed 1 -json BENCH_byz.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md appendix).
 eval:

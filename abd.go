@@ -92,6 +92,17 @@ type ClientOption = core.ClientOption
 // Cluster.Writer: cluster.Client(abd.WithSingleWriter()).
 func WithSingleWriter() ClientOption { return core.WithSingleWriter() }
 
+// WithByzantine hardens the client's reads against up to f replicas that
+// lie — fabricating timestamps, serving stale state, equivocating, or
+// staying silent — not just f that crash. The client switches to masking
+// quorums (n >= 4f+1 required) and adopts a (timestamp, value) pair only
+// when at least f+1 replicas report it identically; a pair claiming to be
+// ahead of the vouched state gets one confirm round before it is discarded
+// as a lie (the ByzRejects counter the health layer exports as
+// abd_health_byz_suspect_rejects_total). f = 0 is the plain crash-fault
+// client unchanged. See internal/core.WithByzantine for the full contract.
+func WithByzantine(f int) ClientOption { return core.WithByzantine(f) }
+
 // Store is the sharded multi-group register store: a consistent-hash
 // router over one Client per replica group, satisfying the same RW
 // contract as a single-group Client. See internal/shard for the routing

@@ -409,13 +409,28 @@ func (c *Cluster) Health() health.Status {
 		hotTotal += st.HotKeyTotal()
 	}
 
-	return health.Status{
+	st := health.Status{
 		HotKeys:     c.HotKeys(10),
 		HotKeyTotal: hotTotal,
 		Lag:         &lag,
 		SLO:         &slo,
 		Alerts:      tr.Raised(),
 	}
+	byzF := 0
+	for _, cli := range c.clients {
+		if f := cli.ByzantineF(); f > byzF {
+			byzF = f
+		}
+	}
+	if byzF > 0 {
+		st.Byzantine = &health.ByzStatus{
+			ToleratedFaults: int64(byzF),
+			SuspectRejects:  m.ByzRejects,
+			ConfirmRounds:   m.ByzConfirms,
+			MaskRetries:     m.MaskRetries,
+		}
+	}
+	return st
 }
 
 // ResetNetStats zeroes the network counters (between benchmark phases).

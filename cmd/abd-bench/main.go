@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH|HK] [-quick] [-seed N] [-trace-out spans.jsonl]
+//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH|HK|BY] [-quick] [-seed N] [-trace-out spans.jsonl]
 //
-// TP (alias "throughput") and SH (alias "shards") also write a
-// machine-readable report with -json; run those one at a time when -json is
-// set, since each overwrites the file (see `make throughput`, `make shards`).
+// TP (alias "throughput"), SH (alias "shards"), and BY (alias "byz") also
+// write a machine-readable report with -json; run those one at a time when
+// -json is set, since each overwrites the file (see `make throughput`,
+// `make shards`, `make byz`).
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards, HK/hotkeys) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards, HK/hotkeys, BY/byz) or 'all'")
 		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
@@ -55,7 +56,7 @@ func run() int {
 		for _, id := range strings.Split(*exp, ",") {
 			r, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, HK, or all)\n", id)
+				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, HK, BY, or all)\n", id)
 				return 2
 			}
 			runners = append(runners, r)

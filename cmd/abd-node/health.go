@@ -67,6 +67,15 @@ func (h *nodeHealth) status() health.Status {
 		st.Alerts = h.tracker.Raised()
 		h.mu.Unlock()
 		st.SLO = &slo
+
+		if f := h.prober.ByzantineF(); f > 0 {
+			st.Byzantine = &health.ByzStatus{
+				ToleratedFaults: int64(f),
+				SuspectRejects:  m.ByzRejects,
+				ConfirmRounds:   m.ByzConfirms,
+				MaskRetries:     m.MaskRetries,
+			}
+		}
 	}
 
 	br := breakerStatus(h.ep.Stats())

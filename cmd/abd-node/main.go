@@ -65,6 +65,7 @@ func run() int {
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the metrics address")
 		peers    = flag.String("peers", "", "replica addresses id=host:port,... for the embedded probe client (empty = no probing)")
 		probeIv  = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
+		byzF     = flag.Int("byz", 0, "probe with Byzantine read validation tolerating this many lying replicas (requires -peers with n >= 4f+1; surfaces abd_health_byz_* series)")
 		traceOut = flag.String("trace-out", "", "write every span (replica handlers, WAL appends, transport hops, probe ops) as JSONL to this file for abd-trace")
 	)
 	flag.Parse()
@@ -126,11 +127,13 @@ func run() int {
 	var prober *core.Client
 	var proberEp *tcpnet.Endpoint
 	if *peers != "" {
-		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv, tracer)
+		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv, *byzF, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abd-node: probe client: %v\n", err)
 			return 1
 		}
+	} else if *byzF > 0 {
+		fmt.Fprintln(os.Stderr, "abd-node: -byz requires -peers; ignoring")
 	}
 
 	var srv *http.Server
@@ -213,7 +216,7 @@ func newNodeMux(nh *nodeHealth, spans *obs.Collector, pprofOn bool) *http.ServeM
 // The goroutine stops when the returned client is closed. With a tracer the
 // probe operations are traced end to end, so a node group with -trace-out
 // (or the /spans endpoint) continuously self-samples its own critical path.
-func startProber(id types.NodeID, peersSpec string, interval time.Duration, tracer obs.Tracer) (*core.Client, *tcpnet.Endpoint, error) {
+func startProber(id types.NodeID, peersSpec string, interval time.Duration, byz int, tracer obs.Tracer) (*core.Client, *tcpnet.Endpoint, error) {
 	peers, order, err := parsePeers(peersSpec)
 	if err != nil {
 		return nil, nil, err
@@ -227,6 +230,9 @@ func startProber(id types.NodeID, peersSpec string, interval time.Duration, trac
 	var copts []core.ClientOption
 	if tracer != nil {
 		copts = append(copts, core.WithTracer(tracer))
+	}
+	if byz > 0 {
+		copts = append(copts, core.WithByzantine(byz))
 	}
 	cli, err := core.NewClient(cliID, ep, order, copts...)
 	if err != nil {

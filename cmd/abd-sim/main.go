@@ -12,6 +12,18 @@
 // that cannot reach a quorum during a fault window are recorded as pending
 // (crashed) and the run continues — exactly how the model treats them.
 //
+// With -byz F the run becomes a Byzantine scenario: the last F replicas
+// actively fabricate max-tags on every read query, every client validates
+// reads with WithByzantine(F) (masking quorums, f+1 vouching; requires
+// n >= 4F+1), the linearizability check is forced on, and the per-register
+// verdicts plus the suspected-liar counters are printed:
+//
+//	abd-sim -byz 1 -n 5
+//
+// In nemesis mode -byz F instead runs the cluster in the nemesis's
+// Byzantine mode: chaos-layer liars on the real TCP network driven by a
+// generated schedule (or byz:<node>:<mode> script actions in -faults).
+//
 // With -nemesis the scenario instead runs on a real in-process TCP cluster
 // (persistent replicas over tcpnet, chaos fault injection, crash+restart
 // from the WAL) and the history is always checked:
@@ -71,12 +83,18 @@ func run() int {
 		opT      = flag.Duration("op-timeout", 2*time.Second, "per-operation deadline")
 		nem      = flag.Bool("nemesis", false, "run on a real TCP cluster with chaos injection and crash+restart (see internal/nemesis)")
 		groups   = flag.Int("groups", 1, "nemesis mode: replica groups (shards) of n replicas each behind sharded stores")
+		byz      = flag.Int("byz", 0, "Byzantine faults to tolerate: this many replicas lie (fabricated max-tags) and clients validate reads with WithByzantine (requires n >= 4*byz+1)")
 		traceOut = flag.String("trace-out", "", "nemesis mode: write every collected span as JSONL to this file (analyze with abd-trace)")
 	)
 	flag.Parse()
 
+	if *byz > 0 && *n < 4**byz+1 {
+		fmt.Fprintf(os.Stderr, "abd-sim: -byz %d needs n >= %d replicas (one-round f+1 validation), got -n %d\n",
+			*byz, 4**byz+1, *n)
+		return 2
+	}
 	if *nem {
-		return runNemesis(*n, *groups, *writers, *readers, *ops, *regs, *seed, *faults, *out, *traceOut)
+		return runNemesis(*n, *groups, *writers, *readers, *ops, *regs, *seed, *byz, *faults, *out, *traceOut)
 	}
 	if *traceOut != "" {
 		fmt.Fprintln(os.Stderr, "abd-sim: -trace-out requires -nemesis")
@@ -101,6 +119,15 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "abd-sim: unknown mode %q\n", *mode)
 		return 2
 	}
+	if *byz > 0 {
+		if *mode == "regular" {
+			fmt.Fprintln(os.Stderr, "abd-sim: -byz needs the write-back (it repairs honest laggards); -mode regular is incompatible")
+			return 2
+		}
+		copts = append(copts, core.WithByzantine(*byz))
+		// A Byzantine run without the checker proves nothing: force it on.
+		*check = true
+	}
 
 	sched, err := failure.Parse(*faults)
 	if err != nil {
@@ -110,13 +137,22 @@ func run() int {
 
 	net := netsim.New(netsim.Config{Seed: *seed, MinDelay: *minDelay, MaxDelay: *maxDelay})
 	defer net.Close()
-	replicas := make([]*core.Replica, *n)
 	ids := make([]types.NodeID, *n)
 	for i := 0; i < *n; i++ {
 		ids[i] = types.NodeID(i)
-		replicas[i] = core.NewReplica(ids[i], net.Node(ids[i]))
-		replicas[i].Start()
-		defer replicas[i].Stop()
+		// The last -byz replicas are the lying minority: they fabricate an
+		// enormous max-tag on every read query — the strongest attack on a
+		// max-timestamp read protocol.
+		if *n-i <= *byz {
+			liar := core.NewByzantineReplica(ids[i], net.Node(ids[i]), core.ByzFabricate, *seed)
+			liar.Start()
+			defer liar.Stop()
+			fmt.Printf("abd-sim: replica %d is Byzantine (fabricate)\n", i)
+			continue
+		}
+		r := core.NewReplica(ids[i], net.Node(ids[i]))
+		r.Start()
+		defer r.Stop()
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
@@ -252,9 +288,29 @@ func run() int {
 		fmt.Printf("abd-sim: history (%d ops) written to %s\n", len(histOps), *out)
 	}
 
+	if *byz > 0 {
+		var m core.MetricsSnapshot
+		for _, cli := range allClients {
+			m = m.Merge(cli.Metrics())
+		}
+		fmt.Printf("abd-sim: byzantine validation (f=%d): suspect_rejects=%d confirm_rounds=%d mask_retries=%d\n",
+			*byz, m.ByzRejects, m.ByzConfirms, m.MaskRetries)
+	}
+
 	if *check {
 		results := lincheck.CheckRegisters(histOps, lincheck.Config{Timeout: time.Minute})
 		outcome := lincheck.AllLinearizable(results)
+		if *byz > 0 {
+			// The Byzantine verdict is per register: print each one.
+			regNames := make([]string, 0, len(results))
+			for reg := range results {
+				regNames = append(regNames, reg)
+			}
+			sort.Strings(regNames)
+			for _, reg := range regNames {
+				fmt.Printf("abd-sim: register %-8q %s\n", reg, results[reg].Outcome)
+			}
+		}
 		fmt.Printf("abd-sim: history of %d ops over %d register(s) is %s\n",
 			len(histOps), len(results), outcome)
 		if outcome == lincheck.NotLinearizable {
@@ -273,10 +329,10 @@ func run() int {
 // cluster of persistent replicas under a seeded chaos schedule, with the
 // recorded history always checked for linearizability. A non-empty fault
 // script overrides the generated schedule.
-func runNemesis(n, groups, writers, readers, ops, regs int, seed int64, faults, out, traceOut string) int {
+func runNemesis(n, groups, writers, readers, ops, regs int, seed int64, byz int, faults, out, traceOut string) int {
 	cfg := nemesis.Config{
 		N: n, Groups: groups, Writers: writers, Readers: readers,
-		OpsPerClient: ops, Registers: regs, Seed: seed,
+		OpsPerClient: ops, Registers: regs, Seed: seed, Byzantine: byz,
 	}
 	if faults != "" {
 		sched, err := failure.Parse(faults)
@@ -317,6 +373,11 @@ func runNemesis(n, groups, writers, readers, ops, regs int, seed int64, faults, 
 		res.Transport.BreakerProbes, res.Transport.BreakerCloses, res.Transport.Resets)
 	fmt.Printf("abd-sim: client: phases=%d retransmits=%d msgs_sent=%d\n",
 		res.Client.Phases, res.Client.Retransmits, res.Client.MsgsSent)
+	if res.Byzantine > 0 {
+		fmt.Printf("abd-sim: byzantine (f=%d): lies=%d muted=%d suspect_rejects=%d confirm_rounds=%d mask_retries=%d\n",
+			res.Byzantine, res.Lies, res.Muted,
+			res.Client.ByzRejects, res.Client.ByzConfirms, res.Client.MaskRetries)
+	}
 	fmt.Printf("abd-sim: traces: %d spans (%d dropped), stitch %d/%d (%.1f%%) across %d traces\n",
 		len(res.Spans), res.SpansDropped, res.Stitch.Stitched, res.Stitch.Total,
 		100*res.Stitch.Ratio(), res.Stitch.Traces)

@@ -103,6 +103,11 @@ type frame struct {
 	hot      []health.HotKey
 	hotTotal int64
 	alerts   []health.Alert
+	// byz sums the nodes' Byzantine read-validation counters; byzNodes is
+	// how many nodes reported one (0 = the fleet runs without validation
+	// and the section is omitted).
+	byz      health.ByzStatus
+	byzNodes int
 }
 
 func poll(client *http.Client, addrs []string, quorum, topRegs int) frame {
@@ -123,6 +128,15 @@ func poll(client *http.Client, addrs []string, quorum, topRegs int) frame {
 		sketches = append(sketches, nv.st.HotKeys)
 		fr.hotTotal += nv.st.HotKeyTotal
 		fr.alerts = append(fr.alerts, nv.st.Alerts...)
+		if b := nv.st.Byzantine; b != nil {
+			fr.byzNodes++
+			if b.ToleratedFaults > fr.byz.ToleratedFaults {
+				fr.byz.ToleratedFaults = b.ToleratedFaults
+			}
+			fr.byz.SuspectRejects += b.SuspectRejects
+			fr.byz.ConfirmRounds += b.ConfirmRounds
+			fr.byz.MaskRetries += b.MaskRetries
+		}
 	}
 	fr.lag = health.ComputeLag(reports, quorum, topRegs)
 	fr.hot = health.MergeHotKeys(10, sketches...)
@@ -201,6 +215,17 @@ func render(w io.Writer, fr frame) {
 	for _, hk := range fr.hot {
 		// Count-Err is the sketch's guaranteed lower bound.
 		fmt.Fprintf(w, "  %-20s %8d ops (>= %d)\n", hk.Key, hk.Count, hk.Count-hk.Err)
+	}
+
+	if fr.byzNodes > 0 {
+		state := "no lies suspected"
+		if fr.byz.SuspectRejects > 0 {
+			state = "LIES REJECTED"
+		}
+		fmt.Fprintf(w, "\nbyzantine validation (f=%d, %d nodes): %s\n",
+			fr.byz.ToleratedFaults, fr.byzNodes, state)
+		fmt.Fprintf(w, "  suspect rejects %d  confirm rounds %d  mask retries %d\n",
+			fr.byz.SuspectRejects, fr.byz.ConfirmRounds, fr.byz.MaskRetries)
 	}
 
 	if len(fr.alerts) > 0 {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The honest values must win against every lying strategy once clients run
+// with WithByzantine(1) — zero corrupted reads across all four ByzModes.
+func TestValidatedReadsDefeatEveryMode(t *testing.T) {
+	for _, m := range []struct {
+		mode core.ByzMode
+		name string
+	}{
+		{core.ByzFabricate, "fabricate"},
+		{core.ByzStale, "stale"},
+		{core.ByzSilent, "silent"},
+		{core.ByzEquivocate, "equivocate"},
+	} {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			t.Parallel()
+			corrupted, err := runReads(m.mode, core.WithByzantine(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if corrupted != 0 {
+				t.Fatalf("mode %s: %d/%d reads corrupted despite WithByzantine(1)",
+					m.name, corrupted, readsPerRun)
+			}
+		})
+	}
+}
+
+// The demo's premise: without validation the fabricating replica really
+// does corrupt plain-majority reads, so the defense above is defending
+// against a live attack rather than a no-op.
+func TestPlainMajorityIsCorrupted(t *testing.T) {
+	corrupted, err := runReads(core.ByzFabricate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupted == 0 {
+		t.Fatalf("fabricating replica never corrupted a plain-majority read in %d tries; attack setup is broken", readsPerRun)
+	}
+}
+
+// Example-style sanity check that the printed verdict lines are what the
+// README promises: validated reads report 0 corrupted.
+func TestVerdictLine(t *testing.T) {
+	corrupted, err := runReads(core.ByzFabricate, core.WithByzantine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprintf("corrupted reads: %d/%d", corrupted, readsPerRun); got != fmt.Sprintf("corrupted reads: 0/%d", readsPerRun) {
+		t.Fatalf("verdict %q, want 0 corrupted", got)
+	}
+}

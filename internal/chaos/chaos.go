@@ -148,6 +148,16 @@ type PeerResetter interface {
 	ResetPeer(types.NodeID) bool
 }
 
+// Interceptor is a semantic fault: it sees every outbound payload of the
+// node it is installed on BEFORE the byte-level fault plan, and may pass it
+// through, replace it with a rewritten payload (re-encoded, so checksums
+// hold — the lie is well-formed protocol), or suppress the send entirely
+// (ok=false). This is how the nemesis harness turns an honest replica into
+// a Byzantine one: core.Liar's Intercept rewrites its replies with
+// fabricated tags, stale state, or per-client equivocation. The function
+// must be safe for concurrent calls and must not retain payload.
+type Interceptor func(to types.NodeID, payload []byte) (out []byte, ok bool)
+
 type link struct{ from, to types.NodeID }
 
 // Stats counts injected faults across all links since the controller was
@@ -172,6 +182,7 @@ type Net struct {
 	rngs    map[link]*rand.Rand
 	seq     map[link]uint64
 	eps     map[types.NodeID]*Endpoint
+	icepts  map[types.NodeID]Interceptor
 	traceOn bool
 	trace   []string
 	stats   Stats
@@ -189,6 +200,7 @@ func New(seed int64) *Net {
 		rngs:    make(map[link]*rand.Rand),
 		seq:     make(map[link]uint64),
 		eps:     make(map[types.NodeID]*Endpoint),
+		icepts:  make(map[types.NodeID]Interceptor),
 	}
 }
 
@@ -200,6 +212,27 @@ func (n *Net) Wrap(ep transport.Endpoint) *Endpoint {
 	n.eps[ep.ID()] = w
 	n.mu.Unlock()
 	return w
+}
+
+// SetInterceptor installs (or, with nil, removes) a semantic-fault
+// interceptor on node id's outbound path. The interceptor is keyed by node,
+// not by endpoint, so it survives the node's crash/restart cycles — the
+// nemesis harness keeps a replica lying across a process restart.
+func (n *Net) SetInterceptor(id types.NodeID, fn Interceptor) {
+	n.mu.Lock()
+	if fn == nil {
+		delete(n.icepts, id)
+	} else {
+		n.icepts[id] = fn
+	}
+	n.mu.Unlock()
+}
+
+// interceptor returns node id's installed interceptor, if any.
+func (n *Net) interceptor(id types.NodeID) Interceptor {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.icepts[id]
 }
 
 // SetDefaultFaults applies f to every link without an explicit per-link
@@ -496,9 +529,20 @@ func (e *Endpoint) Close() error { return e.inner.Close() }
 // specifics (e.g. tcpnet stats).
 func (e *Endpoint) Inner() transport.Endpoint { return e.inner }
 
-// Send passes the message through the fault plan for its link and then
-// hands the surviving copies to the inner endpoint, possibly delayed.
+// Send passes the message through the node's interceptor (if one is
+// installed), then through the fault plan for its link, and hands the
+// surviving copies to the inner endpoint, possibly delayed. The
+// interceptor runs first on purpose: a Byzantine rewrite produces a
+// well-formed payload that the byte-level faults (corrupt, drop, delay)
+// then treat like any honest message.
 func (e *Endpoint) Send(to types.NodeID, payload []byte) error {
+	if fn := e.net.interceptor(e.inner.ID()); fn != nil {
+		out, ok := fn(to, payload)
+		if !ok {
+			return nil
+		}
+		payload = out
+	}
 	d := e.net.plan(e.inner.ID(), to, len(payload))
 	if d.reset {
 		if pr, ok := e.inner.(PeerResetter); ok {

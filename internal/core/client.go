@@ -43,6 +43,8 @@ type Client struct {
 	writeFanout   int
 	rrNext        atomic.Uint64 // round-robin cursor for partial fanout
 	maskF         int           // Byzantine replicas tolerated (masking quorums)
+	byzantine     bool          // WithByzantine: full validation incl. confirm rounds
+	byzF          int           // WithByzantine's f (0 = plain crash-fault client)
 
 	// Retransmission policy; see options.go. The default is adaptive: the
 	// interval tracks the client's own observed phase latencies.
@@ -122,6 +124,22 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.byzantine {
+		if c.byzF < 0 {
+			return nil, fmt.Errorf("core: WithByzantine(%d): f must be >= 0", c.byzF)
+		}
+		if c.noWriteBack {
+			return nil, fmt.Errorf("core: WithByzantine cannot combine with WithUnsafeNoWriteBack: the write-back is what repairs honest laggards")
+		}
+		if c.byzF > 0 {
+			m := quorum.NewMasking(len(c.replicas), c.byzF)
+			if err := m.Validate(); err != nil {
+				return nil, fmt.Errorf("core: WithByzantine(%d): %w", c.byzF, err)
+			}
+			c.qs = m
+			c.maskF = c.byzF
+		}
+	}
 	if c.qs.Size() != len(c.replicas) {
 		return nil, fmt.Errorf("core: quorum system sized for %d replicas, group has %d",
 			c.qs.Size(), len(c.replicas))
@@ -150,6 +168,15 @@ func (c *Client) HotKeys(k int) []health.HotKey { return c.hot.Top(k) }
 
 // HotKeyTotal returns how many operations the hot-key sketch has seen.
 func (c *Client) HotKeyTotal() int64 { return c.hot.Total() }
+
+// ByzantineF returns the number of lying replicas the client's read
+// validation tolerates (WithByzantine), 0 when validation is off.
+func (c *Client) ByzantineF() int {
+	if !c.byzantine {
+		return 0
+	}
+	return c.byzF
+}
 
 func (c *Client) start() {
 	if !c.started.CompareAndSwap(false, true) {
@@ -460,37 +487,31 @@ func (c *Client) targets(kind Kind) []types.NodeID {
 	return out
 }
 
-// maxTag returns the newest tag among replies along with its value. In
-// masking mode (maskF > 0) only pairs vouched for by at least maskF+1
-// replicas are eligible; ok reports whether any pair was eligible (always
-// true outside masking mode).
-func (c *Client) maxTag(replies []message) (tag Tag, val types.Value, ok bool, err error) {
-	if c.maskF > 0 {
-		replies = c.vouched(replies)
-		if len(replies) == 0 {
-			return Tag{}, nil, false, nil
-		}
-	}
+// newest returns the max-tag pair among replies under the client's order.
+func (c *Client) newest(replies []message) (Tag, types.Value, error) {
 	best := Tag{}
+	var val types.Value
 	for _, m := range replies {
 		cmp, err := c.ord.compare(m.Tag, best)
 		if err != nil {
 			c.metrics.orderViolations.Add(1)
-			return Tag{}, nil, false, fmt.Errorf("core: cannot order replica tags: %w", err)
+			return Tag{}, nil, fmt.Errorf("core: cannot order replica tags: %w", err)
 		}
 		if cmp > 0 {
 			best = m.Tag
 			val = m.Val
 		}
 	}
-	return best, val, true, nil
+	return best, val, nil
 }
 
-// vouched filters replies down to one representative per (tag, value) pair
-// reported identically by at least maskF+1 distinct replicas. At most maskF
-// replicas are Byzantine, so every surviving pair was reported by a correct
-// replica and is a genuine protocol value.
-func (c *Client) vouched(replies []message) []message {
+// vouch partitions replies by (tag, value) pair: accepted holds one
+// representative per pair reported identically by at least maskF+1 distinct
+// replicas, unsupported one per pair below that bar. At most maskF replicas
+// are Byzantine, so every accepted pair was reported by a correct replica
+// and is a genuine protocol value; an unsupported pair may be an honest
+// in-flight write seen at few replicas — or a lie.
+func (c *Client) vouch(replies []message) (accepted, unsupported []message) {
 	type groupEntry struct {
 		count int
 		rep   message
@@ -505,13 +526,97 @@ func (c *Client) vouched(replies []message) []message {
 			groups[key] = &groupEntry{count: 1, rep: m}
 		}
 	}
-	out := make([]message, 0, len(groups))
 	for _, g := range groups {
 		if g.count >= c.maskF+1 {
-			out = append(out, g.rep)
+			accepted = append(accepted, g.rep)
+		} else {
+			unsupported = append(unsupported, g.rep)
 		}
 	}
-	return out
+	return accepted, unsupported
+}
+
+// aheadOf reports whether any of replies carries a tag strictly newer than
+// tag. Unorderable tags (bounded-label windows) count as not newer: they
+// already increment orderViolations elsewhere and must not drive
+// Byzantine suspicion.
+func (c *Client) aheadOf(replies []message, tag Tag) bool {
+	for _, m := range replies {
+		if cmp, err := c.ord.compare(m.Tag, tag); err == nil && cmp > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// queryValidated runs the query phase that starts reads and multi-writer
+// writes and returns the (tag, value) pair the operation should adopt,
+// plus the replies of the phase round that produced it (for the unanimous
+// write-back optimization).
+//
+// Plain mode (maskF == 0) is the paper's rule: one phase, newest pair
+// wins. Masking mode (WithMaskingFaults / WithByzantine(f>0)) only trusts
+// pairs reported identically by >= maskF+1 replicas and re-queries while
+// write concurrency splits the vote below that bar. The full Byzantine
+// mode adds the echo/confirm step: when some replica reports a pair NEWER
+// than every vouched-for pair but without f+1 support, the client cannot
+// tell an honest in-flight write from a fabricated max-tag, so it
+// re-queries once more (the confirm round, metric byzConfirms). An honest
+// write's pair gains f+1 support in the fresh round — its update phase
+// reached more correct replicas meanwhile — or is superseded by an even
+// newer vouched pair; either way the fresh round's vouched max catches up
+// and nothing is suspected. A fabrication can never gain honest support:
+// if the confirm round still shows an unsupported tag ahead of everything
+// vouched, the client discards it as a suspected lie (metric byzRejects)
+// and adopts the newest vouched pair. Exactly one confirm round runs per
+// operation — an equivocator fabricating fresh tags every round cannot
+// livelock the read — and fabricated tags never reach the write-back
+// phase (DESIGN.md invariant V2).
+func (c *Client) queryValidated(ctx context.Context, reg string, ot opTrace) (Tag, types.Value, []message, error) {
+	confirming := false
+	for {
+		label := "query"
+		if confirming {
+			label = "confirm"
+		}
+		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, label)
+		if err != nil {
+			return Tag{}, nil, nil, err
+		}
+		if c.maskF == 0 {
+			best, val, err := c.newest(replies)
+			if err != nil {
+				return Tag{}, nil, nil, err
+			}
+			return best, val, replies, nil
+		}
+		accepted, unsupported := c.vouch(replies)
+		if len(accepted) == 0 {
+			// No pair had f+1 support (write concurrency split the vote);
+			// query again.
+			c.metrics.maskRetries.Add(1)
+			continue
+		}
+		best, val, err := c.newest(accepted)
+		if err != nil {
+			return Tag{}, nil, nil, err
+		}
+		switch {
+		case !c.byzantine || !c.aheadOf(unsupported, best):
+			// Legacy masking mode trusts the vouched max outright; in the
+			// full Byzantine mode this is the quiet case — nothing claims to
+			// be ahead of the validated state.
+		case !confirming:
+			confirming = true
+			c.metrics.byzConfirms.Add(1)
+			continue
+		default:
+			// Still ahead of everything f+1-supported after a fresh round:
+			// no honest write stays invisible that long — suspected lie.
+			c.metrics.byzRejects.Add(1)
+		}
+		return best, val, replies, nil
+	}
 }
 
 // Read performs the atomic read: query a read quorum, pick the newest pair,
@@ -538,28 +643,9 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 }
 
 func (c *Client) read(ctx context.Context, reg string, ot opTrace) (types.Value, error) {
-	var (
-		best    Tag
-		val     types.Value
-		replies []message
-	)
-	for {
-		var err error
-		replies, err = c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, "query")
-		if err != nil {
-			return nil, fmt.Errorf("read %q: %w", reg, err)
-		}
-		var ok bool
-		best, val, ok, err = c.maxTag(replies)
-		if err != nil {
-			return nil, fmt.Errorf("read %q: %w", reg, err)
-		}
-		if ok {
-			break
-		}
-		// Masking mode: no pair had f+1 support (write concurrency split
-		// the vote); query again.
-		c.metrics.maskRetries.Add(1)
+	best, val, replies, err := c.queryValidated(ctx, reg, ot)
+	if err != nil {
+		return nil, fmt.Errorf("read %q: %w", reg, err)
 	}
 	c.metrics.reads.Add(1)
 	if !best.Valid {
@@ -651,21 +737,14 @@ func (c *Client) nextTag(ctx context.Context, reg string, ot opTrace) (Tag, erro
 		// Multi-writer: learn the newest timestamp from a read quorum, then
 		// exceed it. Write quorums must pairwise intersect for this to
 		// observe every completed write (quorum.VerifyWriteIntersection).
-		for {
-			replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, "query")
-			if err != nil {
-				return Tag{}, err
-			}
-			best, _, ok, err := c.maxTag(replies)
-			if err != nil {
-				return Tag{}, err
-			}
-			if !ok {
-				c.metrics.maskRetries.Add(1)
-				continue
-			}
-			return Tag{Valid: true, TS: best.TS.Next(c.id)}, nil
+		// The validated query also keeps a fabricated max-tag out of the
+		// successor computation: a liar must not get to exhaust the
+		// timestamp space or steer honest writers' ordering.
+		best, _, _, err := c.queryValidated(ctx, reg, ot)
+		if err != nil {
+			return Tag{}, err
 		}
+		return Tag{Valid: true, TS: best.TS.Next(c.id)}, nil
 	}
 }
 
@@ -709,20 +788,11 @@ func (c *Client) nextBoundedTag(ctx context.Context, reg string, ot opTrace) (Ta
 // building block internal/reconfig uses to read across configurations; a
 // bare QueryMax is only a regular read, not an atomic one.
 func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, error) {
-	for {
-		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, opTrace{}, "query")
-		if err != nil {
-			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
-		}
-		tag, val, ok, err := c.maxTag(replies)
-		if err != nil {
-			return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
-		}
-		if ok {
-			return tag, val, nil
-		}
-		c.metrics.maskRetries.Add(1)
+	tag, val, _, err := c.queryValidated(ctx, reg, opTrace{})
+	if err != nil {
+		return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
 	}
+	return tag, val, nil
 }
 
 // Propagate installs (tag, value) at a write quorum, exactly like a read's

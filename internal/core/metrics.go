@@ -20,6 +20,8 @@ type Metrics struct {
 	badMsgs           atomic.Int64
 	retransmits       atomic.Int64
 	maskRetries       atomic.Int64
+	byzConfirms       atomic.Int64
+	byzRejects        atomic.Int64
 	coalescedReads    atomic.Int64
 	absorbedWrites    atomic.Int64
 	readFails         atomic.Int64
@@ -53,6 +55,15 @@ type MetricsSnapshot struct {
 	// MaskRetries counts masking-mode query phases repeated because no
 	// pair had f+1 support (T6).
 	MaskRetries int64
+	// ByzConfirms counts WithByzantine confirm rounds: a query saw an
+	// unsupported pair ahead of everything f+1-vouched and re-queried once
+	// to tell an honest in-flight write from a fabricated tag. ByzRejects
+	// counts the confirm rounds that ended in suspicion — the pair stayed
+	// unsupported and was discarded as a lie. ByzRejects is the
+	// suspected-liar counter the health layer exports (abd_health_byz_*):
+	// zero in honest runs, nonzero whenever a fabricating or equivocating
+	// replica is being masked.
+	ByzConfirms, ByzRejects int64
 	// CoalescedReads counts reads served by adopting a concurrent read's
 	// shared quorum round; AbsorbedWrites counts multi-writer writes acked
 	// by riding a concurrent write's round (see coalesce.go). Both count
@@ -81,6 +92,8 @@ func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
 		BadMsgs:           s.BadMsgs + o.BadMsgs,
 		Retransmits:       s.Retransmits + o.Retransmits,
 		MaskRetries:       s.MaskRetries + o.MaskRetries,
+		ByzConfirms:       s.ByzConfirms + o.ByzConfirms,
+		ByzRejects:        s.ByzRejects + o.ByzRejects,
 		CoalescedReads:    s.CoalescedReads + o.CoalescedReads,
 		AbsorbedWrites:    s.AbsorbedWrites + o.AbsorbedWrites,
 		ReadFails:         s.ReadFails + o.ReadFails,
@@ -101,6 +114,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		BadMsgs:           m.badMsgs.Load(),
 		Retransmits:       m.retransmits.Load(),
 		MaskRetries:       m.maskRetries.Load(),
+		ByzConfirms:       m.byzConfirms.Load(),
+		ByzRejects:        m.byzRejects.Load(),
 		CoalescedReads:    m.coalescedReads.Load(),
 		AbsorbedWrites:    m.absorbedWrites.Load(),
 		ReadFails:         m.readFails.Load(),

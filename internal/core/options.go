@@ -175,6 +175,37 @@ func WithMaskingFaults(f int) ClientOption {
 	return func(c *Client) { c.maskF = f }
 }
 
+// WithByzantine makes Byzantine tolerance a first-class protocol mode:
+// the client survives up to f replicas that lie — fabricating tags,
+// serving stale state, equivocating per client, or staying silent — not
+// just f that crash. It is the one-option spelling of the masking-quorum
+// construction: the client switches to quorum.NewMasking(n, f) sizes
+// (overriding any WithQuorum), so read and write phases wait for enough
+// acks that any two quorums intersect in >= 2f+1 replicas, and it adopts a
+// (timestamp, value) pair only when >= f+1 replicas reported the identical
+// pair — an echo f liars can never forge. The read's write-back then
+// repairs honest laggards with the validated pair only (fabricated tags
+// never propagate).
+//
+// When a query observes a pair newer than anything f+1-supported, the
+// client cannot tell an honest in-flight write from a fabricated max-tag;
+// it re-queries once (the confirm round, counted in
+// MetricsSnapshot.ByzConfirms). An honest write's pair gains support in
+// the fresh round; a fabrication never does and is discarded, counted in
+// ByzConfirms' companion ByzRejects — the suspected-liar counter the
+// health layer exports.
+//
+// Requires n >= 4f+1 replicas (quorum.Masking.Validate; n > 3f is the
+// information-theoretic lower bound, but this one-round validation needs
+// the stronger bound — see DESIGN.md). f = 0 is the plain crash-fault
+// client unchanged: majority quorums, no validation, no cost.
+func WithByzantine(f int) ClientOption {
+	return func(c *Client) {
+		c.byzantine = true
+		c.byzF = f
+	}
+}
+
 // WithTracer attaches a span tracer to the client. Every Read and Write
 // emits an operation span, and every broadcast-and-collect phase emits a
 // child span carrying the quorum-assembly detail (targets contacted,

@@ -311,8 +311,8 @@ func TestL1LatencyShapes(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 17 {
-		t.Fatalf("expected 17 experiments, got %d", len(All()))
+	if len(All()) != 18 {
+		t.Fatalf("expected 18 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")
@@ -324,6 +324,9 @@ func TestFindAndAll(t *testing.T) {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if r, ok := Find("hotkeys"); !ok || r.ID != "HK" {
+		t.Fatalf("Find by alias: %v %v", r.ID, ok)
+	}
+	if r, ok := Find("byz"); !ok || r.ID != "BY" {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if _, ok := Find("T9"); ok {
@@ -461,6 +464,63 @@ func TestSHShards(t *testing.T) {
 	}
 	if !raceEnabled && rep.Scaling3x < 1.2 {
 		t.Fatalf("3-group scaling %.2f, want >= 1.2", rep.Scaling3x)
+	}
+}
+
+// TestBYByzantineCost runs the Byzantine validation experiment at CI scale
+// and checks its verdicts rather than its (runner-noisy) latency ratios:
+// three passes, every history linearizable, no corrupted reads anywhere,
+// zero false suspicions in the honest passes, and a nonzero suspected-liar
+// counter (with covering confirm rounds) exactly in the attack pass.
+func TestBYByzantineCost(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "byz.json")
+	tbl, err := BYByzantineCost(Options{Quick: true, Seed: 1, JSONOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tbl.Rows))
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep byzReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passes) != 3 {
+		t.Fatalf("want 3 passes, got %d", len(rep.Passes))
+	}
+	f0, f1, atk := rep.Passes[0], rep.Passes[1], rep.Passes[2]
+	if f0.Name != "f0-honest" || f1.Name != "f1-honest" || atk.Name != "f1-attack" {
+		t.Fatalf("pass order: %q %q %q", f0.Name, f1.Name, atk.Name)
+	}
+	for _, p := range rep.Passes {
+		if p.Ops == 0 {
+			t.Fatalf("pass %s ran no ops", p.Name)
+		}
+		if !p.Linearizable {
+			t.Fatalf("pass %s history not linearizable", p.Name)
+		}
+		if p.Corrupted != 0 {
+			t.Fatalf("pass %s returned %d corrupted reads", p.Name, p.Corrupted)
+		}
+	}
+	if f0.QuorumSize != 3 || f1.QuorumSize != 4 {
+		t.Fatalf("quorum sizes %d/%d, want 3 (majority) and 4 (masking)", f0.QuorumSize, f1.QuorumSize)
+	}
+	if f0.ByzRejects != 0 || f1.ByzRejects != 0 {
+		t.Fatalf("honest passes suspected liars: f0=%d f1=%d", f0.ByzRejects, f1.ByzRejects)
+	}
+	if f0.ByzConfirms != 0 {
+		t.Fatalf("f=0 pass ran %d confirm rounds with validation off", f0.ByzConfirms)
+	}
+	if atk.ByzRejects == 0 {
+		t.Fatal("attack pass rejected no lies")
+	}
+	if atk.ByzConfirms < atk.ByzRejects {
+		t.Fatalf("confirms %d < rejects %d: a reject without its confirm round", atk.ByzConfirms, atk.ByzRejects)
 	}
 }
 

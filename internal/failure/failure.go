@@ -8,7 +8,7 @@
 //
 //	crash:2@100ms; partition:0,1|2,3,4@200ms; heal@400ms; delay:3.0@1s;
 //	block:0>2@1.5s; faults:*:drop=0.3,dup=0.1@2s; faults:0>1:delay=1ms..5ms@2s;
-//	reset:*@2.5s; faults:*:none@3s
+//	reset:*@2.5s; faults:*:none@3s; byz:2:fabricate@3.5s; byz:2:off@4s
 //
 // Each event is "<action>@<offset>", offsets relative to Run's start.
 package failure
@@ -50,6 +50,15 @@ type FaultInjector interface {
 type LinkResetter interface {
 	ResetLink(from, to types.NodeID)
 	ResetAll()
+}
+
+// ByzController is the optional Fabric extension for semantic (Byzantine)
+// faults: SetByzantine makes node start lying with the given strategy, or
+// stop (mode 0). Implemented by the nemesis cluster, which installs a
+// protocol-rewriting interceptor on the node's outbound path; a no-op on
+// plain fabrics.
+type ByzController interface {
+	SetByzantine(node types.NodeID, mode int)
 }
 
 // Action is one fault applied to the network.
@@ -183,6 +192,45 @@ func (a Reset) String() string {
 	return fmt.Sprintf("reset:%d>%d", a.From, a.To)
 }
 
+// Byzantine lying strategies, by script name. The mode ints match
+// core.ByzMode's values (1..4); they are redeclared here because failure
+// sits below core in the layering and must not import it. 0 is honesty.
+var byzModes = map[string]int{
+	"off":        0,
+	"fabricate":  1,
+	"stale":      2,
+	"silent":     3,
+	"equivocate": 4,
+}
+
+// byzModeName inverts byzModes for rendering.
+func byzModeName(mode int) string {
+	for name, m := range byzModes {
+		if m == mode {
+			return name
+		}
+	}
+	return strconv.Itoa(mode)
+}
+
+// Byz makes a node lie with the given strategy — fabricated max-tags,
+// stale state, selective silence, per-client equivocation — or return to
+// honesty (mode 0). Script syntax: "byz:<node>:<fabricate|stale|silent|
+// equivocate|off>". No-op on fabrics without the ByzController extension.
+type Byz struct {
+	Node types.NodeID
+	Mode int
+}
+
+// Apply implements Action.
+func (a Byz) Apply(f Fabric) {
+	if bc, ok := f.(ByzController); ok {
+		bc.SetByzantine(a.Node, a.Mode)
+	}
+}
+
+func (a Byz) String() string { return fmt.Sprintf("byz:%d:%s", a.Node, byzModeName(a.Mode)) }
+
 // Event is an action scheduled at an offset from the schedule's start.
 type Event struct {
 	At     time.Duration
@@ -269,6 +317,8 @@ func actionNodes(a Action) []types.NodeID {
 			return nil
 		}
 		return []types.NodeID{a.From, a.To}
+	case Byz:
+		return []types.NodeID{a.Node}
 	default:
 		return nil
 	}
@@ -393,6 +443,20 @@ func parseAction(s string) (Action, error) {
 			return nil, err
 		}
 		return Reset{From: from, To: to}, nil
+	case "byz":
+		nodeS, modeS, ok := strings.Cut(args, ":")
+		if !ok {
+			return nil, fmt.Errorf("failure: byz: want byz:<node>:<mode>, got %q", args)
+		}
+		id, err := parseNode(nodeS)
+		if err != nil {
+			return nil, fmt.Errorf("failure: byz: %w", err)
+		}
+		mode, ok := byzModes[strings.TrimSpace(modeS)]
+		if !ok {
+			return nil, fmt.Errorf("failure: byz: unknown mode %q (want fabricate, stale, silent, equivocate, or off)", modeS)
+		}
+		return Byz{Node: id, Mode: mode}, nil
 	default:
 		return nil, fmt.Errorf("failure: unknown action %q", name)
 	}

@@ -18,6 +18,21 @@ type BreakerStatus struct {
 	Closes int64 `json:"closes"`
 }
 
+// ByzStatus mirrors a client's Byzantine read-validation counters (see
+// core.WithByzantine). SuspectRejects is the suspected-liar verdict — a
+// reply pair discarded because its tag stayed unvouched through a confirm
+// round; ConfirmRounds counts the extra query rounds run to reach such
+// verdicts (every reject costs one, honest races usually resolve in one
+// too); MaskRetries counts query rounds abandoned because no pair had f+1
+// matching reporters. ToleratedFaults is the f the client validates
+// against.
+type ByzStatus struct {
+	ToleratedFaults int64 `json:"tolerated_faults"`
+	SuspectRejects  int64 `json:"suspect_rejects"`
+	ConfirmRounds   int64 `json:"confirm_rounds"`
+	MaskRetries     int64 `json:"mask_retries"`
+}
+
 // Status is the /status endpoint's body: one process's live health view.
 // A single-process cluster facade fills everything; a deployment node
 // fills its own watermarks and hot keys and leaves Lag to be computed by
@@ -40,6 +55,9 @@ type Status struct {
 	SLO      *SLOStatus     `json:"slo,omitempty"`
 	Alerts   []Alert        `json:"alerts"`
 	Breakers *BreakerStatus `json:"breakers,omitempty"`
+	// Byzantine reports the process's read-validation counters (nil when
+	// no client of the process runs in Byzantine mode).
+	Byzantine *ByzStatus `json:"byzantine,omitempty"`
 }
 
 // Handler serves fn's Status as indented JSON on every GET. Mount it at
@@ -134,6 +152,21 @@ func WriteMetrics(w *obs.Writer, labels obs.Labels, st Status) {
 			"Lifetime breaker open transitions.", labels, st.Breakers.Opens)
 		w.Counter("abd_health_breaker_closes_total",
 			"Lifetime breaker close transitions.", labels, st.Breakers.Closes)
+	}
+
+	if st.Byzantine != nil {
+		w.Gauge("abd_health_byz_tolerated_faults",
+			"Lying replicas (f) the client's read validation tolerates.",
+			labels, float64(st.Byzantine.ToleratedFaults))
+		w.Counter("abd_health_byz_suspect_rejects_total",
+			"Reply pairs rejected as suspected lies (tag unvouched through a confirm round).",
+			labels, st.Byzantine.SuspectRejects)
+		w.Counter("abd_health_byz_confirm_rounds_total",
+			"Extra query rounds run to confirm an unvouched max-tag.",
+			labels, st.Byzantine.ConfirmRounds)
+		w.Counter("abd_health_byz_mask_retries_total",
+			"Query rounds retried because no pair had f+1 matching reporters.",
+			labels, st.Byzantine.MaskRetries)
 	}
 }
 

@@ -28,6 +28,24 @@ type HealthReport struct {
 	// Start anchors the run's clock: Alert.At minus Start is the alert's
 	// offset into the fault schedule.
 	Start time.Time
+	// ByzRejects and ByzConfirms are the clients' final validated-read
+	// counters — ByzRejects is the suspected-liar verdict: nonzero means
+	// reads actually discarded fabricated or equivocated pairs. Both stay
+	// zero outside Byzantine mode AND in a fault-free Byzantine control
+	// run (honesty costs no rejections). ByzTimeline records the
+	// cumulative counters at every monitor sample, locating the rejections
+	// relative to the schedule's fault windows.
+	ByzRejects, ByzConfirms int64
+	ByzTimeline             []ByzSample
+}
+
+// ByzSample is one monitor observation of the clients' cumulative
+// Byzantine-validation counters. At minus HealthReport.Start is the
+// sample's offset into the fault schedule.
+type ByzSample struct {
+	At       time.Time
+	Rejects  int64
+	Confirms int64
 }
 
 // AlertOffsets returns each alert's offset from the workload start, in
@@ -73,6 +91,10 @@ type monitor struct {
 	tracker *health.Tracker
 	stop    chan struct{}
 	done    chan struct{}
+	// byz is the per-sample Byzantine counter timeline. Only the monitor
+	// goroutine appends (plus the seed sample before it starts and the
+	// final one after it stops), so no lock is needed.
+	byz []ByzSample
 }
 
 func startMonitor(cl *Cluster, slo health.SLO) *monitor {
@@ -109,7 +131,18 @@ func (m *monitor) sample(now time.Time) {
 	total, bad := m.tracker.SLO().Cut(lat.Read.Merge(lat.Write),
 		metrics.ReadFails+metrics.WriteFails)
 	m.tracker.Ingest(now, total, bad)
+	if m.cl.cfg.Byzantine > 0 {
+		m.byz = append(m.byz, ByzSample{
+			At:       now,
+			Rejects:  metrics.ByzRejects,
+			Confirms: metrics.ByzConfirms,
+		})
+	}
 }
+
+// byzTimeline returns the sampled Byzantine counter timeline; call after
+// halt.
+func (m *monitor) byzTimeline() []ByzSample { return m.byz }
 
 // halt stops the monitor, runs one final sample+evaluation, and returns
 // the final SLO state plus every alert raised.

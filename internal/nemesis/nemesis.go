@@ -86,6 +86,16 @@ type Config struct {
 	// Registers is how many named registers the workload spreads over
 	// (default 1; linearizability is checked per register).
 	Registers int
+	// Byzantine, when > 0, runs the cluster in Byzantine mode tolerating
+	// that many lying replicas: every client validates reads with
+	// core.WithByzantine (masking quorums, f+1 vouching, one confirm
+	// round), and every replica carries a chaos-layer core.Liar that the
+	// schedule flips between lying strategies with failure.Byz actions
+	// (script syntax byz:<node>:<fabricate|stale|silent|equivocate|off>).
+	// The generated schedule becomes GenerateByzantineSchedule. Requires
+	// N >= 4*Byzantine+1 (enforced by the clients' quorum validation) and
+	// Groups == 1.
+	Byzantine int
 	// Seed drives both GenerateSchedule and the chaos controller. The
 	// fault plan is a pure function of the seed; delivery timing on a real
 	// network of course is not.
@@ -187,6 +197,10 @@ type Cluster struct {
 	mu       sync.Mutex
 	addrs    map[types.NodeID]string // pinned replica listen addresses
 	replicas map[types.NodeID]*replicaProc
+	// liars holds one chaos-layer core.Liar per replica in Byzantine mode
+	// (Config.Byzantine > 0), keyed by node so a liar survives its
+	// replica's crash/restart cycles. Nil otherwise.
+	liars map[types.NodeID]*core.Liar
 	// stats accumulates transport counters of endpoints that no longer
 	// exist (crashed replica generations).
 	stats tcpnet.Stats
@@ -265,9 +279,26 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.ownsDir = true
 	}
 
+	if cfg.Byzantine > 0 {
+		if cfg.Groups > 1 {
+			c.Close()
+			return nil, fmt.Errorf("nemesis: Byzantine mode requires Groups == 1, got %d", cfg.Groups)
+		}
+		// One liar per replica, installed as a chaos interceptor keyed by
+		// node id: it intercepts every generation of the replica's process,
+		// so crash/restart cycles and lying windows compose freely. All
+		// liars start honest; the schedule's failure.Byz actions flip them.
+		c.liars = make(map[types.NodeID]*core.Liar, cfg.N)
+	}
+
 	for i := 0; i < cfg.Groups*cfg.N; i++ {
 		id := types.NodeID(i)
 		c.addrs[id] = "127.0.0.1:0" // pinned to the real port on first start
+		if c.liars != nil {
+			l := core.NewLiar(id, cfg.Seed^int64(1000+i))
+			c.liars[id] = l
+			c.chaos.SetInterceptor(id, l.Intercept)
+		}
 		if err := c.startReplica(id); err != nil {
 			c.Close()
 			return nil, err
@@ -300,9 +331,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("nemesis: client %v endpoint: %w", id, err)
 			}
 			ids := append([]types.NodeID(nil), groupIDs[g]...)
-			cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids,
+			copts := []core.ClientOption{
 				core.WithAdaptiveRetransmit(50*time.Millisecond, 500*time.Millisecond),
-				core.WithTracer(c.nodeTracer(id)))
+				core.WithTracer(c.nodeTracer(id)),
+			}
+			if cfg.Byzantine > 0 {
+				copts = append(copts, core.WithByzantine(cfg.Byzantine))
+			}
+			cli, err := core.NewClient(id, c.chaos.Wrap(ep), ids, copts...)
 			if err != nil {
 				_ = ep.Close()
 				c.Close()
@@ -455,10 +491,50 @@ func (c *Cluster) ResetLink(from, to types.NodeID) { c.chaos.ResetLink(from, to)
 // ResetAll tears down every connection.
 func (c *Cluster) ResetAll() { c.chaos.ResetAll() }
 
+// SetByzantine switches replica node's liar to mode (a core.ByzMode
+// value; 0 restores honesty). A no-op outside Byzantine mode or for
+// unknown nodes, so schedules degrade gracefully.
+func (c *Cluster) SetByzantine(node types.NodeID, mode int) {
+	c.mu.Lock()
+	l := c.liars[node]
+	c.mu.Unlock()
+	if l != nil {
+		l.SetMode(core.ByzMode(mode))
+	}
+}
+
+// ClearByzantine restores every liar to honesty (the Byzantine analogue
+// of Heal/ClearFaults, run before post-schedule verdicts).
+func (c *Cluster) ClearByzantine() {
+	c.mu.Lock()
+	liars := make([]*core.Liar, 0, len(c.liars))
+	for _, l := range c.liars {
+		liars = append(liars, l)
+	}
+	c.mu.Unlock()
+	for _, l := range liars {
+		l.SetMode(0)
+	}
+}
+
+// LiarStats sums the liars' tallies: replies rewritten and replies
+// suppressed. Zero outside Byzantine mode.
+func (c *Cluster) LiarStats() (lies, muted int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, l := range c.liars {
+		a, b := l.Stats()
+		lies += a
+		muted += b
+	}
+	return lies, muted
+}
+
 var (
 	_ failure.Fabric        = (*Cluster)(nil)
 	_ failure.FaultInjector = (*Cluster)(nil)
 	_ failure.LinkResetter  = (*Cluster)(nil)
+	_ failure.ByzController = (*Cluster)(nil)
 )
 
 // Chaos exposes the underlying chaos controller (fault stats, tracing).
@@ -697,6 +773,85 @@ func GenerateSchedule(seed int64, n int, clients []types.NodeID, windows int, wi
 	return sched
 }
 
+// GenerateByzantineSchedule derives a deterministic fault schedule for a
+// Byzantine-mode cluster: `windows` episodes, each turning f replicas
+// into liars for the window's span and layering a classic nemesis fault
+// underneath. Four genres rotate: loud lies alone (fabricated and
+// equivocated max-tags), quiet lies (stale state or silence) under a loss
+// storm, a crash of an HONEST replica while the liars fabricate (the
+// masking quorum must absorb both adversaries at once), and equivocation
+// under a latency/reorder spike (coalesced readers see per-destination
+// lies out of order). Every window restores honesty and undoes its fault
+// at its end; at least one crash+fabricate episode is guaranteed, so every
+// schedule exercises the loud-lie rejection path AND crash recovery. With
+// f = 0 it degrades to GenerateSchedule. Like the other generators the
+// result is a pure function of its inputs.
+func GenerateByzantineSchedule(seed int64, n, f int, clients []types.NodeID, windows int, window time.Duration) failure.Schedule {
+	if f <= 0 {
+		return GenerateSchedule(seed, n, clients, windows, window)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sched failure.Schedule
+	add := func(at time.Duration, a failure.Action) {
+		sched = append(sched, failure.Event{At: at, Action: a})
+	}
+	sawCrash := false
+	for w := 0; w < windows; w++ {
+		start := time.Duration(w)*window + window/8
+		end := time.Duration(w+1)*window - window/8
+		perm := rng.Perm(n) // perm[:f] lie this window, perm[f:] stay honest
+		liars := perm[:f]
+		genre := rng.Intn(4)
+		if w == windows-1 && !sawCrash {
+			genre = 2 // guarantee one crash-under-lies episode per schedule
+		}
+		switch genre {
+		case 0: // loud lying minority: fabricated and equivocated max-tags
+			for _, id := range liars {
+				mode := int(core.ByzFabricate)
+				if rng.Intn(2) == 1 {
+					mode = int(core.ByzEquivocate)
+				}
+				add(start, failure.Byz{Node: types.NodeID(id), Mode: mode})
+			}
+		case 1: // quiet lying minority under a loss storm: stale or silent
+			for _, id := range liars {
+				mode := int(core.ByzStale)
+				if rng.Intn(2) == 1 {
+					mode = int(core.ByzSilent)
+				}
+				add(start, failure.Byz{Node: types.NodeID(id), Mode: mode})
+			}
+			fts := chaos.Faults{Drop: 0.05 + 0.1*rng.Float64(), Dup: 0.1 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: fts})
+			add(end, failure.LinkFaults{All: true})
+		case 2: // crash an honest replica while the liars fabricate: with
+			// n = 4f+1 the masking quorum of 3f+1 is exactly the replicas
+			// still answering, so reads must survive both adversaries
+			for _, id := range liars {
+				add(start, failure.Byz{Node: types.NodeID(id), Mode: int(core.ByzFabricate)})
+			}
+			victim := types.NodeID(perm[f])
+			add(start, failure.Crash{Node: victim})
+			add(end, failure.Recover{Node: victim})
+			sawCrash = true
+		case 3: // equivocation under a latency spike with reordering
+			for _, id := range liars {
+				add(start, failure.Byz{Node: types.NodeID(id), Mode: int(core.ByzEquivocate)})
+			}
+			lo := time.Duration(1+rng.Intn(3)) * time.Millisecond
+			hi := lo + time.Duration(4+rng.Intn(12))*time.Millisecond
+			f := chaos.Faults{DelayMin: lo, DelayMax: hi, Reorder: 0.2 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		}
+		for _, id := range liars {
+			add(end, failure.Byz{Node: types.NodeID(id), Mode: 0})
+		}
+	}
+	return sched
+}
+
 // GenerateShardedSchedule derives a deterministic fault schedule for a
 // sharded cluster: every window faults TWO distinct replica groups at once
 // — crashing or isolating one replica in each — so the store must keep the
@@ -781,6 +936,13 @@ type Result struct {
 	// batch-size distribution.
 	Replica    core.ReplicaMetrics
 	BatchSizes obs.HistSnapshot
+	// Byzantine echoes Config.Byzantine; Lies counts replica replies the
+	// chaos-layer liars rewrote during the run and Muted the replies they
+	// suppressed — the injected-adversary side of the ledger whose
+	// client-side counterpart is Client.ByzRejects/ByzConfirms. All zero
+	// outside Byzantine mode.
+	Byzantine  int
+	Lies, Muted int64
 	// Spans is every span collected during the run — client operations and
 	// phases, transport hops, replica handlers and fsyncs — and
 	// SpansDropped how many the collector had to reject. Stitch summarizes
@@ -808,9 +970,12 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	sched := cfg.Schedule
 	if sched == nil {
-		if cfg.Groups > 1 {
+		switch {
+		case cfg.Byzantine > 0:
+			sched = GenerateByzantineSchedule(cfg.Seed, cfg.N, cfg.Byzantine, cl.ClientIDs(), cfg.Windows, cfg.Window)
+		case cfg.Groups > 1:
 			sched = GenerateShardedSchedule(cfg.Seed, cfg.Groups, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
-		} else {
+		default:
 			sched = GenerateSchedule(cfg.Seed, cfg.N, cl.ClientIDs(), cfg.Windows, cfg.Window)
 		}
 	}
@@ -932,6 +1097,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cl.RecoverAll()
 	cl.Chaos().ClearFaults()
 	cl.Chaos().Heal()
+	cl.ClearByzantine()
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("nemesis: run cancelled: %w", err)
@@ -943,6 +1109,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	spans, spansDropped := cl.Spans()
 	repStats, batchSizes := cl.ReplicaStats()
 
+	lies, muted := cl.LiarStats()
 	ops := rec.Ops()
 	results := lincheck.CheckRegisters(ops, lincheck.Config{Timeout: cfg.CheckTimeout})
 	res := &Result{
@@ -957,6 +1124,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		Chaos:      cl.Chaos().Stats(),
 		Replica:    repStats,
 		BatchSizes: batchSizes,
+		Byzantine:  cfg.Byzantine,
+		Lies:       lies,
+		Muted:      muted,
 
 		Spans:        spans,
 		SpansDropped: spansDropped,
@@ -968,8 +1138,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			HotKeyTotal: cl.HotKeyTotal(),
 			// RecoverAll has run: every replica reports, and ones that
 			// missed writes while crashed show up behind (no anti-entropy).
-			Lag:   cl.LagReport(128, 5),
-			Start: start,
+			Lag:         cl.LagReport(128, 5),
+			Start:       start,
+			ByzTimeline: mon.byzTimeline(),
 		},
 	}
 	if cfg.Groups > 1 {
@@ -981,5 +1152,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	for _, cli := range cl.Clients() {
 		res.Client = res.Client.Merge(cli.Metrics())
 	}
+	res.Health.ByzRejects = res.Client.ByzRejects
+	res.Health.ByzConfirms = res.Client.ByzConfirms
 	return res, nil
 }

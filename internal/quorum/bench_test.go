@@ -18,9 +18,24 @@ func BenchmarkGridPredicate(b *testing.B) {
 	}
 }
 
+func BenchmarkMaskingPredicate(b *testing.B) {
+	m := NewMasking(9, 2)
+	s := Full(7)
+	for i := 0; i < b.N; i++ {
+		_ = m.ContainsReadQuorum(s)
+	}
+}
+
 func BenchmarkAvailabilityMonteCarlo(b *testing.B) {
 	g := NewGrid(5, 5)
 	for i := 0; i < b.N; i++ {
 		_ = Availability(g, 0.2, 100, int64(i+1))
+	}
+}
+
+func BenchmarkAvailabilityMaskingMonteCarlo(b *testing.B) {
+	m := NewMasking(9, 2)
+	for i := 0; i < b.N; i++ {
+		_ = Availability(m, 0.2, 100, int64(i+1))
 	}
 }

@@ -29,7 +29,11 @@ func (m Masking) Name() string { return fmt.Sprintf("masking(n=%d,f=%d)", m.N, m
 // Size returns n.
 func (m Masking) Size() int { return m.N }
 
-// QuorumSize returns ⌈(n+2F+1)/2⌉.
+// QuorumSize returns ⌈(n+2F+1)/2⌉, computed as ⌊(n+2F+2)/2⌋: for integer x,
+// ⌈x/2⌉ = ⌊(x+1)/2⌋, here with x = n+2F+1. The two spellings are equal for
+// every n and F (pinned by TestMaskingQuorumSizeFormula); the division
+// below is NOT the formula "(n+2F+2)/2 rounded up" — Go's integer division
+// already floors.
 func (m Masking) QuorumSize() int { return (m.N + 2*m.F + 2) / 2 }
 
 // ContainsReadQuorum reports whether s contains a quorum.

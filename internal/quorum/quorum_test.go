@@ -277,6 +277,97 @@ func TestAvailabilityROWAWritesFragile(t *testing.T) {
 	}
 }
 
+// TestMaskingQuorumSizeFormula pins the documented formula ⌈(n+2F+1)/2⌉
+// against the implementation's ⌊(n+2F+2)/2⌋ spelling: they are the same
+// function on integers (⌈x/2⌉ = ⌊(x+1)/2⌋), which is exactly the
+// docs-vs-code drift this test settles.
+func TestMaskingQuorumSizeFormula(t *testing.T) {
+	ceilDiv2 := func(x int) int { // ⌈x/2⌉ for x >= 0
+		return (x + 1) / 2
+	}
+	for n := 1; n <= MaxNodes; n++ {
+		for f := 0; 4*f+1 <= n; f++ {
+			m := NewMasking(n, f)
+			if got, want := m.QuorumSize(), ceilDiv2(n+2*f+1); got != want {
+				t.Errorf("masking(n=%d,f=%d).QuorumSize() = %d, want ⌈(n+2F+1)/2⌉ = %d", n, f, got, want)
+			}
+			// The sizes must actually deliver the masking property: any two
+			// quorums intersect in >= 2f+1 replicas, and quorums remain
+			// satisfiable with f replicas silent.
+			if m.MinIntersection() < 2*f+1 {
+				t.Errorf("masking(n=%d,f=%d): min intersection %d < 2f+1", n, f, m.MinIntersection())
+			}
+			if m.QuorumSize() > n-f {
+				t.Errorf("masking(n=%d,f=%d): quorum %d unsatisfiable with f faulty", n, f, m.QuorumSize())
+			}
+		}
+	}
+}
+
+// TestMaskingValidateEdges covers the resilience boundary: n = 3f and
+// n = 3f+1 (the information-theoretic Byzantine bound) are still too few
+// replicas for masking quorums, which need n >= 4f+1; f = 0 degenerates to
+// plain majorities.
+func TestMaskingValidateEdges(t *testing.T) {
+	for _, tt := range []struct {
+		n, f int
+		ok   bool
+	}{
+		{3, 1, false},  // n = 3f
+		{4, 1, false},  // n = 3f+1: enough for MPRJ-style echo protocols, not for masking
+		{5, 1, true},   // n = 4f+1: the tight bound
+		{8, 2, false},  // n = 4f
+		{9, 2, true},   // n = 4f+1 again at f=2
+		{5, -1, false}, // negative f
+		{1, 0, true},
+		{5, 0, true},
+	} {
+		err := NewMasking(tt.n, tt.f).Validate()
+		if tt.ok && err != nil {
+			t.Errorf("masking(n=%d,f=%d).Validate() = %v, want ok", tt.n, tt.f, err)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("masking(n=%d,f=%d).Validate() accepted", tt.n, tt.f)
+		}
+	}
+	// f = 0 is exactly the majority system: same quorum size for every n.
+	for n := 1; n <= MaxNodes; n++ {
+		if got, want := NewMasking(n, 0).QuorumSize(), n/2+1; got != want {
+			t.Errorf("masking(n=%d,f=0).QuorumSize() = %d, majority needs %d", n, got, want)
+		}
+	}
+}
+
+// TestAvailabilityMaskingShape gives masking the same Monte Carlo coverage
+// Majority and Grid have: availability is 1 at p=0, 0 at p=1, monotone in
+// between, and strictly below the majority system's (masking quorums are
+// larger, so they die sooner as replicas fail).
+func TestAvailabilityMaskingShape(t *testing.T) {
+	m := NewMasking(5, 1)
+	a0 := Availability(m, 0.0, 2000, 1)
+	aFifth := Availability(m, 0.2, 5000, 1)
+	aHalf := Availability(m, 0.5, 2000, 1)
+	aAll := Availability(m, 1.0, 2000, 1)
+	if a0 != 1.0 {
+		t.Fatalf("availability at p=0 should be 1, got %v", a0)
+	}
+	if aAll != 0.0 {
+		t.Fatalf("availability at p=1 should be 0, got %v", aAll)
+	}
+	if !(a0 >= aFifth && aFifth >= aHalf && aHalf >= aAll) {
+		t.Fatalf("availability not monotone: %v %v %v %v", a0, aFifth, aHalf, aAll)
+	}
+	// Masking needs 4 of 5 where majority needs 3 of 5: at p=0.2 the
+	// analytic values are 0.8^5 + 5·0.2·0.8^4 ≈ 0.74 vs ≈ 0.94.
+	maj := Availability(NewMajority(5), 0.2, 5000, 1)
+	if aFifth >= maj {
+		t.Fatalf("masking availability %v should be below majority %v", aFifth, maj)
+	}
+	if aFifth < 0.6 || aFifth > 0.85 {
+		t.Fatalf("masking availability %v far from analytic 0.74", aFifth)
+	}
+}
+
 func TestMinQuorumSizes(t *testing.T) {
 	tests := []struct {
 		sys         System
