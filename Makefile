@@ -3,9 +3,9 @@
 GO ?= go
 
 # Every command binary `make bin` produces under ./bin.
-CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace abd-top
+CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace abd-top abd-prof
 
-.PHONY: all build bin test race vet check smoke bench throughput shards byz eval clean
+.PHONY: all build bin test race vet check smoke bench throughput shards byz alloc eval clean
 
 all: check
 
@@ -22,7 +22,7 @@ test:
 # netsim stats epochs) is lock-free or lock-cheap by design; keep it honest
 # under the race detector. These are the packages with real concurrency.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/health/... ./internal/experiments/... ./internal/quorum/... ./internal/failure/...
+	$(GO) test -race ./internal/obs/... ./internal/core/... ./internal/netsim/... ./internal/tcpnet/... ./internal/chaos/... ./internal/nemesis/... ./internal/wire/... ./internal/shard/... ./internal/health/... ./internal/experiments/... ./internal/quorum/... ./internal/failure/... ./internal/prof/...
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,13 @@ shards:
 # verdicts (cmd/abd-bench -exp byz: f=0 vs f=1, honest and under attack).
 byz:
 	$(GO) run ./cmd/abd-bench -exp byz -seed 1 -json BENCH_byz.json
+
+# Regenerate BENCH_alloc.json: per-phase allocation attribution plus the
+# TP-workload GC picture (cmd/abd-bench -exp alloc). The phase rows use
+# fixed op counts, so a -quick CI run is comparable to this full baseline
+# via `abd-prof bench-diff`.
+alloc:
+	$(GO) run ./cmd/abd-bench -exp alloc -seed 1 -json BENCH_alloc.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md appendix).
 eval:

@@ -6,12 +6,14 @@
 //
 // Usage:
 //
-//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH|HK|BY] [-quick] [-seed N] [-trace-out spans.jsonl]
+//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH|HK|BY|AL] [-quick] [-seed N] [-trace-out spans.jsonl]
 //
-// TP (alias "throughput"), SH (alias "shards"), and BY (alias "byz") also
-// write a machine-readable report with -json; run those one at a time when
-// -json is set, since each overwrites the file (see `make throughput`,
-// `make shards`, `make byz`).
+// TP (alias "throughput"), SH (alias "shards"), BY (alias "byz"), and AL
+// (alias "alloc") also write a machine-readable report with -json; run
+// those one at a time when -json is set, since each overwrites the file
+// (see `make throughput`, `make shards`, `make byz`, `make alloc`). Every
+// such report carries a shared envelope (schema id, Go toolchain, seed)
+// that `abd-prof bench-diff` keys its regression gate on.
 package main
 
 import (
@@ -30,11 +32,11 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards, HK/hotkeys, BY/byz) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards, HK/hotkeys, BY/byz, AL/alloc) or 'all'")
 		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
-		jsonOut  = flag.String("json", "", "write the machine-readable report (TP and SH experiments) to this file")
+		jsonOut  = flag.String("json", "", "write the machine-readable report (TP, SH, BY, AL experiments) to this file")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func run() int {
 		for _, id := range strings.Split(*exp, ",") {
 			r, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, HK, BY, or all)\n", id)
+				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, HK, BY, AL, or all)\n", id)
 				return 2
 			}
 			runners = append(runners, r)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/health"
+	"repro/internal/prof"
 	"repro/internal/tcpnet"
 )
 
@@ -26,8 +27,19 @@ type nodeHealth struct {
 	prober   *core.Client
 	proberEp *tcpnet.Endpoint
 
+	// sampler feeds the abd_prof_* runtime series on /metrics; recorder is
+	// the anomaly-triggered flight recorder (nil without -prof-dir).
+	sampler  *prof.Sampler
+	recorder *prof.Recorder
+
 	mu      sync.Mutex
 	tracker *health.Tracker
+	// pending accumulates the tracker's fresh (edge-triggered) alerts so
+	// the flight-recorder watchdog sees every alert even when a /status or
+	// /metrics scrape ran the evaluation that raised it. lastOpens is the
+	// breaker-opens total at the watchdog's previous check.
+	pending   []health.Alert
+	lastOpens int64
 }
 
 func newNodeHealth(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Client, proberEp *tcpnet.Endpoint) *nodeHealth {
@@ -37,6 +49,7 @@ func newNodeHealth(replica *core.Replica, ep *tcpnet.Endpoint, prober *core.Clie
 		ep:       ep,
 		prober:   prober,
 		proberEp: proberEp,
+		sampler:  prof.NewSampler(prof.DefaultEpoch),
 		tracker:  health.NewTracker(health.DefaultSLO()),
 	}
 }
@@ -63,7 +76,8 @@ func (h *nodeHealth) status() health.Status {
 		h.mu.Lock()
 		total, bad := h.tracker.SLO().Cut(lat.Read.Merge(lat.Write), m.ReadFails+m.WriteFails)
 		h.tracker.Ingest(now, total, bad)
-		slo, _ := h.tracker.Evaluate(now)
+		slo, fresh := h.tracker.Evaluate(now)
+		h.pending = append(h.pending, fresh...)
 		st.Alerts = h.tracker.Raised()
 		h.mu.Unlock()
 		st.SLO = &slo
@@ -87,6 +101,27 @@ func (h *nodeHealth) status() health.Status {
 	}
 	st.Breakers = &br
 	return st
+}
+
+// watch is the flight-recorder watchdog's poll: it runs one evaluation
+// (via status), drains the alerts accumulated since the last check, and
+// returns them with the breaker-opens delta over the same interval. Any
+// fresh alert or new breaker open is a capture trigger.
+func (h *nodeHealth) watch() (fresh []health.Alert, breakerOpens int64) {
+	_ = h.status()
+
+	opens := h.ep.Stats().BreakerOpens
+	if h.proberEp != nil {
+		opens += h.proberEp.Stats().BreakerOpens
+	}
+
+	h.mu.Lock()
+	fresh = h.pending
+	h.pending = nil
+	breakerOpens = opens - h.lastOpens
+	h.lastOpens = opens
+	h.mu.Unlock()
+	return fresh, breakerOpens
 }
 
 func breakerStatus(ts tcpnet.Stats) health.BreakerStatus {

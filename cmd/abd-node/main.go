@@ -22,10 +22,18 @@
 // histograms populate the abd_client_* series (without -peers those series
 // export zero samples) and whose spans — with -trace-out or -metrics-addr —
 // trace each probe through transport, replica handler, and WAL append.
-// SIGINT/SIGTERM shut the node down gracefully: the probe client
-// stops, the WAL is compacted to one record per register, the replica
-// drains, and the final counters are printed; a second signal kills the
-// process immediately.
+// -prof-dir arms the anomaly-triggered flight recorder: a watchdog polls the
+// node's health every -prof-check-interval and captures CPU/heap/goroutine
+// profiles into a bounded on-disk ring (-prof-captures sets, oldest evicted)
+// whenever an SLO burn alert fires or a circuit breaker opens, so the
+// profiles of an incident are on disk before anyone starts debugging it.
+// -mutex-profile-fraction and -block-profile-rate enable the contention
+// profilers (off by default; both cost CPU proportional to the sampled event
+// rate), and -runtime-trace brackets probe operations as runtime/trace
+// tasks with quorum phases as regions. SIGINT/SIGTERM shut the node down
+// gracefully: the probe client stops, the WAL is compacted to one record
+// per register, the replica drains, and the final counters are printed; a
+// second signal kills the process immediately.
 package main
 
 import (
@@ -47,6 +55,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/health"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
 )
@@ -67,8 +76,26 @@ func run() int {
 		probeIv  = flag.Duration("probe-interval", time.Second, "end-to-end probe period when -peers is set")
 		byzF     = flag.Int("byz", 0, "probe with Byzantine read validation tolerating this many lying replicas (requires -peers with n >= 4f+1; surfaces abd_health_byz_* series)")
 		traceOut = flag.String("trace-out", "", "write every span (replica handlers, WAL appends, transport hops, probe ops) as JSONL to this file for abd-trace")
+
+		profDir      = flag.String("prof-dir", "", "arm the anomaly-triggered flight recorder: capture CPU/heap/goroutine profiles into this directory on SLO burn alerts and circuit-breaker opens (bounded ring, oldest evicted)")
+		profCaptures = flag.Int("prof-captures", 8, "flight-recorder ring size (capture sets kept on disk)")
+		profCPUSecs  = flag.Float64("prof-cpu-seconds", 1, "CPU profile duration per flight-recorder capture")
+		profCheckIv  = flag.Duration("prof-check-interval", 5*time.Second, "flight-recorder anomaly poll period")
+		mutexFrac    = flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction: sample 1/n mutex contention events for /debug/pprof/mutex (0 = off; small n costs a few percent under contention)")
+		blockRate    = flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate: sample blocking events >= n ns for /debug/pprof/block (0 = off; 1 samples everything and is expensive)")
+		runtimeTrace = flag.Bool("runtime-trace", false, "bracket probe operations as runtime/trace tasks and quorum phases as regions (visible in go tool trace when a trace session runs, e.g. /debug/pprof/trace)")
 	)
 	flag.Parse()
+
+	// Contention profilers are opt-in: both sample globally and cost CPU in
+	// proportion to the sampled event rate, so default off and document the
+	// price on the flag.
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	// Tracing is armed whenever anything can consume the spans: a -trace-out
 	// file, or the /spans endpoint next to /metrics. It stays zero-cost for
@@ -127,7 +154,7 @@ func run() int {
 	var prober *core.Client
 	var proberEp *tcpnet.Endpoint
 	if *peers != "" {
-		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv, *byzF, tracer)
+		prober, proberEp, err = startProber(types.NodeID(*id), *peers, *probeIv, *byzF, *runtimeTrace, tracer)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "abd-node: probe client: %v\n", err)
 			return 1
@@ -136,9 +163,26 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "abd-node: -byz requires -peers; ignoring")
 	}
 
+	nh := newNodeHealth(replica, ep, prober, proberEp)
+	watchStop := make(chan struct{})
+	if *profDir != "" {
+		rec, err := prof.NewRecorder(prof.RecorderConfig{
+			Dir:         *profDir,
+			MaxCaptures: *profCaptures,
+			CPUSeconds:  *profCPUSecs,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "abd-node: flight recorder: %v\n", err)
+			return 1
+		}
+		nh.recorder = rec
+		go watchAnomalies(nh, *profCheckIv, watchStop)
+		fmt.Printf("abd-node: flight recorder armed (dir %s, ring %d, cpu %.1fs)\n",
+			*profDir, *profCaptures, *profCPUSecs)
+	}
+
 	var srv *http.Server
 	if *metrics != "" {
-		nh := newNodeHealth(replica, ep, prober, proberEp)
 		mux := newNodeMux(nh, spanCol, *pprofOn)
 		srv = &http.Server{Addr: *metrics, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() {
@@ -162,6 +206,13 @@ func run() int {
 	// stop the replica (closes the endpoint, drains the message loop, and
 	// closes the log). The metrics server goes last so a final scrape can
 	// still observe the drained counters.
+	close(watchStop)
+	if nh.recorder != nil {
+		nh.recorder.Close() // waits out an in-flight capture
+		rs := nh.recorder.Stats()
+		fmt.Printf("abd-node: flight recorder: %d triggered, %d captured, %d skipped, %d evicted\n",
+			rs.Triggered, rs.Captured, rs.Skipped, rs.Evicted)
+	}
 	if prober != nil {
 		prober.Close()
 	}
@@ -193,6 +244,30 @@ func run() int {
 	return 0
 }
 
+// watchAnomalies is the flight-recorder watchdog: every interval it drains
+// the health tracker's fresh burn alerts and the transport's breaker-open
+// delta, and pulls the recorder's trigger for each anomaly class. The
+// recorder's cooldown and single-flight gate bound the capture rate no
+// matter how noisy the anomalies get.
+func watchAnomalies(nh *nodeHealth, interval time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			fresh, opens := nh.watch()
+			for _, a := range fresh {
+				nh.recorder.Trigger("slo-" + string(a.Severity))
+			}
+			if opens > 0 {
+				nh.recorder.Trigger("breaker-open")
+			}
+		}
+	}
+}
+
 // newNodeMux assembles the node's HTTP surface: the obs endpoints
 // (/metrics, /healthz, /spans) at the root, the live health report on
 // /status, and — when enabled — net/http/pprof under /debug/pprof/.
@@ -216,7 +291,7 @@ func newNodeMux(nh *nodeHealth, spans *obs.Collector, pprofOn bool) *http.ServeM
 // The goroutine stops when the returned client is closed. With a tracer the
 // probe operations are traced end to end, so a node group with -trace-out
 // (or the /spans endpoint) continuously self-samples its own critical path.
-func startProber(id types.NodeID, peersSpec string, interval time.Duration, byz int, tracer obs.Tracer) (*core.Client, *tcpnet.Endpoint, error) {
+func startProber(id types.NodeID, peersSpec string, interval time.Duration, byz int, runtimeTrace bool, tracer obs.Tracer) (*core.Client, *tcpnet.Endpoint, error) {
 	peers, order, err := parsePeers(peersSpec)
 	if err != nil {
 		return nil, nil, err
@@ -233,6 +308,9 @@ func startProber(id types.NodeID, peersSpec string, interval time.Duration, byz 
 	}
 	if byz > 0 {
 		copts = append(copts, core.WithByzantine(byz))
+	}
+	if runtimeTrace {
+		copts = append(copts, core.WithRuntimeTrace())
 	}
 	cli, err := core.NewClient(cliID, ep, order, copts...)
 	if err != nil {
@@ -355,5 +433,15 @@ func nodeGatherer(nh *nodeHealth) obs.Gatherer {
 		w.Gauge("abd_node_gc_pause_seconds", "cumulative stop-the-world GC pause time", labels, float64(mem.PauseTotalNs)/1e9)
 
 		health.WriteMetrics(w, labels, nh.status())
+
+		// Runtime allocation/GC attribution on a stats-epoch cadence, plus
+		// the flight recorder's ring counters when one is armed.
+		nh.sampler.WriteMetrics(w, labels)
+		if nh.recorder != nil {
+			rs := nh.recorder.Stats()
+			w.Counter("abd_prof_captures_total", "flight-recorder capture sets completed", labels, rs.Captured)
+			w.Counter("abd_prof_capture_skips_total", "triggers skipped (cooldown or capture in flight)", labels, rs.Skipped)
+			w.Counter("abd_prof_capture_evictions_total", "capture sets evicted from the on-disk ring", labels, rs.Evicted)
+		}
 	}
 }

@@ -1,0 +1,286 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+)
+
+// bench-diff compares two BENCH JSON reports benchstat-style. The files are
+// walked as JSON trees in parallel; numeric leaves whose key is a known
+// performance metric are compared under a relative tolerance and a known
+// better-direction, everything else is informational. Two gate tiers:
+//
+//   - gateAlways: per-op allocation metrics. Stable across run duration, so
+//     they gate even when the two reports ran different configurations
+//     (e.g. CI's -quick run vs the committed full baseline).
+//   - gateSameConfig: throughput and latency metrics. Only meaningful when
+//     the workload shape matches, so any mismatch on a config key (nodes,
+//     workers, duration_ms, ...) demotes them to informational.
+//
+// Array elements are matched by their "name" (or "shards") key when
+// present, so pass lists align by identity, not position.
+
+// metricDir says which direction is an improvement.
+type metricDir int
+
+const (
+	lowerIsBetter metricDir = iota
+	higherIsBetter
+)
+
+// gateAlways metrics gate regardless of config mismatches.
+var gateAlways = map[string]metricDir{
+	"allocs_per_op": lowerIsBetter,
+	"bytes_per_op":  lowerIsBetter,
+}
+
+// gateSameConfig metrics gate only when every config key matches.
+var gateSameConfig = map[string]metricDir{
+	"ops_per_sec":      higherIsBetter,
+	"p50_us":           lowerIsBetter,
+	"p99_us":           lowerIsBetter,
+	"speedup":          higherIsBetter,
+	"scaling_3x":       higherIsBetter,
+	"fsyncs_per_write": lowerIsBetter,
+}
+
+// configKeys describe the workload shape; a mismatch on any of them means
+// the two reports are not the same experiment configuration.
+var configKeys = map[string]bool{
+	"schema": true, "go": true, "seed": true,
+	"nodes": true, "workers": true, "clients": true, "registers": true,
+	"duration_ms": true, "per_group": true, "stores": true,
+	"fsync_delay_ms": true, "batch_max": true,
+	"n": true, "f": true, "writers": true, "readers": true,
+	"ops_per_worker": true, "payload_bytes": true,
+}
+
+// diffRow is one compared numeric leaf.
+type diffRow struct {
+	Path     string
+	Old, New float64
+	Gated    bool
+	Regress  bool
+}
+
+func (r diffRow) deltaPct() float64 {
+	if r.Old == 0 {
+		if r.New == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (r.New - r.Old) / math.Abs(r.Old) * 100
+}
+
+type benchDiff struct {
+	tolerance float64
+	// crossConfig is set when any config key differs: gateSameConfig
+	// metrics become informational.
+	crossConfig []string
+	// goSkew is set when the two reports were produced by different Go
+	// toolchains. Allocation counts are compiler-dependent, so even the
+	// gateAlways per-op metrics demote to informational — diff numbers
+	// across compilers describe the compilers, not the code under test.
+	goSkew bool
+	rows   []diffRow
+}
+
+func runBenchDiff(oldPath, newPath string, tolerance float64) (*benchDiff, error) {
+	oldTree, err := loadJSON(oldPath)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newTree, err := loadJSON(newPath)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", newPath, err)
+	}
+	d := &benchDiff{tolerance: tolerance}
+	d.scanConfig("", oldTree, newTree)
+	d.walk("", oldTree, newTree)
+	sort.Slice(d.rows, func(i, j int) bool { return d.rows[i].Path < d.rows[j].Path })
+	return d, nil
+}
+
+func loadJSON(path string) (any, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tree any
+	if err := json.Unmarshal(buf, &tree); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// scanConfig records every config-key mismatch anywhere in the two trees.
+func (d *benchDiff) scanConfig(path string, oldV, newV any) {
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			return
+		}
+		for k, ov := range o {
+			nv, ok := n[k]
+			if !ok {
+				continue
+			}
+			if configKeys[k] && fmt.Sprint(ov) != fmt.Sprint(nv) {
+				d.crossConfig = append(d.crossConfig, joinPath(path, k))
+				if k == "go" {
+					d.goSkew = true
+				}
+				continue
+			}
+			d.scanConfig(joinPath(path, k), ov, nv)
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			return
+		}
+		forMatchedElems(o, n, func(label string, ov, nv any) {
+			d.scanConfig(joinPath(path, label), ov, nv)
+		})
+	}
+}
+
+// walk compares the trees and collects rows for every metric leaf present
+// in both.
+func (d *benchDiff) walk(path string, oldV, newV any) {
+	switch o := oldV.(type) {
+	case map[string]any:
+		n, ok := newV.(map[string]any)
+		if !ok {
+			return
+		}
+		keys := make([]string, 0, len(o))
+		for k := range o {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			nv, ok := n[k]
+			if !ok {
+				continue
+			}
+			if of, ok1 := asFloat(o[k]); ok1 {
+				if nf, ok2 := asFloat(nv); ok2 {
+					d.compare(joinPath(path, k), k, of, nf)
+					continue
+				}
+			}
+			d.walk(joinPath(path, k), o[k], nv)
+		}
+	case []any:
+		n, ok := newV.([]any)
+		if !ok {
+			return
+		}
+		forMatchedElems(o, n, func(label string, ov, nv any) {
+			d.walk(joinPath(path, label), ov, nv)
+		})
+	}
+}
+
+// forMatchedElems pairs array elements by their "name" or "shards" key when
+// the elements are objects carrying one, falling back to index alignment.
+func forMatchedElems(o, n []any, f func(label string, ov, nv any)) {
+	key := elemKey(o)
+	if key == "" {
+		for i := 0; i < len(o) && i < len(n); i++ {
+			f(fmt.Sprintf("[%d]", i), o[i], n[i])
+		}
+		return
+	}
+	byID := make(map[string]any, len(n))
+	for _, el := range n {
+		if m, ok := el.(map[string]any); ok {
+			byID[fmt.Sprint(m[key])] = el
+		}
+	}
+	for _, el := range o {
+		m, ok := el.(map[string]any)
+		if !ok {
+			continue
+		}
+		id := fmt.Sprint(m[key])
+		if nv, ok := byID[id]; ok {
+			f(fmt.Sprintf("[%s=%s]", key, id), el, nv)
+		}
+	}
+}
+
+func elemKey(elems []any) string {
+	for _, candidate := range []string{"name", "shards"} {
+		all := len(elems) > 0
+		for _, el := range elems {
+			m, ok := el.(map[string]any)
+			if !ok || m[candidate] == nil {
+				all = false
+				break
+			}
+		}
+		if all {
+			return candidate
+		}
+	}
+	return ""
+}
+
+func (d *benchDiff) compare(path, key string, oldF, newF float64) {
+	dir, gated := gateAlways[key]
+	if gated {
+		gated = !d.goSkew
+	} else {
+		if sdir, ok := gateSameConfig[key]; ok {
+			dir = sdir
+			gated = len(d.crossConfig) == 0
+		} else {
+			d.rows = append(d.rows, diffRow{Path: path, Old: oldF, New: newF})
+			return
+		}
+	}
+	row := diffRow{Path: path, Old: oldF, New: newF, Gated: gated}
+	if gated && oldF != 0 {
+		worse := newF - oldF // positive is worse for lowerIsBetter
+		if dir == higherIsBetter {
+			worse = oldF - newF
+		}
+		if worse/math.Abs(oldF) > d.tolerance {
+			row.Regress = true
+		}
+	}
+	d.rows = append(d.rows, row)
+}
+
+func (d *benchDiff) regressions() []diffRow {
+	var out []diffRow
+	for _, r := range d.rows {
+		if r.Regress {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func joinPath(base, k string) string {
+	if base == "" {
+		return k
+	}
+	if strings.HasPrefix(k, "[") {
+		return base + k
+	}
+	return base + "." + k
+}
+
+func asFloat(v any) (float64, bool) {
+	f, ok := v.(float64)
+	return f, ok
+}

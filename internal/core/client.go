@@ -79,6 +79,11 @@ type Client struct {
 	lat     latencySet
 	hot     *health.TopK // per-register op counts (always on, like lat)
 	tracer  obs.Tracer   // nil = tracing disabled (the default)
+
+	// runtimeTrace arms the runtime/trace task/region bracketing
+	// (WithRuntimeTrace, runtimetrace.go); active only while a trace
+	// session runs.
+	runtimeTrace bool
 }
 
 // NewClient creates a client for the given replica group. The client takes
@@ -275,6 +280,7 @@ type opTrace struct {
 // (ot.trace, phase span id) so replica and transport spans on the far side
 // join the same trace.
 func (c *Client) phase(ctx context.Context, req message, pred func(quorum.Set) bool, ot opTrace, label string) ([]message, error) {
+	defer c.phaseRegion(ctx, label)()
 	op := c.opSeq.Add(1)
 	req.Op = op
 	var spanID uint64
@@ -626,6 +632,8 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 	start := time.Now()
 	c.hot.Offer(reg)
 	ot := c.beginOp()
+	ctx, endTask := c.beginRuntimeTask(ctx, "abd.read", ot)
+	defer endTask()
 	var val types.Value
 	var err error
 	if c.coalesceReads {
@@ -690,6 +698,8 @@ func (c *Client) Write(ctx context.Context, reg string, val types.Value) error {
 	start := time.Now()
 	c.hot.Offer(reg)
 	ot := c.beginOp()
+	ctx, endTask := c.beginRuntimeTask(ctx, "abd.write", ot)
+	defer endTask()
 	var err error
 	if c.absorbWrites && !c.singleWriter {
 		err = c.writeAbsorbed(ctx, reg, val, ot)

@@ -219,6 +219,19 @@ func WithTracer(t obs.Tracer) ClientOption {
 	return func(c *Client) { c.tracer = t }
 }
 
+// WithRuntimeTrace opts the client into Go execution-trace integration:
+// while a runtime/trace session is active (runtime/trace.Start, or a
+// /debug/pprof/trace scrape), every Read/Write opens a trace task
+// ("abd.read"/"abd.write") and every quorum phase a region
+// ("abd.phase.query", "abd.phase.write-back", ...) inside it, with the
+// operation's causal trace id logged under the "abd.trace" category — so a
+// `go tool trace` flamegraph lines up with the obs span tree for the same
+// operation. When no trace session is active the instrumentation is a
+// single boolean check per op; the default (option absent) costs nothing.
+func WithRuntimeTrace() ClientOption {
+	return func(c *Client) { c.runtimeTrace = true }
+}
+
 // WithBoundedLabels switches the client to the bounded cyclic label mode
 // with liveness window l, implying single-writer mode (the paper's bounded
 // construction is for the SWMR register). Every replica in the group must

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	rtrace "runtime/trace"
+	"strconv"
+)
+
+// Runtime execution-trace integration (WithRuntimeTrace): operations map to
+// trace tasks, quorum phases to regions inside them, and the obs trace id
+// is logged on the task so `go tool trace` output cross-references the span
+// tree. Everything here is gated on rtrace.IsEnabled() so an instrumented
+// client costs one branch per call while no trace session runs.
+
+func noopEnd() {}
+
+// beginRuntimeTask opens a trace task for one client operation and returns
+// the task-bearing context (phases started under it become its regions)
+// plus the end function.
+func (c *Client) beginRuntimeTask(ctx context.Context, name string, ot opTrace) (context.Context, func()) {
+	if !c.runtimeTrace || !rtrace.IsEnabled() {
+		return ctx, noopEnd
+	}
+	ctx, task := rtrace.NewTask(ctx, name)
+	if ot.trace != 0 {
+		// The causal trace id, hex like abd-trace renders it, so a task in
+		// the execution trace can be matched to its span tree.
+		rtrace.Log(ctx, "abd.trace", strconv.FormatUint(ot.trace, 16))
+	}
+	return ctx, task.End
+}
+
+// phaseRegion brackets one broadcast-and-collect phase as a region of the
+// operation's task; the returned func ends it.
+func (c *Client) phaseRegion(ctx context.Context, label string) func() {
+	if !c.runtimeTrace || !rtrace.IsEnabled() {
+		return noopEnd
+	}
+	return rtrace.StartRegion(ctx, regionName(label)).End
+}
+
+// regionName maps the phase labels used by the obs spans to stable region
+// names without allocating on the hot path.
+func regionName(label string) string {
+	switch label {
+	case "query":
+		return "abd.phase.query"
+	case "confirm":
+		return "abd.phase.confirm"
+	case "update":
+		return "abd.phase.update"
+	case "write-back":
+		return "abd.phase.write-back"
+	default:
+		return "abd.phase." + label
+	}
+}

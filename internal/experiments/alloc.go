@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/prof"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ALAlloc attributes heap allocation to the protocol's phases. Two views:
+//
+//   - Per-phase rows: fixed-op-count loops over a zero-latency in-process
+//     transport (directNet below — straight channel handoff, no netsim
+//     scheduler), so bytes/op and allocs/op charge the protocol code itself:
+//     the read path (query + write-back), the query phase alone (QueryMax),
+//     the write-back phase alone (Propagate), the write path (query +
+//     update), the wire codec's seal and open halves in isolation, and a
+//     replica's full receive-handle-ack path with and without a WAL.
+//   - Workload row: the TP pipeline-on pass (5 persistent replicas, 64
+//     workers) bracketed by a prof.Sampler, attributing whole-process
+//     allocation and GC activity (cycles, pause p99) per end-to-end op under
+//     real concurrency.
+//
+// Phase op counts are fixed constants — NOT scaled by Quick — so a quick CI
+// run produces per-op numbers directly comparable to the committed full
+// baseline (BENCH_alloc.json) and `abd-prof bench-diff` can gate on them.
+// Only the workload row's duration scales.
+//
+// With Options.JSONOut set the run also writes a machine-readable
+// allocReport (BENCH_alloc.json).
+func ALAlloc(o Options) (*Table, error) {
+	tbl := &Table{
+		ID:      "AL",
+		Title:   "allocation attribution per protocol phase",
+		Claim:   "heap cost per operation decomposes into stable per-phase budgets; regressions localize to the phase that grew",
+		Headers: []string{"phase", "ops", "allocs/op", "bytes/op"},
+	}
+
+	const (
+		nodes        = 3 // phase rows: smallest majority-quorum cluster
+		payloadBytes = 256
+		clientOps    = 500
+		wireOps      = 5000
+		replicaOps   = 2000
+		walOps       = 500
+	)
+
+	report := allocReport{Nodes: nodes, PayloadBytes: payloadBytes}
+	report.stamp(schemaAlloc, o)
+
+	phases, err := runAllocPhases(o, nodes, payloadBytes, clientOps, wireOps, replicaOps, walOps)
+	if err != nil {
+		return nil, err
+	}
+	report.Phases = phases
+
+	wl, err := runAllocWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	report.Workload = wl
+
+	for _, p := range report.Phases {
+		tbl.AddRow(p.Name, fmt.Sprint(p.Ops),
+			fmt.Sprintf("%.1f", p.AllocsPerOp), fmt.Sprintf("%.0f", p.BytesPerOp))
+	}
+	tbl.AddRow("workload (TP on)", fmt.Sprint(wl.Ops),
+		fmt.Sprintf("%.1f", wl.AllocsPerOp), fmt.Sprintf("%.0f", wl.BytesPerOp))
+	tbl.Notes = append(tbl.Notes,
+		"phase rows run fixed op counts over an in-process zero-latency transport: per-op numbers attribute protocol code, not simulator machinery, and are identical in -quick mode",
+		fmt.Sprintf("workload row is the TP pipeline-on pass (%d GC cycles, gc pause p99 %.0fµs): whole-process allocation per end-to-end op under 64-worker concurrency",
+			wl.GCCycles, wl.GCPauseP99US),
+	)
+
+	if err := writeBenchJSON(o, tbl, report); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+// allocReport is the machine-readable output (BENCH_alloc.json).
+type allocReport struct {
+	benchEnvelope
+	Nodes        int           `json:"nodes"`
+	PayloadBytes int           `json:"payload_bytes"`
+	Workload     allocWorkload `json:"workload"`
+	Phases       []allocPhase  `json:"phases"`
+}
+
+type allocPhase struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+type allocWorkload struct {
+	Nodes       int     `json:"nodes"`
+	Workers     int     `json:"workers"`
+	DurationMS  int64   `json:"duration_ms"`
+	Ops         int64   `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// GCCycles and GCPauseP99US summarize collector activity during the
+	// pass (whole process, prof.Sampler delta).
+	GCCycles     uint64  `json:"gc_cycles"`
+	GCPauseP99US float64 `json:"gc_pause_p99_us"`
+}
+
+func runAllocPhases(o Options, nodes, payloadBytes, clientOps, wireOps, replicaOps, walOps int) ([]allocPhase, error) {
+	hub := newDirectNet()
+	defer hub.closeAll()
+
+	ids := make([]types.NodeID, 0, nodes)
+	for i := 0; i < nodes; i++ {
+		id := types.NodeID(i)
+		r := core.NewReplica(id, hub.endpoint(id))
+		r.Start()
+		defer r.Stop()
+		ids = append(ids, id)
+	}
+	cli, err := core.NewClient(100, hub.endpoint(100), ids)
+	if err != nil {
+		return nil, err
+	}
+	defer cli.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	val := make([]byte, payloadBytes)
+	copy(val, "alloc-probe")
+	if err := cli.Write(ctx, "a", val); err != nil {
+		return nil, err
+	}
+	// The write-back row propagates the tag the register already carries —
+	// exactly what a read's write-back phase does in the common case.
+	tag, tagVal, err := cli.QueryMax(ctx, "a")
+	if err != nil {
+		return nil, err
+	}
+
+	var phases []allocPhase
+	var opErr error
+	measure := func(name string, n int, f func(i int)) {
+		if opErr != nil {
+			return
+		}
+		st := prof.MeasureAllocs(n, f)
+		phases = append(phases, allocPhase{
+			Name: name, Ops: n,
+			AllocsPerOp: st.AllocsPerOp, BytesPerOp: st.BytesPerOp,
+		})
+	}
+
+	measure("read", clientOps, func(i int) {
+		if _, err := cli.Read(ctx, "a"); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+	measure("read-query", clientOps, func(i int) {
+		if _, _, err := cli.QueryMax(ctx, "a"); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+	measure("write-back", clientOps, func(i int) {
+		if err := cli.Propagate(ctx, "a", tag, tagVal); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+	measure("write", clientOps, func(i int) {
+		if err := cli.Write(ctx, "a", val); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+
+	// Wire codec halves in isolation.
+	sealed := core.EncodeWriteRequest(1, "a", 1, 100, val)
+	measure("wire-seal", wireOps, func(i int) {
+		core.EncodeWriteRequest(uint64(i), "a", int64(i), 100, val)
+	})
+	measure("wire-open", wireOps, func(i int) {
+		if _, err := core.DecodeKind(sealed); err != nil && opErr == nil {
+			opErr = err
+		}
+	})
+
+	// Replica handle path: a raw endpoint feeds pre-encoded write requests
+	// to a dedicated replica and waits for each ack, so the row charges the
+	// replica's receive-decode-apply-ack round (plus channel handoff) and
+	// nothing client-side. Payloads are pre-encoded outside the measurement.
+	if opErr == nil {
+		p, err := measureReplicaHandle(hub, 50, 900, "replica-handle", replicaOps, payloadBytes, "")
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, p)
+	}
+	if opErr == nil {
+		dir, err := os.MkdirTemp("", "abd-al-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		p, err := measureReplicaHandle(hub, 51, 901, "replica-handle-wal", walOps, payloadBytes,
+			filepath.Join(dir, "replica.wal"))
+		if err != nil {
+			return nil, err
+		}
+		phases = append(phases, p)
+	}
+	if opErr != nil {
+		return nil, opErr
+	}
+	return phases, nil
+}
+
+// measureReplicaHandle measures one replica's full message-handling path. A
+// WAL path selects a persistent replica (group commit and fsync included).
+func measureReplicaHandle(hub *directNet, replicaID, driverID types.NodeID, name string, ops, payloadBytes int, walPath string) (allocPhase, error) {
+	var r *core.Replica
+	var err error
+	if walPath != "" {
+		r, err = core.NewPersistentReplica(replicaID, hub.endpoint(replicaID), walPath)
+		if err != nil {
+			return allocPhase{}, err
+		}
+	} else {
+		r = core.NewReplica(replicaID, hub.endpoint(replicaID))
+	}
+	r.Start()
+	defer r.Stop()
+
+	driver := hub.endpoint(driverID)
+	defer driver.Close()
+
+	val := make([]byte, payloadBytes)
+	copy(val, "alloc-probe")
+	payloads := make([][]byte, ops)
+	for i := range payloads {
+		payloads[i] = core.EncodeWriteRequest(uint64(i+1), "h", int64(i+1), driverID, val)
+	}
+
+	var sendErr error
+	st := prof.MeasureAllocs(ops, func(i int) {
+		if sendErr != nil {
+			return
+		}
+		if err := driver.Send(replicaID, payloads[i]); err != nil {
+			sendErr = err
+			return
+		}
+		if _, ok := <-driver.Recv(); !ok {
+			sendErr = fmt.Errorf("driver endpoint closed mid-measurement")
+		}
+	})
+	if sendErr != nil {
+		return allocPhase{}, fmt.Errorf("%s: %w", name, sendErr)
+	}
+	return allocPhase{Name: name, Ops: ops, AllocsPerOp: st.AllocsPerOp, BytesPerOp: st.BytesPerOp}, nil
+}
+
+// runAllocWorkload reruns the TP pipeline-on pass bracketed by a
+// prof.Sampler and charges whole-process allocation to its end-to-end ops.
+func runAllocWorkload(o Options) (allocWorkload, error) {
+	const (
+		nodes   = 5
+		workers = 64
+		clients = 4
+	)
+	regs := []string{"r0", "r1", "r2", "r3"}
+	dur := time.Duration(o.scale(int(time.Second), int(300*time.Millisecond)))
+
+	sampler := prof.NewSampler(0)
+	sampler.Reset()
+	pass, err := runThroughputPass(o, true, nodes, workers, clients, regs, dur)
+	if err != nil {
+		return allocWorkload{}, err
+	}
+	d := sampler.Rotate()
+
+	wl := allocWorkload{
+		Nodes: nodes, Workers: workers, DurationMS: dur.Milliseconds(),
+		Ops: pass.Ops, OpsPerSec: pass.OpsPerSec,
+		GCCycles:     d.GCCycles,
+		GCPauseP99US: d.GCPauses.Quantile(0.99) * 1e6,
+	}
+	if pass.Ops > 0 {
+		wl.AllocsPerOp = float64(d.AllocObjects) / float64(pass.Ops)
+		wl.BytesPerOp = float64(d.AllocBytes) / float64(pass.Ops)
+	}
+	return wl, nil
+}
+
+// ---- directNet: zero-latency in-process transport ----
+
+// directNet hands messages between endpoints over buffered channels with no
+// scheduler in between, so allocation measurements charge the protocol code
+// rather than simulator machinery. Reliable, ordered, no delay model.
+type directNet struct {
+	mu  sync.Mutex
+	eps map[types.NodeID]*directEndpoint
+}
+
+func newDirectNet() *directNet {
+	return &directNet{eps: make(map[types.NodeID]*directEndpoint)}
+}
+
+func (n *directNet) endpoint(id types.NodeID) *directEndpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep := &directEndpoint{id: id, net: n, ch: make(chan transport.Message, 4096)}
+	n.eps[id] = ep
+	return ep
+}
+
+func (n *directNet) closeAll() {
+	n.mu.Lock()
+	eps := make([]*directEndpoint, 0, len(n.eps))
+	for _, ep := range n.eps {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func (n *directNet) deliver(m transport.Message) error {
+	n.mu.Lock()
+	dst, ok := n.eps[m.To]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("directNet: no endpoint %d", m.To)
+	}
+	dst.deliver(m)
+	return nil
+}
+
+type directEndpoint struct {
+	id  types.NodeID
+	net *directNet
+
+	mu     sync.Mutex
+	closed bool
+	ch     chan transport.Message
+}
+
+func (e *directEndpoint) ID() types.NodeID { return e.id }
+
+func (e *directEndpoint) Send(to types.NodeID, payload []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return fmt.Errorf("directNet: endpoint %d closed", e.id)
+	}
+	return e.net.deliver(transport.Message{From: e.id, To: to, Payload: payload})
+}
+
+// deliver enqueues under the receiver's lock so a concurrent Close cannot
+// race the channel close. A full buffer drops the message — the protocol
+// retransmits, and the closed-loop workloads here never approach the cap.
+func (e *directEndpoint) deliver(m transport.Message) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	select {
+	case e.ch <- m:
+	default:
+	}
+}
+
+func (e *directEndpoint) Recv() <-chan transport.Message { return e.ch }
+
+func (e *directEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	close(e.ch)
+	e.net.mu.Lock()
+	delete(e.net.eps, e.id)
+	e.net.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestALAlloc runs the allocation-attribution experiment at CI scale and
+// checks the report invariants: the shared BENCH envelope is stamped, the
+// eight phase rows appear in order with their fixed op counts, every
+// protocol phase reports nonzero per-op cost, and composition holds loosely
+// (a full read costs at least its query phase; WAL handling costs at least
+// in-memory handling).
+func TestALAlloc(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "al.json")
+	tbl, err := ALAlloc(Options{Quick: true, Seed: 1, JSONOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 { // 8 phases + workload row
+		t.Fatalf("want 9 rows, got %d", len(tbl.Rows))
+	}
+
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Schema   string `json:"schema"`
+		Go       string `json:"go"`
+		Seed     int64  `json:"seed"`
+		Workload struct {
+			Ops         int64   `json:"ops"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			BytesPerOp  float64 `json:"bytes_per_op"`
+		} `json:"workload"`
+		Phases []struct {
+			Name        string  `json:"name"`
+			Ops         int     `json:"ops"`
+			AllocsPerOp float64 `json:"allocs_per_op"`
+			BytesPerOp  float64 `json:"bytes_per_op"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "abd-bench/alloc/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Go != runtime.Version() {
+		t.Fatalf("go = %q, want %q", rep.Go, runtime.Version())
+	}
+	if rep.Seed != 1 {
+		t.Fatalf("seed = %d", rep.Seed)
+	}
+
+	want := []string{"read", "read-query", "write-back", "write",
+		"wire-seal", "wire-open", "replica-handle", "replica-handle-wal"}
+	if len(rep.Phases) != len(want) {
+		t.Fatalf("want %d phases, got %d", len(want), len(rep.Phases))
+	}
+	byName := map[string]float64{}
+	for i, p := range rep.Phases {
+		if p.Name != want[i] {
+			t.Fatalf("phase %d = %q, want %q", i, p.Name, want[i])
+		}
+		if p.Ops == 0 {
+			t.Fatalf("phase %s ran 0 ops", p.Name)
+		}
+		if p.AllocsPerOp <= 0 || p.BytesPerOp <= 0 {
+			t.Fatalf("phase %s: allocs/op %.2f bytes/op %.2f, want > 0",
+				p.Name, p.AllocsPerOp, p.BytesPerOp)
+		}
+		byName[p.Name] = p.BytesPerOp
+	}
+	// Quick mode must not shrink the fixed phase op counts: the CI quick run
+	// gates against the committed full baseline.
+	for _, p := range rep.Phases {
+		if p.Ops < 500 {
+			t.Fatalf("phase %s op count %d scaled down", p.Name, p.Ops)
+		}
+	}
+	if byName["read"] < byName["read-query"] {
+		t.Fatalf("read (%.0f B/op) cheaper than its own query phase (%.0f B/op)",
+			byName["read"], byName["read-query"])
+	}
+	if byName["replica-handle-wal"] < byName["replica-handle"] {
+		t.Fatalf("WAL handle (%.0f B/op) cheaper than in-memory handle (%.0f B/op)",
+			byName["replica-handle-wal"], byName["replica-handle"])
+	}
+
+	if rep.Workload.Ops == 0 || rep.Workload.AllocsPerOp <= 0 || rep.Workload.BytesPerOp <= 0 {
+		t.Fatalf("workload row empty: %+v", rep.Workload)
+	}
+}

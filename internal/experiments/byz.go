@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"os"
 	"strings"
 	"sync"
 	"time"
@@ -46,9 +44,10 @@ func BYByzantineCost(o Options) (*Table, error) {
 
 	const n, f = 5, 1
 	report := byzReport{
-		Seed: o.seed(), N: n, F: f, Writers: 1, Readers: 2, OpsPerWorker: ops,
+		N: n, F: f, Writers: 1, Readers: 2, OpsPerWorker: ops,
 		MajorityQuorum: n/2 + 1, MaskingQuorum: quorum.NewMasking(n, f).QuorumSize(),
 	}
+	report.stamp(schemaByz, o)
 
 	specs := []struct {
 		name   string
@@ -98,22 +97,15 @@ func BYByzantineCost(o Options) (*Table, error) {
 		"f=0 is a genuine baseline: WithByzantine(0) keeps majority quorums and skips validation entirely",
 	)
 
-	if o.JSONOut != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(o.JSONOut, append(buf, '\n'), 0o644); err != nil {
-			return nil, fmt.Errorf("write %s: %w", o.JSONOut, err)
-		}
-		tbl.Notes = append(tbl.Notes, "JSON report written to "+o.JSONOut)
+	if err := writeBenchJSON(o, tbl, report); err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
 
 // byzReport is the machine-readable output (BENCH_byz.json).
 type byzReport struct {
-	Seed           int64     `json:"seed"`
+	benchEnvelope
 	N              int       `json:"n"`
 	F              int       `json:"f"`
 	Writers        int       `json:"writers"`

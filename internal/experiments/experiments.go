@@ -144,6 +144,7 @@ func All() []Runner {
 		{"SH", "aggregate throughput vs shard (replica group) count", "shards", SHShards},
 		{"HK", "hot-key top-k sketch vs exact counts under zipfian load", "hotkeys", HKHotKeys},
 		{"BY", "Byzantine validation cost: f=0 vs f=1, honest and under attack", "byz", BYByzantineCost},
+		{"AL", "allocation attribution per protocol phase", "alloc", ALAlloc},
 	}
 }
 

@@ -311,8 +311,8 @@ func TestL1LatencyShapes(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 18 {
-		t.Fatalf("expected 18 experiments, got %d", len(All()))
+	if len(All()) != 19 {
+		t.Fatalf("expected 19 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")
@@ -327,6 +327,9 @@ func TestFindAndAll(t *testing.T) {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if r, ok := Find("byz"); !ok || r.ID != "BY" {
+		t.Fatalf("Find by alias: %v %v", r.ID, ok)
+	}
+	if r, ok := Find("alloc"); !ok || r.ID != "AL" {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if _, ok := Find("T9"); ok {

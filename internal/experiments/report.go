@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// The BENCH JSON schemas. Every machine-readable report embeds
+// benchEnvelope, so the committed BENCH_*.json files share one leading
+// envelope — schema id, Go toolchain, seed — that abd-prof bench-diff and
+// the CI jq assertions can rely on across emitters.
+const (
+	schemaThroughput = "abd-bench/throughput/v1"
+	schemaShards     = "abd-bench/shards/v1"
+	schemaByz        = "abd-bench/byz/v1"
+	schemaAlloc      = "abd-bench/alloc/v1"
+)
+
+// benchEnvelope is the shared header of every BENCH JSON report.
+type benchEnvelope struct {
+	// Schema identifies the report shape (abd-bench/<experiment>/v<N>).
+	Schema string `json:"schema"`
+	// Go is the toolchain that produced the numbers (runtime.Version()):
+	// allocation counts are compiler-dependent, so a cross-version diff
+	// should be read as informational.
+	Go string `json:"go"`
+	// Seed fed the run's simulations.
+	Seed int64 `json:"seed"`
+}
+
+// stamp fills the envelope uniformly; every emitter calls it right before
+// writeBenchJSON.
+func (e *benchEnvelope) stamp(schema string, o Options) {
+	e.Schema = schema
+	e.Go = runtime.Version()
+	e.Seed = o.seed()
+}
+
+// writeBenchJSON writes one experiment's machine-readable report to
+// Options.JSONOut (no-op when unset) and notes the path on the table. The
+// report must have had its envelope stamped.
+func writeBenchJSON(o Options, tbl *Table, report any) error {
+	if o.JSONOut == "" {
+		return nil
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(o.JSONOut, append(buf, '\n'), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", o.JSONOut, err)
+	}
+	tbl.Notes = append(tbl.Notes, "JSON report written to "+o.JSONOut)
+	return nil
+}

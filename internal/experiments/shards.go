@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -60,11 +59,12 @@ func SHShards(o Options) (*Table, error) {
 	dur := time.Duration(o.scale(int(2*time.Second), int(500*time.Millisecond)))
 
 	report := shardsReport{
-		Seed: o.seed(), PerGroup: perGroup, Workers: workers,
+		PerGroup: perGroup, Workers: workers,
 		Stores: stores, Registers: workers,
 		FsyncDelayMS: fsyncDelay.Milliseconds(), BatchMax: batchMax,
 		DurationMS: dur.Milliseconds(),
 	}
+	report.stamp(schemaShards, o)
 
 	for _, groups := range []int{1, 2, 3} {
 		pass, err := runShardsPass(o, groups, perGroup, workers, stores, fsyncDelay, batchMax, dur)
@@ -95,15 +95,8 @@ func SHShards(o Options) (*Table, error) {
 			fsyncDelay, batchMax),
 	)
 
-	if o.JSONOut != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(o.JSONOut, append(buf, '\n'), 0o644); err != nil {
-			return nil, fmt.Errorf("write %s: %w", o.JSONOut, err)
-		}
-		tbl.Notes = append(tbl.Notes, "JSON report written to "+o.JSONOut)
+	if err := writeBenchJSON(o, tbl, report); err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
@@ -121,7 +114,7 @@ func joinCells(cells []string) string {
 
 // shardsReport is the machine-readable output (BENCH_shards.json).
 type shardsReport struct {
-	Seed         int64        `json:"seed"`
+	benchEnvelope
 	PerGroup     int          `json:"per_group"`
 	Workers      int          `json:"workers"`
 	Stores       int          `json:"stores"`

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,9 +47,10 @@ func TPThroughput(o Options) (*Table, error) {
 	dur := time.Duration(o.scale(int(2*time.Second), int(400*time.Millisecond)))
 
 	report := throughputReport{
-		Seed: o.seed(), Nodes: nodes, Workers: workers,
+		Nodes: nodes, Workers: workers,
 		Clients: clients, Registers: len(regs), DurationMS: dur.Milliseconds(),
 	}
+	report.stamp(schemaThroughput, o)
 
 	for _, batched := range []bool{false, true} {
 		name := "off"
@@ -82,22 +82,15 @@ func TPThroughput(o Options) (*Table, error) {
 		"fsync/w is fsyncs per acked write summed over replicas, divided by replica count: group commit drives it below 1",
 	)
 
-	if o.JSONOut != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return nil, err
-		}
-		if err := os.WriteFile(o.JSONOut, append(buf, '\n'), 0o644); err != nil {
-			return nil, fmt.Errorf("write %s: %w", o.JSONOut, err)
-		}
-		tbl.Notes = append(tbl.Notes, "JSON report written to "+o.JSONOut)
+	if err := writeBenchJSON(o, tbl, report); err != nil {
+		return nil, err
 	}
 	return tbl, nil
 }
 
 // throughputReport is the machine-readable output (BENCH_throughput.json).
 type throughputReport struct {
-	Seed       int64            `json:"seed"`
+	benchEnvelope
 	Nodes      int              `json:"nodes"`
 	Workers    int              `json:"workers"`
 	Clients    int              `json:"clients"`

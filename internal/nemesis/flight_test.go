@@ -1,0 +1,120 @@
+package nemesis
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/lincheck"
+	"repro/internal/prof"
+)
+
+// TestNemesisFlightRecorder is the flight recorder's end-to-end acceptance
+// run: a seeded fault schedule whose burn alerts trigger captures must leave
+// profile sets on disk, captured while the faults were live; a fault-free
+// control run of the same workload with its own recorder must capture
+// nothing. The captured heap and goroutine profiles must parse with the
+// in-repo pprof reader — the artifacts are useful, not just present.
+func TestNemesisFlightRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second tcpnet runs")
+	}
+	const windows = 4
+	window := 700 * time.Millisecond
+
+	rec, err := prof.NewRecorder(prof.RecorderConfig{
+		Dir:         filepath.Join(t.TempDir(), "flight"),
+		MaxCaptures: 4,
+		CPUSeconds:  0.2,
+		Cooldown:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	// Seed 1's schedule contains a loss storm / latency spike (see
+	// TestNemesisHealthAlerts), so the monitor raises alerts and each fresh
+	// alert pulls the trigger.
+	res, err := Run(context.Background(), Config{
+		Seed: 1, Windows: windows, Window: window, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome == lincheck.NotLinearizable {
+		t.Fatal("faulted run not linearizable")
+	}
+	if len(res.Health.Alerts) == 0 {
+		t.Fatal("no alerts raised; the trigger path was never exercised")
+	}
+	if len(res.Health.Captures) == 0 {
+		t.Fatalf("alerts raised (%d) but no flight-recorder captures", len(res.Health.Alerts))
+	}
+
+	// At least one capture must have been triggered inside a fault
+	// episode's active interval, same coordinates the alert test uses.
+	inWindow := 0
+	for _, c := range res.Health.Captures {
+		if !strings.HasPrefix(c.Reason, "slo-") {
+			t.Errorf("capture reason %q, want slo-*", c.Reason)
+		}
+		off := c.At.Sub(res.Health.Start)
+		w := int(off / window)
+		frac := float64(off%window) / float64(window)
+		if w < windows && frac >= 0.125 && frac <= 0.875 {
+			inWindow++
+		}
+	}
+	if inWindow == 0 {
+		t.Fatalf("no capture inside a fault window: %+v", res.Health.Captures)
+	}
+
+	// The profiles are on disk and readable: heap and goroutine must parse
+	// with the repo's own pprof reader (cpu.pprof may be absent only if the
+	// test binary already runs a CPU profile; its error is recorded).
+	c := res.Health.Captures[0]
+	for _, name := range []string{"heap.pprof", "goroutine.pprof"} {
+		buf, err := os.ReadFile(filepath.Join(c.Dir, name))
+		if err != nil {
+			t.Fatalf("capture %d missing %s: %v", c.Seq, name, err)
+		}
+		p, err := prof.Parse(buf)
+		if err != nil {
+			t.Fatalf("capture %d: %s does not parse: %v", c.Seq, name, err)
+		}
+		if len(p.SampleTypes) == 0 {
+			t.Fatalf("capture %d: %s has no sample types", c.Seq, name)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(c.Dir, "meta.json")); err != nil {
+		t.Fatalf("capture %d missing meta.json: %v", c.Seq, err)
+	}
+
+	// Control: identical workload, empty (non-nil) schedule, fresh
+	// recorder. No faults → no alerts → zero captures.
+	ctl, err := prof.NewRecorder(prof.RecorderConfig{
+		Dir: filepath.Join(t.TempDir(), "flight-ctl"), CPUSeconds: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	cres, err := Run(context.Background(), Config{
+		Seed: 1, Windows: windows, Window: window,
+		Schedule: failure.Schedule{}, Recorder: ctl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Health.Captures) != 0 {
+		t.Fatalf("fault-free control captured profiles: %+v", cres.Health.Captures)
+	}
+	if st := ctl.Stats(); st.Triggered != 0 {
+		t.Fatalf("control recorder was triggered %d times", st.Triggered)
+	}
+}

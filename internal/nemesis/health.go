@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/health"
+	"repro/internal/prof"
 )
 
 // HealthReport is the health layer's verdict on one nemesis run: the SLO
@@ -28,6 +29,10 @@ type HealthReport struct {
 	// Start anchors the run's clock: Alert.At minus Start is the alert's
 	// offset into the fault schedule.
 	Start time.Time
+	// Captures lists the flight-recorder captures completed during the run
+	// (empty unless Config.Recorder was set). A faulted run captures inside
+	// its fault windows; a fault-free control run captures nothing.
+	Captures []prof.Capture
 	// ByzRejects and ByzConfirms are the clients' final validated-read
 	// counters — ByzRejects is the suspected-liar verdict: nonzero means
 	// reads actually discarded fabricated or equivocated pairs. Both stay
@@ -89,6 +94,7 @@ const monitorInterval = 25 * time.Millisecond
 type monitor struct {
 	cl      *Cluster
 	tracker *health.Tracker
+	rec     *prof.Recorder // nil-safe; triggered on fresh alerts
 	stop    chan struct{}
 	done    chan struct{}
 	// byz is the per-sample Byzantine counter timeline. Only the monitor
@@ -97,10 +103,11 @@ type monitor struct {
 	byz []ByzSample
 }
 
-func startMonitor(cl *Cluster, slo health.SLO) *monitor {
+func startMonitor(cl *Cluster, slo health.SLO, rec *prof.Recorder) *monitor {
 	m := &monitor{
 		cl:      cl,
 		tracker: health.NewTracker(slo),
+		rec:     rec,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
@@ -119,8 +126,19 @@ func (m *monitor) run() {
 			return
 		case now := <-t.C:
 			m.sample(now)
-			m.tracker.Evaluate(now)
+			_, fresh := m.tracker.Evaluate(now)
+			m.capture(fresh)
 		}
+	}
+}
+
+// capture triggers the flight recorder once per fresh alert, so the
+// profiles land while the burn that raised the alert is still in progress.
+// The recorder's own cooldown and single-flight gate keep a sustained burn
+// from capturing every 25ms.
+func (m *monitor) capture(fresh []health.Alert) {
+	for _, a := range fresh {
+		m.rec.Trigger("slo-" + string(a.Severity))
 	}
 }
 
@@ -144,6 +162,16 @@ func (m *monitor) sample(now time.Time) {
 // halt.
 func (m *monitor) byzTimeline() []ByzSample { return m.byz }
 
+// drainCaptures waits out any in-flight flight-recorder capture and returns
+// the completed set (nil recorder → nil).
+func drainCaptures(rec *prof.Recorder) []prof.Capture {
+	if rec == nil {
+		return nil
+	}
+	rec.Wait()
+	return rec.Captures()
+}
+
 // halt stops the monitor, runs one final sample+evaluation, and returns
 // the final SLO state plus every alert raised.
 func (m *monitor) halt() (health.SLOStatus, []health.Alert) {
@@ -151,6 +179,7 @@ func (m *monitor) halt() (health.SLOStatus, []health.Alert) {
 	<-m.done
 	now := time.Now()
 	m.sample(now)
-	st, _ := m.tracker.Evaluate(now)
+	st, fresh := m.tracker.Evaluate(now)
+	m.capture(fresh)
 	return st, m.tracker.Raised()
 }

@@ -36,6 +36,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/lincheck"
 	"repro/internal/obs"
+	"repro/internal/prof"
 	"repro/internal/shard"
 	"repro/internal/tcpnet"
 	"repro/internal/types"
@@ -133,6 +134,13 @@ type Config struct {
 	// loss storms and latency spikes burn budget while healthy loopback
 	// traffic does not (Config.healthSLO).
 	SLO health.SLO
+	// Recorder, when non-nil, is a flight recorder the health monitor
+	// triggers on every fresh SLO burn alert (reason "slo-page" or
+	// "slo-ticket"), capturing CPU/heap/goroutine profiles while the fault
+	// is still biting. Captures completed by the end of the run are listed
+	// in Result.Health.Captures. The caller owns the recorder (and its
+	// directory); Run only triggers and waits for in-flight captures.
+	Recorder *prof.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -988,7 +996,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	// tracker while the workload runs, the way a deployment polls /status.
 	// Its baseline sample anchors the run clock alerts are located on.
 	start := time.Now()
-	mon := startMonitor(cl, cfg.healthSLO())
+	mon := startMonitor(cl, cfg.healthSLO(), cfg.Recorder)
 
 	sctx, stopSched := context.WithCancel(ctx)
 	schedDone := make(chan struct{})
@@ -1141,6 +1149,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			Lag:         cl.LagReport(128, 5),
 			Start:       start,
 			ByzTimeline: mon.byzTimeline(),
+			Captures:    drainCaptures(cfg.Recorder),
 		},
 	}
 	if cfg.Groups > 1 {

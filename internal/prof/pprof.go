@@ -1,0 +1,478 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// This file is a minimal reader for the pprof profile format: a gzipped
+// protobuf message (profile.proto). Only the subset flat/cum attribution
+// needs is decoded — sample types, samples, locations, lines, functions,
+// and the string table; mappings, labels, and comments are skipped. The
+// decoder is a plain protobuf wire-format walker, so the package stays
+// stdlib-only (no protobuf runtime, no x/tools).
+
+// ValueType names one sample dimension, e.g. {"alloc_space", "bytes"} in a
+// heap profile or {"cpu", "nanoseconds"} in a CPU profile.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+func (v ValueType) String() string { return v.Type + "/" + v.Unit }
+
+type profSample struct {
+	locs []uint64
+	vals []int64
+}
+
+// Profile is a parsed pprof profile.
+type Profile struct {
+	SampleTypes []ValueType
+	// DefaultType indexes SampleTypes (the profile's default_sample_type,
+	// or the last type when unset — pprof's own convention).
+	DefaultType int
+
+	samples []profSample
+	// locFuncs maps a location id to its function names, innermost first
+	// (inlined frames expand to multiple names).
+	locFuncs map[uint64][]string
+}
+
+// Parse reads a pprof profile, transparently gunzipping (profiles written
+// by runtime/pprof are always gzipped; raw protobuf is accepted too).
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		defer zr.Close()
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("prof: gunzip: %w", err)
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// SampleTypeIndex resolves a sample-type name ("alloc_space", "cpu", ...)
+// to its index, or the default when name is empty. Returns -1 when absent.
+func (p *Profile) SampleTypeIndex(name string) int {
+	if name == "" {
+		return p.DefaultType
+	}
+	for i, st := range p.SampleTypes {
+		if st.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// FlatCum aggregates the given sample dimension per function: Flat is the
+// value attributed to the function's own frames (innermost), Cum the value
+// of every sample the function appears anywhere in (counted once per
+// sample, so recursion does not double-bill).
+type FlatCum struct {
+	Flat int64
+	Cum  int64
+}
+
+// FlatCum returns the per-function aggregation of sample dimension idx.
+func (p *Profile) FlatCum(idx int) (map[string]FlatCum, error) {
+	if idx < 0 || idx >= len(p.SampleTypes) {
+		return nil, fmt.Errorf("prof: sample type index %d out of range (have %d types)", idx, len(p.SampleTypes))
+	}
+	out := make(map[string]FlatCum)
+	seen := make(map[string]bool)
+	for _, s := range p.samples {
+		if idx >= len(s.vals) {
+			continue
+		}
+		v := s.vals[idx]
+		if v == 0 {
+			continue
+		}
+		// Flat: the innermost frame of the innermost location.
+		if len(s.locs) > 0 {
+			if fns := p.locFuncs[s.locs[0]]; len(fns) > 0 {
+				fc := out[fns[0]]
+				fc.Flat += v
+				out[fns[0]] = fc
+			}
+		}
+		// Cum: every distinct function in the stack, once.
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, loc := range s.locs {
+			for _, fn := range p.locFuncs[loc] {
+				if seen[fn] {
+					continue
+				}
+				seen[fn] = true
+				fc := out[fn]
+				fc.Cum += v
+				out[fn] = fc
+			}
+		}
+	}
+	return out, nil
+}
+
+// TotalValue sums sample dimension idx over all samples.
+func (p *Profile) TotalValue(idx int) int64 {
+	var total int64
+	for _, s := range p.samples {
+		if idx < len(s.vals) {
+			total += s.vals[idx]
+		}
+	}
+	return total
+}
+
+// DiffRow is one function's before/after values in a profile diff.
+type DiffRow struct {
+	Func    string
+	OldFlat int64
+	NewFlat int64
+	OldCum  int64
+	NewCum  int64
+}
+
+// FlatDelta returns the flat-value change.
+func (r DiffRow) FlatDelta() int64 { return r.NewFlat - r.OldFlat }
+
+// CumDelta returns the cumulative-value change.
+func (r DiffRow) CumDelta() int64 { return r.NewCum - r.OldCum }
+
+// DiffTop diffs two profiles on one sample type ("" = the new profile's
+// default) and returns the top-n functions by absolute flat delta
+// (cumulative delta breaking ties), plus the resolved sample type.
+func DiffTop(oldP, newP *Profile, sampleType string, n int) ([]DiffRow, ValueType, error) {
+	idxNew := newP.SampleTypeIndex(sampleType)
+	if idxNew < 0 {
+		return nil, ValueType{}, fmt.Errorf("prof: sample type %q not in new profile (have %v)", sampleType, newP.SampleTypes)
+	}
+	vt := newP.SampleTypes[idxNew]
+	idxOld := oldP.SampleTypeIndex(vt.Type)
+	if idxOld < 0 {
+		return nil, ValueType{}, fmt.Errorf("prof: sample type %q not in old profile (have %v)", vt.Type, oldP.SampleTypes)
+	}
+	oldFC, err := oldP.FlatCum(idxOld)
+	if err != nil {
+		return nil, ValueType{}, err
+	}
+	newFC, err := newP.FlatCum(idxNew)
+	if err != nil {
+		return nil, ValueType{}, err
+	}
+	merged := make(map[string]DiffRow, len(oldFC)+len(newFC))
+	for fn, fc := range oldFC {
+		merged[fn] = DiffRow{Func: fn, OldFlat: fc.Flat, OldCum: fc.Cum}
+	}
+	for fn, fc := range newFC {
+		row := merged[fn]
+		row.Func = fn
+		row.NewFlat, row.NewCum = fc.Flat, fc.Cum
+		merged[fn] = row
+	}
+	rows := make([]DiffRow, 0, len(merged))
+	for _, row := range merged {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := abs64(rows[i].FlatDelta()), abs64(rows[j].FlatDelta())
+		if di != dj {
+			return di > dj
+		}
+		ci, cj := abs64(rows[i].CumDelta()), abs64(rows[j].CumDelta())
+		if ci != cj {
+			return ci > cj
+		}
+		return rows[i].Func < rows[j].Func
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	return rows, vt, nil
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ---- protobuf wire-format walker ----
+
+type protoReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *protoReader) done() bool { return r.pos >= len(r.buf) }
+
+func (r *protoReader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("prof: truncated varint")
+		}
+		b := r.buf[r.pos]
+		r.pos++
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("prof: varint overflow")
+		}
+	}
+}
+
+// field reads one tag and its payload: varint fields return the value in
+// num, length-delimited fields return the bytes.
+func (r *protoReader) field() (fieldNo int, num uint64, data []byte, err error) {
+	tag, err := r.varint()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	fieldNo = int(tag >> 3)
+	switch tag & 7 {
+	case 0: // varint
+		num, err = r.varint()
+	case 1: // fixed64
+		if r.pos+8 > len(r.buf) {
+			return 0, 0, nil, fmt.Errorf("prof: truncated fixed64")
+		}
+		for i := 0; i < 8; i++ {
+			num |= uint64(r.buf[r.pos+i]) << (8 * i)
+		}
+		r.pos += 8
+	case 2: // length-delimited
+		var n uint64
+		if n, err = r.varint(); err != nil {
+			return 0, 0, nil, err
+		}
+		if uint64(len(r.buf)-r.pos) < n {
+			return 0, 0, nil, fmt.Errorf("prof: truncated bytes field")
+		}
+		data = r.buf[r.pos : r.pos+int(n)]
+		r.pos += int(n)
+	case 5: // fixed32
+		if r.pos+4 > len(r.buf) {
+			return 0, 0, nil, fmt.Errorf("prof: truncated fixed32")
+		}
+		for i := 0; i < 4; i++ {
+			num |= uint64(r.buf[r.pos+i]) << (8 * i)
+		}
+		r.pos += 4
+	default:
+		return 0, 0, nil, fmt.Errorf("prof: unsupported wire type %d", tag&7)
+	}
+	return fieldNo, num, data, err
+}
+
+// packedUints decodes a packed repeated varint field.
+func packedUints(data []byte) ([]uint64, error) {
+	r := &protoReader{buf: data}
+	var out []uint64
+	for !r.done() {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+type protoValueType struct{ typ, unit int64 } // string-table indexes
+
+func parseProto(data []byte) (*Profile, error) {
+	r := &protoReader{buf: data}
+	var (
+		strTab      []string // the profile's own index 0 is always ""
+		valueTypes  []protoValueType
+		defaultType int64
+		samples     []profSample
+		// location id -> function ids (innermost line first)
+		locFnIDs = make(map[uint64][]uint64)
+		// function id -> name string index
+		fnNames = make(map[uint64]int64)
+	)
+	for !r.done() {
+		no, num, data, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch no {
+		case 1: // sample_type: ValueType
+			vt, err := parseValueType(data)
+			if err != nil {
+				return nil, err
+			}
+			valueTypes = append(valueTypes, vt)
+		case 2: // sample
+			s, err := parseSample(data)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			id, fnIDs, err := parseLocation(data)
+			if err != nil {
+				return nil, err
+			}
+			locFnIDs[id] = fnIDs
+		case 5: // function
+			id, nameIdx, err := parseFunction(data)
+			if err != nil {
+				return nil, err
+			}
+			fnNames[id] = nameIdx
+		case 6: // string_table
+			strTab = append(strTab, string(data))
+		case 14: // default_sample_type: string-table index (varint)
+			defaultType = int64(num)
+		}
+	}
+	str := func(i int64) string {
+		if i >= 0 && i < int64(len(strTab)) {
+			return strTab[i]
+		}
+		return fmt.Sprintf("str#%d", i)
+	}
+	p := &Profile{locFuncs: make(map[uint64][]string, len(locFnIDs)), samples: samples}
+	for _, vt := range valueTypes {
+		p.SampleTypes = append(p.SampleTypes, ValueType{Type: str(vt.typ), Unit: str(vt.unit)})
+	}
+	if len(p.SampleTypes) == 0 {
+		return nil, fmt.Errorf("prof: profile has no sample types")
+	}
+	p.DefaultType = len(p.SampleTypes) - 1
+	if defaultType != 0 {
+		name := str(defaultType)
+		for i, st := range p.SampleTypes {
+			if st.Type == name {
+				p.DefaultType = i
+			}
+		}
+	}
+	for id, fnIDs := range locFnIDs {
+		names := make([]string, 0, len(fnIDs))
+		for _, fid := range fnIDs {
+			if nameIdx, ok := fnNames[fid]; ok {
+				names = append(names, str(nameIdx))
+			}
+		}
+		p.locFuncs[id] = names
+	}
+	return p, nil
+}
+
+func parseValueType(data []byte) (protoValueType, error) {
+	r := &protoReader{buf: data}
+	var vt protoValueType
+	for !r.done() {
+		no, num, _, err := r.field()
+		if err != nil {
+			return vt, err
+		}
+		switch no {
+		case 1:
+			vt.typ = int64(num)
+		case 2:
+			vt.unit = int64(num)
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(data []byte) (profSample, error) {
+	r := &protoReader{buf: data}
+	var s profSample
+	for !r.done() {
+		no, num, sub, err := r.field()
+		if err != nil {
+			return s, err
+		}
+		switch no {
+		case 1: // location_id, usually packed
+			if sub != nil {
+				ids, err := packedUints(sub)
+				if err != nil {
+					return s, err
+				}
+				s.locs = append(s.locs, ids...)
+			} else {
+				s.locs = append(s.locs, num)
+			}
+		case 2: // value, usually packed
+			if sub != nil {
+				vals, err := packedUints(sub)
+				if err != nil {
+					return s, err
+				}
+				for _, v := range vals {
+					s.vals = append(s.vals, int64(v))
+				}
+			} else {
+				s.vals = append(s.vals, int64(num))
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(data []byte) (id uint64, fnIDs []uint64, err error) {
+	r := &protoReader{buf: data}
+	for !r.done() {
+		no, num, sub, err := r.field()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch no {
+		case 1:
+			id = num
+		case 4: // line
+			lr := &protoReader{buf: sub}
+			for !lr.done() {
+				lno, lnum, _, err := lr.field()
+				if err != nil {
+					return 0, nil, err
+				}
+				if lno == 1 { // function_id
+					fnIDs = append(fnIDs, lnum)
+				}
+			}
+		}
+	}
+	return id, fnIDs, nil
+}
+
+func parseFunction(data []byte) (id uint64, nameIdx int64, err error) {
+	r := &protoReader{buf: data}
+	for !r.done() {
+		no, num, _, err := r.field()
+		if err != nil {
+			return 0, 0, err
+		}
+		switch no {
+		case 1:
+			id = num
+		case 2:
+			nameIdx = int64(num)
+		}
+	}
+	return id, nameIdx, nil
+}

@@ -1,0 +1,135 @@
+package prof
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+)
+
+// grabHeapProfile returns a real heap profile from this process, written
+// by runtime/pprof — the authoritative encoder our parser must read.
+func grabHeapProfile(t *testing.T) []byte {
+	t.Helper()
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// churn allocates from a named function so the profile has a frame the
+// test can look for.
+//
+//go:noinline
+func churnForProfile() {
+	for i := 0; i < 4096; i++ {
+		profSink = append(profSink, make([]byte, 4096))
+	}
+}
+
+var profSink [][]byte
+
+func TestParseRealHeapProfile(t *testing.T) {
+	profSink = nil
+	churnForProfile()
+	p, err := Parse(grabHeapProfile(t))
+	profSink = nil
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heap profiles carry the four standard dimensions.
+	var types []string
+	for _, st := range p.SampleTypes {
+		types = append(types, st.Type)
+	}
+	for _, want := range []string{"alloc_objects", "alloc_space", "inuse_objects", "inuse_space"} {
+		if p.SampleTypeIndex(want) < 0 {
+			t.Fatalf("sample type %s missing (have %v)", want, types)
+		}
+	}
+	idx := p.SampleTypeIndex("alloc_space")
+	if total := p.TotalValue(idx); total <= 0 {
+		t.Fatalf("alloc_space total = %d, want > 0", total)
+	}
+	fc, err := p.FlatCum(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The churn function must show up with flat allocation attributed.
+	var found bool
+	for fn, v := range fc {
+		if strings.Contains(fn, "churnForProfile") && v.Flat > 0 {
+			found = true
+		}
+		if v.Cum < v.Flat {
+			t.Fatalf("%s: cum %d < flat %d", fn, v.Cum, v.Flat)
+		}
+	}
+	if !found {
+		t.Fatal("churnForProfile not attributed any flat alloc_space")
+	}
+}
+
+func TestParseGoroutineProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := p.SampleTypeIndex("")
+	if total := p.TotalValue(idx); total < 1 {
+		t.Fatalf("goroutine count = %d, want >= 1 (this goroutine exists)", total)
+	}
+}
+
+func TestDiffTopFindsGrowth(t *testing.T) {
+	profSink = nil
+	before := grabHeapProfile(t)
+	churnForProfile()
+	after := grabHeapProfile(t)
+	profSink = nil
+
+	oldP, err := Parse(before)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newP, err := Parse(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, vt, err := DiffTop(oldP, newP, "inuse_space", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Type != "inuse_space" || vt.Unit != "bytes" {
+		t.Fatalf("resolved type %v, want inuse_space/bytes", vt)
+	}
+	if len(rows) == 0 {
+		t.Fatal("diff produced no rows")
+	}
+	// ~16MB of retained growth from one function must dominate the diff.
+	var found bool
+	for _, r := range rows[:min(3, len(rows))] {
+		if strings.Contains(r.Func, "churnForProfile") && r.FlatDelta() > 1<<20 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("churnForProfile not in top rows: %+v", rows)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte("not a profile at all........")); err == nil {
+		t.Fatal("garbage parsed without error")
+	}
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("empty profile parsed without error")
+	}
+}
