@@ -5,7 +5,7 @@ GO ?= go
 # Every command binary `make bin` produces under ./bin.
 CMDS = abd-sim abd-node abd-cli abd-check abd-bench abd-trace abd-top abd-prof
 
-.PHONY: all build bin test race vet check smoke bench throughput shards byz alloc eval clean
+.PHONY: all build bin test race vet check smoke bench throughput shards byz alloc fastpath eval clean
 
 all: check
 
@@ -62,6 +62,12 @@ byz:
 # via `abd-prof bench-diff`.
 alloc:
 	$(GO) run ./cmd/abd-bench -exp alloc -seed 1 -json BENCH_alloc.json
+
+# Regenerate BENCH_fastpath.json: the confirmed-watermark fast-path read
+# comparison (cmd/abd-bench -exp fastpath: two-phase vs skip-unanimous vs
+# fast-path under a paced writer) at full duration on the canonical seed.
+fastpath:
+	$(GO) run ./cmd/abd-bench -exp fastpath -seed 1 -json BENCH_fastpath.json
 
 # Regenerate every evaluation table (EXPERIMENTS.md appendix).
 eval:

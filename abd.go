@@ -92,6 +92,29 @@ type ClientOption = core.ClientOption
 // Cluster.Writer: cluster.Client(abd.WithSingleWriter()).
 func WithSingleWriter() ClientOption { return core.WithSingleWriter() }
 
+// ReadMode is the client's read-path consistency profile: which of the
+// read optimizations (confirmed-tag fast path, unanimous write-back skip,
+// coalescing, write-back itself) are active. See core.ReadMode for the
+// per-knob contracts and core.DefaultReadMode for the defaults.
+type ReadMode = core.ReadMode
+
+// DefaultReadMode returns the out-of-the-box read profile: watermark fast
+// path on, coalescing on, write-backs on, unanimous skip off.
+func DefaultReadMode() ReadMode { return core.DefaultReadMode() }
+
+// WithReadMode sets the whole read profile at once; invalid combinations
+// (e.g. a fast path without write-backs) are rejected by NewClient.
+func WithReadMode(m ReadMode) ClientOption { return core.WithReadMode(m) }
+
+// WithFastRead enables the confirmed-tag watermark fast path explicitly
+// (it is on by default): reads complete in one round trip when the newest
+// observed tag is already known quorum-durable.
+func WithFastRead() ClientOption { return core.WithFastRead() }
+
+// WithoutFastRead disables the fast path, restoring the paper's
+// unconditional two-phase read.
+func WithoutFastRead() ClientOption { return core.WithoutFastRead() }
+
 // WithByzantine hardens the client's reads against up to f replicas that
 // lie — fabricating timestamps, serving stale state, equivocating, or
 // staying silent — not just f that crash. The client switches to masking

@@ -250,15 +250,6 @@ func (c *Cluster) Client(opts ...core.ClientOption) *Client {
 	return cli
 }
 
-// Writer creates a single-writer client (the paper's SWMR writer: one round
-// trip per write, no query phase).
-//
-// Deprecated: use Client(abd.WithSingleWriter()). Writer predates the
-// option re-exports and adds nothing over them.
-func (c *Cluster) Writer(opts ...core.ClientOption) *Client {
-	return c.Client(append([]core.ClientOption{core.WithSingleWriter()}, opts...)...)
-}
-
 // Store creates a sharded store over every replica group: one fresh client
 // per group (cluster defaults plus opts), routed by the cluster's
 // consistent-hash ring configuration (WithVirtualNodes, WithHashFunc).

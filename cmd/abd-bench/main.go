@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	abd-bench [-exp all|T1..T6|F1..F7|L1|TP|SH|HK|BY|AL] [-quick] [-seed N] [-trace-out spans.jsonl]
+//	abd-bench [-exp all|<id>[,<id>...]] [-quick] [-seed N] [-trace-out spans.jsonl]
+//
+// The experiment menu (ids and aliases accepted by -exp, shown by -help) is
+// generated from the experiments registry, so a newly registered experiment
+// appears here without touching this command.
 //
 // TP (alias "throughput"), SH (alias "shards"), BY (alias "byz"), and AL
 // (alias "alloc") also write a machine-readable report with -json; run
@@ -32,7 +36,7 @@ func main() {
 
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (T1..T6, F1..F7, L1, TP/throughput, SH/shards, HK/hotkeys, BY/byz, AL/alloc) or 'all'")
+		exp      = flag.String("exp", "all", "experiment id ("+experiments.Menu()+") or 'all'")
 		quick    = flag.Bool("quick", false, "smaller sweeps and op counts")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		traceOut = flag.String("trace-out", "", "write the traced experiments' spans as JSONL to this file")
@@ -58,7 +62,7 @@ func run() int {
 		for _, id := range strings.Split(*exp, ",") {
 			r, ok := experiments.Find(strings.TrimSpace(id))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want T1..T6, F1..F7, L1, TP, SH, HK, BY, AL, or all)\n", id)
+				fmt.Fprintf(os.Stderr, "abd-bench: unknown experiment %q (want %s, or all)\n", id, experiments.Menu())
 				return 2
 			}
 			runners = append(runners, r)

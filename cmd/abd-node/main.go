@@ -389,6 +389,9 @@ func nodeGatherer(nh *nodeHealth) obs.Gatherer {
 		w.Counter("abd_client_msgs_sent_total", "request messages sent by the probe client", labels, cm.MsgsSent)
 		w.Counter("abd_client_coalesced_reads_total", "reads served by joining another read's quorum round", labels, cm.CoalescedReads)
 		w.Counter("abd_client_absorbed_writes_total", "writes absorbed into a concurrent write's round", labels, cm.AbsorbedWrites)
+		w.Counter("abd_client_fast_path_reads_total", "reads completed in one round via the confirmed watermark", labels, cm.FastPathReads)
+		w.Counter("abd_client_read_rounds_total", "quorum rounds paid by completed reads (rounds/read = mean read cost)", labels, cm.ReadRounds)
+		w.Histogram("abd_client_read_rounds", "quorum rounds per completed read (1 = fast path)", labels, lat.ReadRounds)
 		rm := replica.ReplicaMetrics()
 		w.Counter("abd_replica_queries_total", "read queries handled", labels, rm.Queries)
 		w.Counter("abd_replica_updates_total", "write/update requests handled", labels, rm.Updates)

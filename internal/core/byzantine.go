@@ -92,12 +92,17 @@ func (b *ByzantineReplica) loop() {
 			case ByzFabricate:
 				reply.Tag = Tag{Valid: true, TS: timestamp.TS{Seq: 1 << 40, Writer: b.id}}
 				reply.Val = []byte("byzantine-fabrication")
+				// Also claim the fabrication is quorum-confirmed: the strongest
+				// attack on the watermark fast path, which must hold the claim
+				// to the f+1 bar rather than trust it.
+				reply.Conf = reply.Tag
 			case ByzEquivocate:
 				reply.Tag = Tag{Valid: true, TS: timestamp.TS{
 					Seq:    (1 << 40) + b.rng.Int63n(1<<20),
 					Writer: b.id,
 				}}
 				reply.Val = []byte{byte(b.rng.Intn(256)), byte(b.rng.Intn(256))}
+				reply.Conf = reply.Tag
 			case ByzStale:
 				// Zero tag: pretends nothing was ever written.
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,11 +34,18 @@ type Client struct {
 	qs       quorum.System
 	ord      order
 
-	// Mode flags; see options.go.
-	singleWriter  bool
-	skipUnanimous bool
-	noWriteBack   bool
-	bounded       bool
+	// Mode flags; see options.go. The read-mode knobs (fastRead,
+	// skipUnanimous, noWriteBack, coalesceReads) are one cross-validated
+	// option set — see ReadMode; the *Set companions record which knobs the
+	// caller set explicitly, so NewClient can tell an invalid combination
+	// (rejected) from a silently-disabled default.
+	singleWriter     bool
+	skipUnanimous    bool
+	skipUnanimousSet bool
+	noWriteBack      bool
+	fastRead         bool
+	fastReadSet      bool
+	bounded          bool
 	boundedDom    timestamp.Cyclic
 	readFanout    int
 	writeFanout   int
@@ -59,6 +67,13 @@ type Client struct {
 	swSeq   map[string]int64
 	swLabel map[string]int64
 	swWrote map[string]bool // whether swLabel holds a real label yet
+
+	// Confirmed-watermark state (WithFastRead; DESIGN.md §10): per register,
+	// the highest tag this client knows to be stored at a full write quorum
+	// — advanced by its own quorum-acked updates and by watermarks gossiped
+	// back on query replies, piggybacked on every outgoing query and write.
+	confMu    sync.Mutex
+	confirmed map[string]Tag
 
 	// Coalescing state (see coalesce.go): per-register shared rounds for
 	// concurrent reads and multi-writer writes issued through this client.
@@ -111,6 +126,9 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 		done:     make(chan struct{}),
 		hot:      health.NewTopK(0),
 
+		confirmed: make(map[string]Tag),
+
+		fastRead:      true,
 		coalesceReads: true,
 		absorbWrites:  true,
 		rdRounds:      make(map[string]*opRound),
@@ -152,6 +170,25 @@ func NewClient(id types.NodeID, ep transport.Endpoint, replicas []types.NodeID, 
 	if c.bounded && !c.singleWriter {
 		return nil, fmt.Errorf("core: bounded labels require the single-writer mode")
 	}
+	// Cross-validate the read-mode option set (see ReadMode). An explicitly
+	// requested skip is rejected when it cannot mean anything; the same knob
+	// left at its default is silently turned off instead.
+	if c.noWriteBack {
+		if c.fastReadSet && c.fastRead {
+			return nil, fmt.Errorf("core: WithFastRead cannot combine with WithUnsafeNoWriteBack: the fast path skips the write-back only when the watermark proves it redundant, the unsafe mode skips it unconditionally")
+		}
+		if c.skipUnanimousSet && c.skipUnanimous {
+			return nil, fmt.Errorf("core: WithSkipUnanimousWriteBack cannot combine with WithUnsafeNoWriteBack: there is no write-back left to skip")
+		}
+		c.fastRead = false
+		c.skipUnanimous = false
+	}
+	if c.bounded {
+		if c.fastReadSet && c.fastRead {
+			return nil, fmt.Errorf("core: WithFastRead cannot combine with bounded labels: cyclic labels admit no sound watermark order")
+		}
+		c.fastRead = false
+	}
 	c.start()
 	return c, nil
 }
@@ -181,6 +218,84 @@ func (c *Client) ByzantineF() int {
 		return 0
 	}
 	return c.byzF
+}
+
+// ReadMode reports the client's effective read mode after NewClient's
+// cross-validation — e.g. FastRead reads false on a bounded-label client
+// even though the default is on.
+func (c *Client) ReadMode() ReadMode {
+	return ReadMode{
+		FastRead:      c.fastRead,
+		SkipUnanimous: c.skipUnanimous,
+		Coalesce:      c.coalesceReads,
+		WriteBack:     !c.noWriteBack,
+	}
+}
+
+// confirmedTag returns the client's own confirmed watermark for reg (zero
+// until something has been confirmed).
+func (c *Client) confirmedTag(reg string) Tag {
+	c.confMu.Lock()
+	defer c.confMu.Unlock()
+	return c.confirmed[reg]
+}
+
+// noteConfirmed records that tag is stored at a full write quorum —
+// witnessed directly (this client collected a write quorum of acks for it)
+// or vouched by the gossip rules in watermark. No-op with the fast path
+// off: the map is then never consulted.
+func (c *Client) noteConfirmed(reg string, tag Tag) {
+	if !c.fastRead || !tag.Valid {
+		return
+	}
+	c.confMu.Lock()
+	if cmp, err := c.ord.compare(tag, c.confirmed[reg]); err == nil && cmp > 0 {
+		c.confirmed[reg] = tag
+	}
+	c.confMu.Unlock()
+}
+
+// gossip returns the watermark to piggyback on an outgoing query or write:
+// the client's own confirmed tag, or zero (encoding in the pre-watermark
+// wire format) when the fast path is off.
+func (c *Client) gossip(reg string) Tag {
+	if !c.fastRead {
+		return Tag{}
+	}
+	return c.confirmedTag(reg)
+}
+
+// watermark folds the query replies' confirmed-watermark claims into the
+// client's own watermark for reg and returns the result. In crash mode
+// every replica is honest, so the maximum claim is trusted. In masking mode
+// (WithByzantine / WithMaskingFaults) up to maskF repliers lie, so only the
+// (maskF+1)-th largest claim is trusted: at least one of the maskF+1
+// replicas claiming that much is honest, and an honest claim is true. A
+// lying replica can therefore suppress fast-path hits but never mint a
+// watermark above what some honest replica confirmed.
+func (c *Client) watermark(reg string, replies []message) Tag {
+	var wm Tag
+	if c.maskF == 0 {
+		for _, m := range replies {
+			adoptConf(c.ord, &wm, m.Conf)
+		}
+	} else {
+		confs := make([]Tag, 0, len(replies))
+		for _, m := range replies {
+			if m.Conf.Valid {
+				confs = append(confs, m.Conf)
+			}
+		}
+		if len(confs) > c.maskF {
+			sort.Slice(confs, func(i, j int) bool {
+				cmp, err := c.ord.compare(confs[i], confs[j])
+				return err == nil && cmp > 0
+			})
+			wm = confs[c.maskF]
+		}
+	}
+	c.noteConfirmed(reg, wm)
+	return c.confirmedTag(reg)
 }
 
 func (c *Client) start() {
@@ -557,8 +672,10 @@ func (c *Client) aheadOf(replies []message, tag Tag) bool {
 
 // queryValidated runs the query phase that starts reads and multi-writer
 // writes and returns the (tag, value) pair the operation should adopt,
-// plus the replies of the phase round that produced it (for the unanimous
-// write-back optimization).
+// plus the replies of the phase round that produced it (for the fast-path
+// watermark check and the unanimous write-back optimization) and how many
+// quorum rounds it paid (1 plus any masking retries and confirm rounds —
+// the read path's ReadRounds accounting).
 //
 // Plain mode (maskF == 0) is the paper's rule: one phase, newest pair
 // wins. Masking mode (WithMaskingFaults / WithByzantine(f>0)) only trusts
@@ -578,23 +695,23 @@ func (c *Client) aheadOf(replies []message, tag Tag) bool {
 // operation — an equivocator fabricating fresh tags every round cannot
 // livelock the read — and fabricated tags never reach the write-back
 // phase (DESIGN.md invariant V2).
-func (c *Client) queryValidated(ctx context.Context, reg string, ot opTrace) (Tag, types.Value, []message, error) {
+func (c *Client) queryValidated(ctx context.Context, reg string, ot opTrace) (Tag, types.Value, []message, int, error) {
 	confirming := false
-	for {
+	for rounds := 1; ; rounds++ {
 		label := "query"
 		if confirming {
 			label = "confirm"
 		}
-		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg}, c.qs.ContainsReadQuorum, ot, label)
+		replies, err := c.phase(ctx, message{Kind: KindReadQuery, Reg: reg, Conf: c.gossip(reg)}, c.qs.ContainsReadQuorum, ot, label)
 		if err != nil {
-			return Tag{}, nil, nil, err
+			return Tag{}, nil, nil, rounds, err
 		}
 		if c.maskF == 0 {
 			best, val, err := c.newest(replies)
 			if err != nil {
-				return Tag{}, nil, nil, err
+				return Tag{}, nil, nil, rounds, err
 			}
-			return best, val, replies, nil
+			return best, val, replies, rounds, nil
 		}
 		accepted, unsupported := c.vouch(replies)
 		if len(accepted) == 0 {
@@ -605,7 +722,7 @@ func (c *Client) queryValidated(ctx context.Context, reg string, ot opTrace) (Ta
 		}
 		best, val, err := c.newest(accepted)
 		if err != nil {
-			return Tag{}, nil, nil, err
+			return Tag{}, nil, nil, rounds, err
 		}
 		switch {
 		case !c.byzantine || !c.aheadOf(unsupported, best):
@@ -621,7 +738,7 @@ func (c *Client) queryValidated(ctx context.Context, reg string, ot opTrace) (Ta
 			// no honest write stays invisible that long — suspected lie.
 			c.metrics.byzRejects.Add(1)
 		}
-		return best, val, replies, nil
+		return best, val, replies, rounds, nil
 	}
 }
 
@@ -651,33 +768,64 @@ func (c *Client) Read(ctx context.Context, reg string) (types.Value, error) {
 }
 
 func (c *Client) read(ctx context.Context, reg string, ot opTrace) (types.Value, error) {
-	best, val, replies, err := c.queryValidated(ctx, reg, ot)
+	best, val, replies, rounds, err := c.queryValidated(ctx, reg, ot)
 	if err != nil {
 		return nil, fmt.Errorf("read %q: %w", reg, err)
 	}
 	c.metrics.reads.Add(1)
+	// recordRounds files the completed read's round-trip count; like the
+	// latency histograms it records only on success.
+	recordRounds := func() {
+		c.metrics.readRounds.Add(int64(rounds))
+		c.lat.readRounds.Record(time.Duration(rounds))
+	}
 	if !best.Valid {
 		// Initial state everywhere: nothing to propagate.
+		recordRounds()
 		return nil, nil
 	}
 
 	if c.noWriteBack {
 		c.metrics.writeBacksSkipped.Add(1)
+		recordRounds()
 		return val, nil
+	}
+	if c.fastRead {
+		// Fast path (DESIGN.md §10): when the newest observed tag is at or
+		// below a confirmed watermark, the pair is already stored at a full
+		// write quorum, so the write-back would be a no-op — the read
+		// completes in the one round already paid. This runs only after
+		// queryValidated, so in Byzantine mode best is the f+1-vouched pair
+		// and the watermark itself is held to the f+1-claim bar: a lying
+		// replica can cost hits, never skip validation.
+		if wm := c.watermark(reg, replies); wm.Valid {
+			if cmp, err := c.ord.compare(best, wm); err == nil && cmp <= 0 {
+				c.metrics.fastPathReads.Add(1)
+				c.metrics.writeBacksSkipped.Add(1)
+				recordRounds()
+				return val, nil
+			}
+		}
 	}
 	if c.skipUnanimous && unanimous(replies, best) {
 		// Every member of a full read quorum already stores the pair, so
 		// any later read quorum intersects it and will see a tag >= best:
 		// the write-back would be a no-op. (Safe optimization.)
 		c.metrics.writeBacksSkipped.Add(1)
+		recordRounds()
 		return val, nil
 	}
 
-	wb := message{Kind: KindWrite, Reg: reg, Tag: best, Val: val}
+	wb := message{Kind: KindWrite, Reg: reg, Tag: best, Val: val, Conf: c.gossip(reg)}
 	if _, err := c.phase(ctx, wb, c.qs.ContainsWriteQuorum, ot, "write-back"); err != nil {
 		return nil, fmt.Errorf("read %q write-back: %w", reg, err)
 	}
+	// The write-back collected a write quorum of acks for best: it is now
+	// confirmed, and the next query's piggyback will tell the replicas.
+	c.noteConfirmed(reg, best)
 	c.metrics.writeBacks.Add(1)
+	rounds++
+	recordRounds()
 	return val, nil
 }
 
@@ -720,10 +868,11 @@ func (c *Client) write(ctx context.Context, reg string, val types.Value, ot opTr
 	if err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
-	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
+	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val, Conf: c.gossip(reg)}
 	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, ot, "update"); err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
+	c.noteConfirmed(reg, tag)
 	c.metrics.writes.Add(1)
 	return nil
 }
@@ -750,7 +899,7 @@ func (c *Client) nextTag(ctx context.Context, reg string, ot opTrace) (Tag, erro
 		// The validated query also keeps a fabricated max-tag out of the
 		// successor computation: a liar must not get to exhaust the
 		// timestamp space or steer honest writers' ordering.
-		best, _, _, err := c.queryValidated(ctx, reg, ot)
+		best, _, _, _, err := c.queryValidated(ctx, reg, ot)
 		if err != nil {
 			return Tag{}, err
 		}
@@ -798,7 +947,7 @@ func (c *Client) nextBoundedTag(ctx context.Context, reg string, ot opTrace) (Ta
 // building block internal/reconfig uses to read across configurations; a
 // bare QueryMax is only a regular read, not an atomic one.
 func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, error) {
-	tag, val, _, err := c.queryValidated(ctx, reg, opTrace{})
+	tag, val, _, _, err := c.queryValidated(ctx, reg, opTrace{})
 	if err != nil {
 		return Tag{}, nil, fmt.Errorf("query %q: %w", reg, err)
 	}
@@ -809,10 +958,11 @@ func (c *Client) QueryMax(ctx context.Context, reg string) (Tag, types.Value, er
 // write-back phase: replicas adopt the pair iff it is newer than what they
 // store. Used for cross-configuration state transfer and repair tools.
 func (c *Client) Propagate(ctx context.Context, reg string, tag Tag, val types.Value) error {
-	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val}
+	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: val, Conf: c.gossip(reg)}
 	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, opTrace{}, "update"); err != nil {
 		return fmt.Errorf("propagate %q: %w", reg, err)
 	}
+	c.noteConfirmed(reg, tag)
 	return nil
 }
 

@@ -166,10 +166,11 @@ func (c *Client) writeRound(ctx context.Context, reg string, vals []types.Value,
 	if err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
-	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: vals[len(vals)-1]}
+	req := message{Kind: KindWrite, Reg: reg, Tag: tag, Val: vals[len(vals)-1], Conf: c.gossip(reg)}
 	if _, err := c.phase(ctx, req, c.qs.ContainsWriteQuorum, ot, "update"); err != nil {
 		return fmt.Errorf("write %q: %w", reg, err)
 	}
+	c.noteConfirmed(reg, tag)
 	c.metrics.writes.Add(1)
 	return nil
 }

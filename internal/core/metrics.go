@@ -24,6 +24,8 @@ type Metrics struct {
 	byzRejects        atomic.Int64
 	coalescedReads    atomic.Int64
 	absorbedWrites    atomic.Int64
+	fastPathReads     atomic.Int64
+	readRounds        atomic.Int64
 	readFails         atomic.Int64
 	writeFails        atomic.Int64
 }
@@ -70,6 +72,13 @@ type MetricsSnapshot struct {
 	// the followers only — each shared round's leader shows up in the
 	// ordinary Phases/MsgsSent numbers.
 	CoalescedReads, AbsorbedWrites int64
+	// FastPathReads counts reads completed in one round because the newest
+	// observed tag was at or below the quorum's confirmed watermark (the
+	// WithFastRead path; DESIGN.md §10). ReadRounds sums the quorum rounds
+	// every completed read paid (query, masking/confirm retries, write-back)
+	// — ReadRounds/Reads is the mean round trips per read, the number the
+	// fast path exists to push toward 1.
+	FastPathReads, ReadRounds int64
 	// ReadFails and WriteFails count operations that returned an error (no
 	// quorum, timeout, closed client). Together with Reads/Writes they give
 	// the SLO layer its total and errored op counts.
@@ -96,6 +105,8 @@ func (s MetricsSnapshot) Merge(o MetricsSnapshot) MetricsSnapshot {
 		ByzRejects:        s.ByzRejects + o.ByzRejects,
 		CoalescedReads:    s.CoalescedReads + o.CoalescedReads,
 		AbsorbedWrites:    s.AbsorbedWrites + o.AbsorbedWrites,
+		FastPathReads:     s.FastPathReads + o.FastPathReads,
+		ReadRounds:        s.ReadRounds + o.ReadRounds,
 		ReadFails:         s.ReadFails + o.ReadFails,
 		WriteFails:        s.WriteFails + o.WriteFails,
 	}
@@ -118,6 +129,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		ByzRejects:        m.byzRejects.Load(),
 		CoalescedReads:    m.coalescedReads.Load(),
 		AbsorbedWrites:    m.absorbedWrites.Load(),
+		FastPathReads:     m.fastPathReads.Load(),
+		ReadRounds:        m.readRounds.Load(),
 		ReadFails:         m.readFails.Load(),
 		WriteFails:        m.writeFails.Load(),
 	}
@@ -131,6 +144,7 @@ type latencySet struct {
 	write       obs.Histogram // whole Write operations (incl. query phase)
 	phaseQuery  obs.Histogram // individual query phases
 	phaseUpdate obs.Histogram // individual update / write-back phases
+	readRounds  obs.Histogram // quorum rounds per read (a count, not ns)
 }
 
 // LatencySnapshot is a point-in-time copy of a client's latency
@@ -141,6 +155,11 @@ type LatencySnapshot struct {
 	Write       obs.HistSnapshot
 	PhaseQuery  obs.HistSnapshot
 	PhaseUpdate obs.HistSnapshot
+	// ReadRounds is the distribution of quorum round trips per completed
+	// read. The histogram machinery is time-based, so counts are recorded
+	// as if they were nanosecond durations (like Replica.BatchSizes): a
+	// bucket labelled "1ns" holds the fast-path one-round reads.
+	ReadRounds obs.HistSnapshot
 }
 
 // Merge folds another client's snapshot into this one, histogram by
@@ -151,6 +170,7 @@ func (s LatencySnapshot) Merge(o LatencySnapshot) LatencySnapshot {
 		Write:       s.Write.Merge(o.Write),
 		PhaseQuery:  s.PhaseQuery.Merge(o.PhaseQuery),
 		PhaseUpdate: s.PhaseUpdate.Merge(o.PhaseUpdate),
+		ReadRounds:  s.ReadRounds.Merge(o.ReadRounds),
 	}
 }
 
@@ -160,5 +180,6 @@ func (l *latencySet) snapshot() LatencySnapshot {
 		Write:       l.write.Snapshot(),
 		PhaseQuery:  l.phaseQuery.Snapshot(),
 		PhaseUpdate: l.phaseUpdate.Snapshot(),
+		ReadRounds:  l.readRounds.Snapshot(),
 	}
 }

@@ -28,6 +28,15 @@ func TestMessageRoundTrip(t *testing.T) {
 			Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 8, Writer: 2}}, Val: []byte("v8")},
 		{Kind: KindWrite, Op: 10, Reg: "y", Trace: ^uint64(0), Span: 1, Val: []byte("z")},
 		{Kind: KindWriteAck, Op: 100001, Trace: 5}, // span 0 with trace set still encodes
+		// Confirmed-watermark variants: the conf tag must survive the round
+		// trip alone, with a trace context, and on every carrying kind.
+		{Kind: KindReadQuery, Op: 3, Reg: "r",
+			Conf: Tag{Valid: true, TS: timestamp.TS{Seq: 6, Writer: 1}}},
+		{Kind: KindReadReply, Op: 44, Reg: "x",
+			Tag:  Tag{Valid: true, TS: timestamp.TS{Seq: 9, Writer: 2}}, Val: []byte("v9"),
+			Conf: Tag{Valid: true, TS: timestamp.TS{Seq: 8, Writer: 2}}},
+		{Kind: KindWrite, Op: 11, Reg: "y", Val: []byte("z"), Trace: 3, Span: 4,
+			Conf: Tag{Valid: true, Bounded: true, Label: 5}},
 	}
 	for _, m := range tests {
 		t.Run(m.Kind.String(), func(t *testing.T) {
@@ -43,6 +52,9 @@ func TestMessageRoundTrip(t *testing.T) {
 			}
 			if got.Trace != m.Trace || got.Span != m.Span {
 				t.Fatalf("trace context (%d, %d), want (%d, %d)", got.Trace, got.Span, m.Trace, m.Span)
+			}
+			if got.Conf != m.Conf {
+				t.Fatalf("conf %+v, want %+v", got.Conf, m.Conf)
 			}
 		})
 	}
@@ -79,11 +91,49 @@ func TestDecodeOldFormatPayload(t *testing.T) {
 	if m.Trace != 0 || m.Span != 0 {
 		t.Fatalf("old-format payload grew a trace context: (%d, %d)", m.Trace, m.Span)
 	}
-	// An untraced message emitted today is byte-identical to the old
-	// format — what an untraced (old) peer will be handed.
+	// An untraced, watermark-free message emitted today is byte-identical
+	// to the old format — what an untraced (old) peer will be handed.
 	if got := (message{Kind: KindReadReply, Op: 42, Reg: "r",
 		Tag: Tag{Valid: true, TS: timestamp.TS{Seq: 7, Writer: 3}}, Val: []byte("v")}).encode(); !bytes.Equal(got, old) {
 		t.Fatalf("untraced encode diverged from the old format:\n got %x\nwant %x", got, old)
+	}
+}
+
+// TestDecodeConfFormatPayload pins the watermark extension's wire layout the
+// same way: a hand-built payload with confFlag on the kind byte and the five
+// conf-tag fields after the value decodes to the right Conf, and encode()
+// reproduces it byte-for-byte.
+func TestDecodeConfFormatPayload(t *testing.T) {
+	body := []byte{byte(KindReadReply) | confFlag}
+	body = wire.AppendUint(body, 42)           // op
+	body = wire.AppendString(body, "r")        // reg
+	body = wire.AppendBool(body, true)         // tag.valid
+	body = wire.AppendInt(body, 7)             // seq
+	body = wire.AppendInt(body, 3)             // writer
+	body = wire.AppendBool(body, false)        // bounded
+	body = wire.AppendInt(body, 0)             // label
+	body = wire.AppendBytes(body, []byte("v")) // val
+	body = wire.AppendBool(body, true)         // conf.valid
+	body = wire.AppendInt(body, 6)             // conf.seq
+	body = wire.AppendInt(body, 2)             // conf.writer
+	body = wire.AppendBool(body, false)        // conf.bounded
+	body = wire.AppendInt(body, 0)             // conf.label
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	golden := append(body, crc[:]...)
+
+	m, err := decodeMessage(golden)
+	if err != nil {
+		t.Fatalf("conf-format payload rejected: %v", err)
+	}
+	want := Tag{Valid: true, TS: timestamp.TS{Seq: 6, Writer: 2}}
+	if m.Kind != KindReadReply || m.Conf != want {
+		t.Fatalf("conf-format payload decoded wrong: kind %v conf %+v", m.Kind, m.Conf)
+	}
+	if got := (message{Kind: KindReadReply, Op: 42, Reg: "r",
+		Tag:  Tag{Valid: true, TS: timestamp.TS{Seq: 7, Writer: 3}}, Val: []byte("v"),
+		Conf: want}).encode(); !bytes.Equal(got, golden) {
+		t.Fatalf("watermark encode diverged from the pinned format:\n got %x\nwant %x", got, golden)
 	}
 }
 
@@ -101,7 +151,7 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 }
 
 func TestQuickMessageRoundTrip(t *testing.T) {
-	f := func(op uint64, reg string, seq int64, writer int32, valid, bounded bool, label int64, val []byte, trace, span uint64) bool {
+	f := func(op uint64, reg string, seq int64, writer int32, valid, bounded bool, label int64, val []byte, trace, span uint64, confSeq int64, confWriter int32, conf bool) bool {
 		m := message{
 			Kind:  KindWrite,
 			Op:    op,
@@ -111,13 +161,16 @@ func TestQuickMessageRoundTrip(t *testing.T) {
 			Trace: trace,
 			Span:  span,
 		}
+		if conf {
+			m.Conf = Tag{Valid: true, TS: timestamp.TS{Seq: confSeq, Writer: types.NodeID(confWriter)}}
+		}
 		got, err := decodeMessage(m.encode())
 		if err != nil {
 			return false
 		}
 		return got.Kind == m.Kind && got.Op == m.Op && got.Reg == m.Reg &&
 			got.Tag == m.Tag && bytes.Equal(got.Val, m.Val) && (got.Val == nil) == (val == nil) &&
-			got.Trace == m.Trace && got.Span == m.Span
+			got.Trace == m.Trace && got.Span == m.Span && got.Conf == m.Conf
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)

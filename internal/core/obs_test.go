@@ -18,7 +18,10 @@ import (
 // the completed operations and phases.
 func TestLatencyHistogramsRecord(t *testing.T) {
 	c := newTestCluster(t, 3, netsim.Config{Seed: 21, MinDelay: 100 * time.Microsecond, MaxDelay: 500 * time.Microsecond})
-	cli := c.client()
+	// The counts below pin the paper's two-phase read; the watermark fast
+	// path would legitimately skip the write-backs (fastpath_test.go covers
+	// its accounting).
+	cli := c.client(WithoutFastRead())
 	ctx := shortCtx(t)
 
 	const writes, reads = 4, 6
@@ -69,7 +72,9 @@ func TestLatencyHistogramsRecord(t *testing.T) {
 func TestTracerSpans(t *testing.T) {
 	ring := obs.NewRing(64)
 	c := newTestCluster(t, 3, netsim.Config{Seed: 22})
-	cli := c.client(WithTracer(ring))
+	// Two-phase read pinned: the span-tree shape below includes the
+	// write-back the fast path would skip.
+	cli := c.client(WithTracer(ring), WithoutFastRead())
 	ctx := shortCtx(t)
 
 	mustWrite(t, ctx, cli, "x", "v")

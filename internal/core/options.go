@@ -28,19 +28,93 @@ func WithSingleWriter() ClientOption {
 	return func(c *Client) { c.singleWriter = true }
 }
 
+// ReadMode is the client's consolidated read/consistency option set: every
+// knob that decides how a Read turns its quorum round(s) into a result.
+// NewClient cross-validates the combination — see WithReadMode for the
+// rules. The zero value is NOT the default; use DefaultReadMode.
+type ReadMode struct {
+	// FastRead completes a read in one round when the newest observed tag
+	// is at or below a confirmed watermark (known quorum-durable), skipping
+	// the write-back it proves redundant. Atomicity is preserved — DESIGN.md
+	// §10 has the invariant. On by default; inapplicable (and silently off)
+	// in bounded-label mode, whose cyclic order admits no watermark.
+	FastRead bool
+	// SkipUnanimous skips the write-back when a read quorum was unanimous
+	// (the seeded F5 optimization — quiescent reads only; the watermark
+	// fast path subsumes it under contention). Off by default.
+	SkipUnanimous bool
+	// Coalesce lets concurrent reads of one register share a quorum round
+	// (see coalesce.go). On by default.
+	Coalesce bool
+	// WriteBack false disables the read's second phase unconditionally,
+	// forfeiting atomicity for regularity — WithUnsafeNoWriteBack's
+	// demonstration mode. On (true) by default; combining false with an
+	// explicit FastRead or SkipUnanimous is rejected at NewClient.
+	WriteBack bool
+}
+
+// DefaultReadMode is the mode a plain NewClient runs: watermark fast path
+// and read coalescing on, unanimity skip off, write-back on.
+func DefaultReadMode() ReadMode {
+	return ReadMode{FastRead: true, Coalesce: true, WriteBack: true}
+}
+
+// WithReadMode installs a complete read mode in one option, replacing the
+// defaults wholesale (every field counts as explicitly set). Invalid
+// combinations are rejected by NewClient rather than silently adjusted:
+// FastRead or SkipUnanimous together with WriteBack false, and FastRead
+// with bounded labels. The single-knob options below are the incremental
+// spelling of the same set.
+func WithReadMode(m ReadMode) ClientOption {
+	return func(c *Client) {
+		c.fastRead = m.FastRead
+		c.fastReadSet = true
+		c.skipUnanimous = m.SkipUnanimous
+		c.skipUnanimousSet = true
+		c.coalesceReads = m.Coalesce
+		c.noWriteBack = !m.WriteBack
+	}
+}
+
+// WithFastRead explicitly enables the confirmed-watermark fast path (it is
+// already the default; the explicit form exists so the intent survives next
+// to options that would otherwise disable it, and is rejected when it
+// cannot hold — see WithReadMode).
+func WithFastRead() ClientOption {
+	return func(c *Client) {
+		c.fastRead = true
+		c.fastReadSet = true
+	}
+}
+
+// WithoutFastRead disables the confirmed-watermark fast path: every read
+// pays the write-back unless another skip applies. The seeded two-phase
+// protocol, used by ablations and the message-complexity experiments.
+func WithoutFastRead() ClientOption {
+	return func(c *Client) {
+		c.fastRead = false
+		c.fastReadSet = true
+	}
+}
+
 // WithSkipUnanimousWriteBack enables the safe read optimization: when every
 // member of the read quorum returned the same timestamp, the pair is
 // already stored at a full read quorum, so the write-back phase is skipped.
 // Contended reads still pay both phases. (Experiment F5's ablation.)
 func WithSkipUnanimousWriteBack() ClientOption {
-	return func(c *Client) { c.skipUnanimous = true }
+	return func(c *Client) {
+		c.skipUnanimous = true
+		c.skipUnanimousSet = true
+	}
 }
 
 // WithUnsafeNoWriteBack disables the read's write-back phase entirely. The
 // result is a regular register, not an atomic one: concurrent reads can
 // observe a new value and then an older one ("new/old inversion").
 // This mode exists solely so experiment T3 can demonstrate why the paper's
-// write-back is necessary. Never use it for real workloads.
+// write-back is necessary. Never use it for real workloads. It also turns
+// the (default) fast path off: rejecting redundant write-backs needs no
+// watermark when every write-back is rejected wholesale.
 func WithUnsafeNoWriteBack() ClientOption {
 	return func(c *Client) { c.noWriteBack = true }
 }

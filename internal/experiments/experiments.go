@@ -145,6 +145,7 @@ func All() []Runner {
 		{"HK", "hot-key top-k sketch vs exact counts under zipfian load", "hotkeys", HKHotKeys},
 		{"BY", "Byzantine validation cost: f=0 vs f=1, honest and under attack", "byz", BYByzantineCost},
 		{"AL", "allocation attribution per protocol phase", "alloc", ALAlloc},
+		{"FP", "one-round fast-path reads: confirmed watermark on vs off", "fastpath", FPFastPath},
 	}
 }
 
@@ -156,6 +157,22 @@ func Find(id string) (Runner, bool) {
 		}
 	}
 	return Runner{}, false
+}
+
+// Menu returns the id menu for command-line help, generated from the
+// registry so a new experiment shows up in abd-bench's usage and -exp
+// validation the moment it is registered: each entry is the ID, joined
+// with its alias when one exists ("TP/throughput").
+func Menu() string {
+	parts := make([]string, 0, len(All()))
+	for _, r := range All() {
+		if r.Alias != "" {
+			parts = append(parts, r.ID+"/"+r.Alias)
+		} else {
+			parts = append(parts, r.ID)
+		}
+	}
+	return strings.Join(parts, ", ")
 }
 
 // ---- measurement helpers ----

@@ -311,8 +311,8 @@ func TestL1LatencyShapes(t *testing.T) {
 }
 
 func TestFindAndAll(t *testing.T) {
-	if len(All()) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(All()))
+	if len(All()) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(All()))
 	}
 	if _, ok := Find("t1"); !ok {
 		t.Fatal("Find case-insensitive lookup failed")
@@ -330,6 +330,9 @@ func TestFindAndAll(t *testing.T) {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if r, ok := Find("alloc"); !ok || r.ID != "AL" {
+		t.Fatalf("Find by alias: %v %v", r.ID, ok)
+	}
+	if r, ok := Find("fastpath"); !ok || r.ID != "FP" {
 		t.Fatalf("Find by alias: %v %v", r.ID, ok)
 	}
 	if _, ok := Find("T9"); ok {
@@ -524,6 +527,71 @@ func TestBYByzantineCost(t *testing.T) {
 	}
 	if atk.ByzConfirms < atk.ByzRejects {
 		t.Fatalf("confirms %d < rejects %d: a reject without its confirm round", atk.ByzConfirms, atk.ByzRejects)
+	}
+}
+
+// TestFPFastPath runs the fast-path experiment at CI scale and checks the
+// report invariants: three passes in order, every pass completes reads
+// under live write contention, the two disabled passes take no fast reads,
+// the fast-path pass gets hits and skips write-backs, and its p50 does not
+// exceed the two-phase p50. The >= 1.5x speedup and >= 50% hit-rate bars
+// are pinned on the committed full run (BENCH_fastpath.json and the CI jq
+// checks), not here — quick mode is too short for stable ratios.
+func TestFPFastPath(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fp.json")
+	tbl, err := FPFastPath(Options{Quick: true, Seed: 1, JSONOut: out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 rows, got %d", len(tbl.Rows))
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fastpathReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != schemaFastpath {
+		t.Fatalf("schema %q", rep.Schema)
+	}
+	if len(rep.Passes) != 3 {
+		t.Fatalf("want 3 passes, got %d", len(rep.Passes))
+	}
+	base, skip, fast := rep.Passes[0], rep.Passes[1], rep.Passes[2]
+	if base.Name != "two-phase" || skip.Name != "skip-unanimous" || fast.Name != "fast-path" {
+		t.Fatalf("pass order: %q %q %q", base.Name, skip.Name, fast.Name)
+	}
+	for _, p := range rep.Passes {
+		if p.Reads == 0 {
+			t.Fatalf("pass %s completed no reads", p.Name)
+		}
+		if p.Writes == 0 {
+			t.Fatalf("pass %s had no write contention", p.Name)
+		}
+	}
+	if base.FastPathReads != 0 || skip.FastPathReads != 0 {
+		t.Fatalf("fast path fired with WithoutFastRead: base=%d skip=%d",
+			base.FastPathReads, skip.FastPathReads)
+	}
+	if fast.FastPathReads == 0 {
+		t.Fatal("fast-path pass took no fast reads")
+	}
+	if fast.WriteBacksSkipped == 0 {
+		t.Fatal("fast-path pass skipped no write-backs")
+	}
+	// Fast reads pay 1 round, slow ones 2+: the identity holds per client,
+	// so it holds on the sum.
+	if fast.ReadRounds >= 2*fast.Reads {
+		t.Fatalf("fast pass ReadRounds %d not below 2x reads %d", fast.ReadRounds, fast.Reads)
+	}
+	if rep.Speedup <= 0 || rep.FastHitRate <= 0 {
+		t.Fatalf("speedup %.2f, hit rate %.2f", rep.Speedup, rep.FastHitRate)
+	}
+	if !raceEnabled && fast.P50US > base.P50US {
+		t.Fatalf("fast-path p50 %.0fus above two-phase p50 %.0fus", fast.P50US, base.P50US)
 	}
 }
 

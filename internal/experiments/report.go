@@ -16,6 +16,7 @@ const (
 	schemaShards     = "abd-bench/shards/v1"
 	schemaByz        = "abd-bench/byz/v1"
 	schemaAlloc      = "abd-bench/alloc/v1"
+	schemaFastpath   = "abd-bench/fastpath/v1"
 )
 
 // benchEnvelope is the shared header of every BENCH JSON report.

@@ -88,9 +88,9 @@ func T1MessageComplexity(o Options) (*Table, error) {
 		}
 		variants := []variant{
 			{"SWMR write", 2 * n, []core.ClientOption{core.WithSingleWriter()}, write, false},
-			{"read", 4 * n, nil, read, true},
+			{"read", 4 * n, []core.ClientOption{core.WithoutFastRead()}, read, true},
 			{"MWMR write", 4 * n, nil, write, false},
-			{"read (skip-unanimous)", 2 * n, []core.ClientOption{core.WithSkipUnanimousWriteBack()}, read, true},
+			{"read (skip-unanimous)", 2 * n, []core.ClientOption{core.WithoutFastRead(), core.WithSkipUnanimousWriteBack()}, read, true},
 		}
 		for _, v := range variants {
 			c := newSimCluster(n, netsim.Config{Seed: o.seed()})
@@ -138,7 +138,8 @@ func T1MessageComplexity(o Options) (*Table, error) {
 		}
 	}
 	tbl.Notes = append(tbl.Notes,
-		"counts include replies/acks; delays are zero so every phase touches all n replicas exactly once")
+		"counts include replies/acks; delays are zero so every phase touches all n replicas exactly once",
+		"read variants disable the watermark fast path (measured separately by FP) to expose the paper's two-phase cost")
 	return tbl, nil
 }
 
@@ -155,6 +156,7 @@ func T2Rounds(o Options) (*Table, error) {
 		Headers: []string{"operation", "mean", "p99", "RTTs (vs SWMR write)", "expected RTTs"},
 		Notes: []string{
 			fmt.Sprintf("one-way delay fixed at %v; RTTs normalized to the measured SWMR write (1 RT by construction), which also absorbs the simulator's timer overhead", oneWay),
+			"read variants disable the watermark fast path (measured separately by FP) to expose the paper's round complexity",
 		},
 	}
 	ops := o.scale(100, 20)
@@ -168,9 +170,9 @@ func T2Rounds(o Options) (*Table, error) {
 	}
 	variants := []variant{
 		{"SWMR write", 1, []core.ClientOption{core.WithSingleWriter()}, false},
-		{"read", 2, nil, true},
+		{"read", 2, []core.ClientOption{core.WithoutFastRead()}, true},
 		{"MWMR write", 2, nil, false},
-		{"read (skip-unanimous)", 1, []core.ClientOption{core.WithSkipUnanimousWriteBack()}, true},
+		{"read (skip-unanimous)", 1, []core.ClientOption{core.WithoutFastRead(), core.WithSkipUnanimousWriteBack()}, true},
 	}
 	var baseline time.Duration // measured SWMR write = 1 round trip
 	for _, v := range variants {

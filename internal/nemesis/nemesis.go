@@ -860,6 +860,74 @@ func GenerateByzantineSchedule(seed int64, n, f int, clients []types.NodeID, win
 	return sched
 }
 
+// GenerateFastReadRaceSchedule derives a deterministic fault schedule
+// built to race writers against watermark fast-path reads (DESIGN.md §10).
+// The fast path's risky moment is a write whose update phase has reached a
+// quorum while the replicas' confirmed watermarks still lag a tag behind —
+// a reader must then take the slow path, not serve the stale watermark. The
+// schedule manufactures exactly that divergence, windows rotating through:
+//
+//   - writer slowdown: every writer's link to one replica is blocked, so
+//     updates assemble their quorum from the remaining replicas and stored
+//     tags diverge across the group while readers keep racing at full speed;
+//   - a replica crash with restart: the confirmed watermark is deliberately
+//     not persisted, so the restarted replica rejoins conservative (zero
+//     conf, WAL-recovered tags) mid-traffic;
+//   - a loss storm: update acks and piggybacked watermark gossip get
+//     dropped, retransmission interleaves stale and fresh claims;
+//   - a latency spike with reordering: old watermark claims arrive after
+//     newer ones, exercising the monotone adoption rule.
+//
+// At least one crash and one writer-slowdown window are guaranteed.
+// writers are the client ids running the workload's writes (the slowdown
+// genre blocks their links only — readers keep racing). Like the other
+// generators, the result is a pure function of its inputs.
+func GenerateFastReadRaceSchedule(seed int64, n int, writers []types.NodeID, windows int, window time.Duration) failure.Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	var sched failure.Schedule
+	add := func(at time.Duration, a failure.Action) {
+		sched = append(sched, failure.Event{At: at, Action: a})
+	}
+	sawCrash, sawSlowdown := false, false
+	for w := 0; w < windows; w++ {
+		start := time.Duration(w)*window + window/8
+		end := time.Duration(w+1)*window - window/8
+		genre := rng.Intn(4)
+		if w == windows-1 && !sawCrash {
+			genre = 1
+		} else if w == windows-2 && !sawSlowdown {
+			genre = 0
+		}
+		switch genre {
+		case 0: // writer slowdown: block every writer's link to one replica
+			id := types.NodeID(rng.Intn(n))
+			for _, cl := range writers {
+				add(start, failure.Block{From: cl, To: id})
+			}
+			for _, cl := range writers {
+				add(end, failure.Unblock{From: cl, To: id})
+			}
+			sawSlowdown = true
+		case 1: // crash one replica, restart it before the window closes
+			id := types.NodeID(rng.Intn(n))
+			add(start, failure.Crash{Node: id})
+			add(end, failure.Recover{Node: id})
+			sawCrash = true
+		case 2: // loss storm: acks and watermark gossip dropped
+			f := chaos.Faults{Drop: 0.1 + 0.2*rng.Float64(), Dup: 0.1 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		case 3: // latency spike with reordering: stale claims arrive late
+			lo := time.Duration(1+rng.Intn(3)) * time.Millisecond
+			hi := lo + time.Duration(4+rng.Intn(15))*time.Millisecond
+			f := chaos.Faults{DelayMin: lo, DelayMax: hi, Reorder: 0.3 * rng.Float64()}
+			add(start, failure.LinkFaults{All: true, Faults: f})
+			add(end, failure.LinkFaults{All: true})
+		}
+	}
+	return sched
+}
+
 // GenerateShardedSchedule derives a deterministic fault schedule for a
 // sharded cluster: every window faults TWO distinct replica groups at once
 // — crashing or isolating one replica in each — so the store must keep the

@@ -97,6 +97,16 @@ func New(groups []*core.Client, opts ...Option) (*Store, error) {
 			return nil, fmt.Errorf("shard: group %d client is nil", i)
 		}
 	}
+	// One store, one read contract: a register's consistency behavior must
+	// not depend on which group the ring hashes it to, so every group client
+	// must run the same effective read mode (fast path, unanimous skip,
+	// coalescing, write-back).
+	mode := groups[0].ReadMode()
+	for i, cli := range groups[1:] {
+		if m := cli.ReadMode(); m != mode {
+			return nil, fmt.Errorf("shard: group %d read mode %+v differs from group 0's %+v", i+1, m, mode)
+		}
+	}
 	ring, err := NewRing(len(groups), o.VirtualNodes, o.Hash)
 	if err != nil {
 		return nil, err
@@ -106,6 +116,10 @@ func New(groups []*core.Client, opts ...Option) (*Store, error) {
 
 // Shards returns the number of replica groups behind the store.
 func (s *Store) Shards() int { return len(s.groups) }
+
+// ReadMode returns the effective read mode shared by every group client
+// (New rejects mixed-mode group sets, so one answer covers the store).
+func (s *Store) ReadMode() core.ReadMode { return s.groups[0].ReadMode() }
 
 // Shard returns the group index owning the register.
 func (s *Store) Shard(reg string) int { return s.ring.Lookup(reg) }

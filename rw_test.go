@@ -1,0 +1,22 @@
+package abd
+
+import (
+	"repro/internal/core"
+	"repro/internal/reconfig"
+	"repro/internal/shard"
+	"repro/internal/types"
+)
+
+// Compile-time contract check: everything that operates on named registers
+// — the protocol client, the reconfigurable client, and the sharded store —
+// satisfies the one RW surface, and every register handle satisfies
+// Register. This is the module's load-bearing abstraction (code written
+// against RW runs over one group or many); removing a method from any of
+// these types must fail here, at compile time, not in a downstream user.
+var (
+	_ types.RW = (*core.Client)(nil)
+	_ types.RW = (*reconfig.Client)(nil)
+	_ types.RW = (*shard.Store)(nil)
+
+	_ types.Register = (*core.Register)(nil)
+)
